@@ -1,0 +1,403 @@
+(* The benchmark harness: regenerates every table and figure from the
+   evaluation section of "Engineering Record and Replay for
+   Deployability" (USENIX ATC 2017).
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- table1  # one artifact
+     dune exec bench/main.exe -- micro   # Bechamel microbenchmarks
+
+   Times are virtual nanoseconds from the simulation's cost model
+   (DESIGN.md): the *ratios* and their ordering are the reproduction
+   target, not the absolute values.  EXPERIMENTS.md records the
+   paper-vs-measured comparison for every row. *)
+
+let ratio base x = float_of_int x /. float_of_int base
+
+let workloads () =
+  [ Wl_cp.make ();
+    Wl_make.make ();
+    Wl_octane.make ();
+    Wl_htmltest.make ();
+    Wl_samba.make () ]
+
+(* One full measurement of a workload in every configuration of Table 1. *)
+type row = {
+  w : Workload.t;
+  base : Workload.run_result;
+  single : Workload.run_result;
+  full : Workload.recorded;
+  full_rep : Workload.replayed;
+  noi : Workload.recorded;
+  noi_rep : Workload.replayed;
+  noc : Workload.recorded;
+  dbi : Instrument.result;
+}
+
+let measure w =
+  let base = Workload.baseline w in
+  let single = Workload.baseline ~cores:1 w in
+  let full, _ = Workload.record w in
+  let full_rep, _ = Workload.replay full in
+  let noi, _ =
+    Workload.record ~opts:{ Recorder.default_opts with intercept = false } w
+  in
+  let noi_rep, _ = Workload.replay noi in
+  let noc, _ =
+    Workload.record ~opts:{ Recorder.default_opts with clone_blocks = false } w
+  in
+  let dbi = Instrument.run w in
+  { w; base; single; full; full_rep; noi; noi_rep; noc; dbi }
+
+let rows = lazy (List.map measure (workloads ()))
+
+let rec_time (r : Workload.recorded) = r.Workload.rec_stats.Recorder.wall_time
+
+let rep_time (r : Workload.replayed) = r.Workload.rep_stats.Replayer.wall_time
+
+(* octane is score-based (paper §4.2): overhead = baseline score /
+   configuration score, which for our fixed-work benchmark reduces to the
+   run-time ratio — noted so the table semantics match the paper. *)
+let overhead row t = ratio row.base.Workload.wall_time t
+
+let table1 () =
+  Fmt.pr "@.== Table 1: run-time overhead (paper Table 1) ==@.";
+  Fmt.pr
+    "%-10s | %9s | %7s %7s | %6s | %9s %9s | %8s | %10s@."
+    "workload" "baseline" "record" "replay" "1core" "rec-noInt" "rep-noInt"
+    "rec-noCl" "DBI-null";
+  List.iter
+    (fun r ->
+      let x v = Fmt.str "%.2fx" v in
+      Fmt.pr "%-10s | %7.3fms | %7s %7s | %6s | %9s %9s | %8s | %10s@."
+        r.w.Workload.name
+        (float_of_int r.base.Workload.wall_time /. 1e6)
+        (x (overhead r (rec_time r.full)))
+        (x (overhead r (rep_time r.full_rep)))
+        (x (overhead r r.single.Workload.wall_time))
+        (x (overhead r (rec_time r.noi)))
+        (x (overhead r (rep_time r.noi_rep)))
+        (x (overhead r (rec_time r.noc)))
+        (if r.dbi.Instrument.crashed then "crash"
+         else x (overhead r r.dbi.Instrument.time)))
+    (Lazy.force rows);
+  Fmt.pr
+    "(octane rows are score-based as in the paper; baseline is virtual \
+     milliseconds)@."
+
+let bar width v vmax =
+  let n = int_of_float (v /. vmax *. float_of_int width) in
+  String.make (max 0 (min width n)) '#'
+
+let fig4 () =
+  Fmt.pr "@.== Figure 4: overhead excluding make ==@.";
+  let rs =
+    List.filter (fun r -> r.w.Workload.name <> "make") (Lazy.force rows)
+  in
+  let vmax = 2.5 in
+  List.iter
+    (fun r ->
+      let rec_ = overhead r (rec_time r.full) in
+      let rep = overhead r (rep_time r.full_rep) in
+      Fmt.pr "%-10s record %5.2fx |%-25s|@." r.w.Workload.name rec_
+        (bar 25 rec_ vmax);
+      Fmt.pr "%-10s replay %5.2fx |%-25s|@." "" rep (bar 25 rep vmax))
+    rs
+
+let fig5 () =
+  Fmt.pr "@.== Figure 5: impact of optimizations on recording ==@.";
+  Fmt.pr "%-10s %12s %12s %12s@." "workload" "record" "no-cloning"
+    "no-intercept";
+  List.iter
+    (fun r ->
+      Fmt.pr "%-10s %11.2fx %11.2fx %11.2fx@." r.w.Workload.name
+        (overhead r (rec_time r.full))
+        (overhead r (rec_time r.noc))
+        (overhead r (rec_time r.noi)))
+    (Lazy.force rows);
+  Fmt.pr
+    "(in-process interception produces the large drop; block cloning \
+     matters for cp)@."
+
+let fig6 () =
+  Fmt.pr "@.== Figure 6: rr recording vs DynamoRio-null ==@.";
+  Fmt.pr "%-10s %12s %12s@." "workload" "rr-record" "DBI-null";
+  List.iter
+    (fun r ->
+      Fmt.pr "%-10s %11.2fx %12s@." r.w.Workload.name
+        (overhead r (rec_time r.full))
+        (if r.dbi.Instrument.crashed then "crash"
+         else Fmt.str "%.2fx" (overhead r r.dbi.Instrument.time)))
+    (Lazy.force rows)
+
+(* Virtual seconds: the cost model's unit is a virtual nanosecond. *)
+let vsec t = float_of_int t /. 1e9
+
+let table2 () =
+  Fmt.pr "@.== Table 2: trace storage (paper Table 2) ==@.";
+  Fmt.pr "%-10s %16s %10s %16s %14s@." "workload" "compressed MB/s"
+    "deflate" "cloned MB/s" "(cloned MB)";
+  List.iter
+    (fun r ->
+      let st = Trace.stats r.full.Workload.trace in
+      let dur = vsec r.base.Workload.wall_time in
+      let mb b = float_of_int b /. 1048576. in
+      Fmt.pr "%-10s %16.2f %9.2fx %16.2f %14.2f@." r.w.Workload.name
+        (mb st.Trace.compressed_bytes /. dur)
+        (Compress.ratio ~original:st.Trace.raw_bytes
+           ~compressed:st.Trace.compressed_bytes)
+        (mb st.Trace.cloned_bytes /. dur)
+        (mb st.Trace.cloned_bytes))
+    (Lazy.force rows);
+  Fmt.pr
+    "(virtual-time rates: compare across workloads, not with the paper's \
+     wall-clock rates)@."
+
+let table3 () =
+  Fmt.pr "@.== Table 3 / Figure 7: peak memory (PSS, KiB) ==@.";
+  Fmt.pr "%-10s %10s %10s %10s %10s@." "workload" "baseline" "record"
+    "replay" "1core";
+  List.iter
+    (fun r ->
+      Fmt.pr "%-10s %10.0f %10.0f %10.0f %10.0f@." r.w.Workload.name
+        (r.base.Workload.peak_pss /. 1024.)
+        (r.full.Workload.rec_peak_pss /. 1024.)
+        (r.full_rep.Workload.rep_peak_pss /. 1024.)
+        (r.single.Workload.peak_pss /. 1024.))
+    (Lazy.force rows);
+  Fmt.pr
+    "(htmltest replay drops because the harness is not replayed; \
+     recording adds scratch+buffer pages)@."
+
+(* ---- ablations (design choices DESIGN.md calls out) ------------------ *)
+
+let checkpoint_bench () =
+  Fmt.pr "@.== Ablation: checkpoint cost (paper §6.1) ==@.";
+  let w = Wl_cp.make ~params:{ Wl_cp.files = 4; file_kb = 256 } () in
+  let recd, _ = Workload.record w in
+  let r = Replayer.start recd.Workload.trace in
+  (* Advance halfway, then measure host time per snapshot. *)
+  let n = Array.length (Trace.events recd.Workload.trace) in
+  for _ = 1 to n / 2 do
+    ignore (Replayer.step r)
+  done;
+  let live_pages =
+    List.fold_left
+      (fun acc p ->
+        if p.Task.exit_code = None then
+          acc + Hashtbl.length p.Task.space.Addr_space.pages
+        else acc)
+      0
+      (Kernel.all_procs r.Replayer.k)
+  in
+  let t0 = Sys.time () in
+  let snaps = Array.init 200 (fun _ -> Replayer.snapshot r) in
+  let dt = (Sys.time () -. t0) /. 200. in
+  Fmt.pr
+    "address space: %d pages (%d KiB); snapshot: %.3f ms host time each \
+     (COW: no page copies)@."
+    live_pages (live_pages * 4) (dt *. 1000.);
+  (* Restoring must reproduce identical state. *)
+  let r2 = Replayer.restore recd.Workload.trace snaps.(0) in
+  while not (Replayer.at_end r2) do
+    ignore (Replayer.step r2)
+  done;
+  Fmt.pr "restore + replay-to-end from a checkpoint: OK@."
+
+let sysemu_ablation () =
+  Fmt.pr
+    "@.== Ablation: breakpoint fast path vs SYSEMU replay (paper \
+     §2.3.7) ==@.";
+  let w = Wl_cp.make () in
+  let recd, _ =
+    Workload.record ~opts:{ Recorder.default_opts with intercept = false } w
+  in
+  let bp, _ = Workload.replay recd in
+  let se, _ =
+    Workload.replay
+      ~opts:{ Replayer.default_opts with sysemu_all = true }
+      recd
+  in
+  Fmt.pr "cp replay (no-intercept trace): breakpoint=%d  sysemu=%d  (%.2fx)@."
+    (rep_time bp) (rep_time se)
+    (float_of_int (rep_time se) /. float_of_int (rep_time bp))
+
+let compression_ablation () =
+  Fmt.pr "@.== Ablation: trace compression on/off (paper §2.7) ==@.";
+  let w = Wl_samba.make () in
+  let on, _ = Workload.record w in
+  let off, _ =
+    Workload.record ~opts:{ Recorder.default_opts with compress = false } w
+  in
+  let son = Trace.stats on.Workload.trace in
+  let soff = Trace.stats off.Workload.trace in
+  Fmt.pr "sambatest general trace data: %d B compressed vs %d B raw (%.2fx)@."
+    son.Trace.compressed_bytes soff.Trace.compressed_bytes
+    (float_of_int soff.Trace.compressed_bytes
+    /. float_of_int son.Trace.compressed_bytes)
+
+let chaos_ablation () =
+  Fmt.pr "@.== Ablation: chaos mode (paper §8) ==@.";
+  (* A racy program: exit status depends on schedule.  Chaos mode's
+     randomized priorities/timeslices surface the rare schedule. *)
+  let build _k b =
+    let module G = Guest in
+    let ( @. ) = List.append in
+    let cell = G.bss b 8 in
+    let child_stack = G.bss b 4096 + 4096 in
+    G.emit b
+      (G.sys_clone_thread ~child_sp:(G.imm child_stack)
+      @. [ Asm.jz 0 "child" ]
+      @. G.compute_loop b ~n:3000
+      @. [ Asm.movi 9 cell; Asm.movi 10 1; Asm.store 10 9 0 ]
+      @. G.compute_loop b ~n:3000
+      @. [ Asm.movi 9 cell; Asm.load 11 9 0; Asm.movr 1 11 ]
+      @. G.sc Sysno.exit_group [ G.reg 1 ]
+      @. [ Asm.label "child" ]
+      @. G.compute_loop b ~n:3000
+      @. [ Asm.movi 9 cell; Asm.movi 10 2; Asm.store 10 9 0 ]
+      @. G.sys_exit 0)
+  in
+  let record_status ~chaos ~seed =
+    let setup k =
+      Vfs.mkdir_p (Kernel.vfs k) "/bin";
+      let b = Guest.create () in
+      build k b;
+      Kernel.install_image k ~path:"/bin/racy" (Guest.build b ~name:"racy" ())
+    in
+    let opts =
+      { Recorder.default_opts with chaos; seed; timeslice_rcbs = 2_000 }
+    in
+    let _, stats, _ = Recorder.record ~opts ~setup ~exe:"/bin/racy" () in
+    stats.Recorder.exit_status
+  in
+  let count chaos =
+    let hits = ref 0 in
+    for seed = 1 to 30 do
+      if record_status ~chaos ~seed = Some 2 then incr hits
+    done;
+    !hits
+  in
+  let normal = count false and chaos = count true in
+  Fmt.pr
+    "racy outcome (child write last) seen in %d/30 default schedules vs \
+     %d/30 chaos schedules@."
+    normal chaos
+
+let scratch_ablation () =
+  Fmt.pr "@.== Ablation: scratch buffers on/off (paper §2.3.1) ==@.";
+  (* "We actually have no evidence that the races prevented by scratch
+     buffers occur in practice, and it might be worth trying to eliminate
+     scratch buffers": with one-thread-at-a-time scheduling, recording
+     cost and replay fidelity are unchanged without them. *)
+  let w = Wl_samba.make () in
+  let with_scratch, _ = Workload.record w in
+  let without, _ =
+    Workload.record ~opts:{ Recorder.default_opts with scratch = false } w
+  in
+  let rep, _ = Workload.replay without in
+  Fmt.pr
+    "sambatest record: %d with scratch vs %d without (%.3fx); replay      without scratch: exit=%a@."
+    with_scratch.Workload.rec_stats.Recorder.wall_time
+    without.Workload.rec_stats.Recorder.wall_time
+    (float_of_int without.Workload.rec_stats.Recorder.wall_time
+    /. float_of_int with_scratch.Workload.rec_stats.Recorder.wall_time)
+    Fmt.(option int)
+    rep.Workload.rep_stats.Replayer.exit_status
+
+let skid_ablation () =
+  Fmt.pr "@.== Ablation: PMU interrupt skid (paper §2.4.3) ==@.";
+  Fmt.pr
+    "interrupts are programmed %d RCBs early; max hardware skid %d; \
+     replay finishes with breakpoints/single-steps@."
+    (Pmu.max_skid + 6) Pmu.max_skid
+
+let ablations () =
+  checkpoint_bench ();
+  sysemu_ablation ();
+  compression_ablation ();
+  chaos_ablation ();
+  scratch_ablation ();
+  skid_ablation ()
+
+(* ---- Bechamel microbenchmarks (host time of core primitives) --------- *)
+
+let micro () =
+  Fmt.pr "@.== Microbenchmarks (host time, Bechamel OLS ns/run) ==@.";
+  let open Bechamel in
+  let payload =
+    String.concat ""
+      (List.init 200 (fun i ->
+           Printf.sprintf "frame tid=%d result=%d;" i (i * 7)))
+  in
+  let compressed = Compress.deflate payload in
+  let w = Wl_cp.make ~params:{ Wl_cp.files = 2; file_kb = 64 } () in
+  let recd, _ = Workload.record w in
+  let r0 = Replayer.start recd.Workload.trace in
+  for _ = 1 to 10 do
+    ignore (Replayer.step r0)
+  done;
+  let tests =
+    Test.make_grouped ~name:"rr"
+      [ Test.make ~name:"deflate-10KB"
+          (Staged.stage (fun () -> ignore (Compress.deflate payload)));
+        Test.make ~name:"inflate-10KB"
+          (Staged.stage (fun () -> ignore (Compress.inflate compressed)));
+        Test.make ~name:"checkpoint-snapshot"
+          (Staged.stage (fun () -> ignore (Replayer.snapshot r0)));
+        Test.make ~name:"record-cp-small"
+          (Staged.stage (fun () -> ignore (Workload.record w)));
+        Test.make ~name:"replay-cp-small"
+          (Staged.stage (fun () -> ignore (Workload.replay recd))) ]
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.3) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> Fmt.pr "%-28s %14.1f ns/run@." name est
+      | Some _ | None -> Fmt.pr "%-28s %14s@." name "n/a")
+    rows
+
+let () =
+  let artifacts =
+    [ ("table1", table1);
+      ("table2", table2);
+      ("table3", table3);
+      ("fig4", fig4);
+      ("fig5", fig5);
+      ("fig6", fig6);
+      ("fig7", table3);
+      ("ablation", ablations);
+      ("micro", micro) ]
+  in
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+    Fmt.pr "rr-repro benchmark harness — regenerating all paper artifacts@.";
+    table1 ();
+    fig4 ();
+    fig5 ();
+    fig6 ();
+    table2 ();
+    table3 ();
+    ablations ();
+    micro ()
+  | names ->
+    List.iter
+      (fun n ->
+        match List.assoc_opt n artifacts with
+        | Some f -> f ()
+        | None ->
+          Fmt.epr "unknown artifact %s (have: %s)@." n
+            (String.concat ", " (List.map fst artifacts));
+          exit 1)
+      names

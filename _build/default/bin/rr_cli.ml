@@ -1,0 +1,243 @@
+(* rr_cli — drive the record/replay system from the command line.
+
+   The simulated machine has no persistent disk, so traces live for the
+   duration of one invocation; the CLI chains phases the way the real rr
+   binary chains `rr record` / `rr replay` / `rr dump`:
+
+     rr_cli record cp            record a workload, print stats
+     rr_cli replay cp            record then replay, verify equivalence
+     rr_cli dump cp -n 30        print the first 30 trace frames
+     rr_cli debug cp --watch 0x120000
+                                 record, then reverse-debug: find the last
+                                 write to an address
+     rr_cli list                 available workloads *)
+
+open Cmdliner
+
+let workload_of_name = function
+  | "cp" -> Wl_cp.make ()
+  | "make" -> Wl_make.make ()
+  | "octane" -> Wl_octane.make ()
+  | "htmltest" -> Wl_htmltest.make ()
+  | "sambatest" -> Wl_samba.make ()
+  | n -> Fmt.failwith "unknown workload %s (try: rr_cli list)" n
+
+let workload_arg =
+  let doc = "Workload to run (cp, make, octane, htmltest, sambatest)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let intercept_arg =
+  let doc = "Disable in-process syscall interception (paper §3)." in
+  Arg.(value & flag & info [ "no-intercept" ] ~doc)
+
+let cloning_arg =
+  let doc = "Disable block cloning for large reads (paper §3.9)." in
+  Arg.(value & flag & info [ "no-cloning" ] ~doc)
+
+let chaos_arg =
+  let doc = "Chaos mode: randomized scheduling to surface races (paper §8)." in
+  Arg.(value & flag & info [ "chaos" ] ~doc)
+
+let seed_arg =
+  let doc = "Recording seed (scheduling and entropy)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let opts_of ~no_intercept ~no_cloning ~chaos ~seed =
+  { Recorder.default_opts with
+    intercept = not no_intercept;
+    clone_blocks = not no_cloning;
+    chaos;
+    seed }
+
+let do_record w opts =
+  let recd, _k = Workload.record ~opts w in
+  let st = recd.Workload.rec_stats in
+  Fmt.pr "recorded %s: exit=%a@." w.Workload.name
+    Fmt.(option ~none:(any "?") int)
+    st.Recorder.exit_status;
+  Fmt.pr "  wall time      : %d (virtual ns)@." st.Recorder.wall_time;
+  Fmt.pr "  ptrace stops   : %d@." st.Recorder.n_ptrace_stops;
+  Fmt.pr "  syscalls       : %d@." st.Recorder.n_syscalls;
+  Fmt.pr "  sched events   : %d@." st.Recorder.n_sched_events;
+  Fmt.pr "  patched sites  : %d@." st.Recorder.n_patched_sites;
+  Fmt.pr "  trace          : %a@." Trace.pp_stats (Trace.stats recd.Workload.trace);
+  recd
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Save the trace to FILE.")
+
+let record_cmd =
+  let run name no_intercept no_cloning chaos seed out =
+    let w = workload_of_name name in
+    let recd = do_record w (opts_of ~no_intercept ~no_cloning ~chaos ~seed) in
+    match out with
+    | Some path ->
+      Trace.save recd.Workload.trace path;
+      Fmt.pr "trace saved to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Record a workload and print trace statistics.")
+    Term.(
+      const run $ workload_arg $ intercept_arg $ cloning_arg $ chaos_arg
+      $ seed_arg $ out_arg)
+
+let replay_cmd =
+  let run name no_intercept no_cloning chaos seed =
+    let w = workload_of_name name in
+    let recd = do_record w (opts_of ~no_intercept ~no_cloning ~chaos ~seed) in
+    let rep, _ = Workload.replay recd in
+    let st = rep.Workload.rep_stats in
+    Fmt.pr "replayed %s: exit=%a (events applied: %d, wall %d)@."
+      w.Workload.name
+      Fmt.(option ~none:(any "?") int)
+      st.Replayer.exit_status st.Replayer.events_applied st.Replayer.wall_time;
+    if st.Replayer.exit_status = recd.Workload.rec_stats.Recorder.exit_status
+    then Fmt.pr "replay matches the recording.@."
+    else Fmt.failwith "replay DIVERGED from the recording"
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Record a workload, replay the trace, verify equivalence.")
+    Term.(
+      const run $ workload_arg $ intercept_arg $ cloning_arg $ chaos_arg
+      $ seed_arg)
+
+let dump_cmd =
+  let n_arg =
+    Arg.(value & opt int 40 & info [ "n" ] ~doc:"Number of frames to print.")
+  in
+  let run name n =
+    let w = workload_of_name name in
+    let recd, _ = Workload.record w in
+    let events = Trace.events recd.Workload.trace in
+    Fmt.pr "trace of %s: %d frames@." w.Workload.name (Array.length events);
+    Array.iteri
+      (fun i e -> if i < n then Fmt.pr "%5d  %a@." i Event.pp e)
+      events;
+    if Array.length events > n then
+      Fmt.pr "... (%d more)@." (Array.length events - n)
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Record a workload and print its trace frames.")
+    Term.(const run $ workload_arg $ n_arg)
+
+let debug_cmd =
+  let watch_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "watch" ] ~docv:"ADDR"
+          ~doc:"Find the last frame that changed 8 bytes at ADDR (hex ok).")
+  in
+  let run name watch =
+    let w = workload_of_name name in
+    let recd, _ =
+      Workload.record ~opts:{ Recorder.default_opts with intercept = false } w
+    in
+    let d = Debugger.create ~checkpoint_every:16 recd.Workload.trace in
+    Debugger.seek d (Debugger.n_events d);
+    Fmt.pr "replayed to the end: %d frames, %d checkpoints@."
+      (Debugger.pos d) d.Debugger.checkpoints_taken;
+    match watch with
+    | None ->
+      (* Demonstrate reverse execution: step back through syscalls. *)
+      let is_sc = function Event.E_syscall _ -> true | _ -> false in
+      let rec back n =
+        if n > 0 then
+          match Debugger.reverse_continue_to d is_sc with
+          | Some i ->
+            Fmt.pr "reverse-continue: stopped after frame %d (%a)@." i
+              Event.pp (Trace.events recd.Workload.trace).(i);
+            back (n - 1)
+          | None -> Fmt.pr "reached the beginning@."
+      in
+      back 3
+    | Some addr_s ->
+      let addr = int_of_string addr_s in
+      let tid =
+        match Debugger.live_tids d with
+        | tid :: _ -> tid
+        | [] -> (
+          (* everyone exited; use the root tid from the first exec frame *)
+          match (Trace.events recd.Workload.trace).(0) with
+          | Event.E_exec { tid; _ } -> tid
+          | _ -> Fmt.failwith "no task to watch")
+      in
+      (match Debugger.last_change d ~tid ~addr ~len:8 with
+      | Some i ->
+        Fmt.pr "last write to %#x happened during frame %d: %a@." addr i
+          Event.pp (Trace.events recd.Workload.trace).(i);
+        Debugger.seek d i;
+        Fmt.pr "value before: %d@." (Debugger.read_word d tid addr);
+        Debugger.seek d (i + 1);
+        Fmt.pr "value after : %d@." (Debugger.read_word d tid addr)
+      | None -> Fmt.pr "%#x never changed@." addr)
+  in
+  Cmd.v
+    (Cmd.info "debug"
+       ~doc:
+         "Record a workload and explore it with the reverse-execution \
+          debugger.")
+    Term.(const run $ workload_arg $ watch_arg)
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"A saved trace file.")
+
+let replay_file_cmd =
+  let run path =
+    let trace = Trace.load path in
+    let stats, _ = Replayer.replay trace in
+    Fmt.pr "replayed %s: exit=%a, %d frames@." path
+      Fmt.(option ~none:(any "?") int)
+      stats.Replayer.exit_status stats.Replayer.events_applied
+  in
+  Cmd.v
+    (Cmd.info "replay-file" ~doc:"Replay a trace saved with record -o.")
+    Term.(const run $ file_arg)
+
+let dump_file_cmd =
+  let n_arg =
+    Arg.(value & opt int 40 & info [ "n" ] ~doc:"Number of frames to print.")
+  in
+  let run path n =
+    let trace = Trace.load path in
+    let events = Trace.events trace in
+    Fmt.pr "%s: %d frames, %a@." path (Array.length events) Trace.pp_stats
+      (Trace.stats trace);
+    Array.iteri
+      (fun i e -> if i < n then Fmt.pr "%5d  %a@." i Event.pp e)
+      events
+  in
+  Cmd.v
+    (Cmd.info "dump-file" ~doc:"Print the frames of a saved trace.")
+    Term.(const run $ file_arg $ n_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (n, d) -> Fmt.pr "%-10s %s@." n d)
+      [ ("cp", "file-tree duplication: syscall-dense, block-cloning shines");
+        ("make", "parallel fork/exec of short-lived compilers");
+        ("octane", "multi-threaded JIT compute (score-based)");
+        ("htmltest", "browser driven by an unrecorded harness over IPC");
+        ("sambatest", "UDP echo client/server: blocking syscalls, desched") ]
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads.") Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "rr_cli" ~version:"1.0"
+       ~doc:
+         "Record and replay simulated Linux processes (reproduction of \
+          'Engineering Record and Replay for Deployability', USENIX ATC \
+          2017).")
+    [ record_cmd; replay_cmd; dump_cmd; debug_cmd; list_cmd; replay_file_cmd;
+      dump_file_cmd ]
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Asm Event Fmt Guest Insn Kernel List Recorder Replayer Sysno Trace Vfs

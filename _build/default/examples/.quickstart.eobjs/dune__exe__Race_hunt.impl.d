@@ -1,0 +1,1 @@
+examples/race_hunt.ml: Asm Fmt Guest Kernel List Recorder Replayer Sysno Vfs

@@ -1,0 +1,1 @@
+examples/race_hunt.mli:

@@ -1,0 +1,1 @@
+examples/reverse_debug.ml: Array Asm Debugger Event Fmt Guest Kernel List Recorder Sysno Trace Vfs

@@ -1,0 +1,1 @@
+examples/trace_anatomy.ml: Array Compress Event Fmt Hashtbl List Option Printf Replayer String Sysno Trace Wl_cp Workload

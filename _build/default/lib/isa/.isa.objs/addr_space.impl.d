@@ -1,0 +1,1 @@
+lib/isa/addr_space.ml: Array Bytes Hashtbl Insn Int64 List Mem

@@ -1,0 +1,1 @@
+lib/isa/cpu.ml: Addr_space Array Fmt Insn Pmu

@@ -1,0 +1,1 @@
+lib/isa/cpu.mli: Addr_space Fmt Insn Pmu

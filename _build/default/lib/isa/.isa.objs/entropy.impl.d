@@ -1,0 +1,1 @@
+lib/isa/entropy.ml: Int64

@@ -1,0 +1,1 @@
+lib/isa/image.ml: Addr_space Array Asm Bytes List Mem String

@@ -1,0 +1,1 @@
+lib/isa/image.mli: Addr_space Asm

@@ -1,0 +1,92 @@
+(** Guest address spaces: byte-addressed COW data pages plus a
+    word-addressed text table (Harvard simplification; DESIGN.md §6). *)
+
+type access = Read | Write | Exec
+
+exception Segv of { addr : int; access : access }
+
+type kind =
+  | Anon
+  | Stack
+  | File_backed of { path : string; file_off : int }
+  | Scratch
+  | Rr_page
+  | Thread_locals
+
+type region = {
+  start : int;
+  len : int;
+  mutable prot : Mem.prot;
+  kind : kind;
+  shared : bool;
+}
+
+type t = {
+  id : int;
+  pages : (int, Mem.page) Hashtbl.t;
+  text : (int, Insn.t) Hashtbl.t;
+  written_text : (int, unit) Hashtbl.t;
+  breakpoints : (int, unit) Hashtbl.t;
+  mutable regions : region list;
+  mutable mmap_cursor : int;
+}
+
+val mmap_base : int
+val stack_top : int
+
+val create : id:int -> t
+
+val regions : t -> region list
+val find_region : t -> int -> region option
+val overlaps : t -> addr:int -> len:int -> bool
+
+val map :
+  t -> addr:int -> len:int -> prot:Mem.prot -> ?kind:kind -> ?shared:bool ->
+  unit -> int
+(** Map pages eagerly; returns the page-aligned start address.  Raises
+    [Invalid_argument] on overlap. *)
+
+val find_map_addr : t -> int -> int
+(** A free address for an [len]-byte mapping. *)
+
+val unmap : t -> addr:int -> len:int -> unit
+val unmap_all : t -> unit
+val protect : t -> addr:int -> len:int -> prot:Mem.prot -> unit
+
+val read_u8 : ?force:bool -> t -> int -> int
+val write_u8 : ?force:bool -> t -> int -> int -> unit
+val read_u64 : ?force:bool -> t -> int -> int
+val write_u64 : ?force:bool -> t -> int -> int -> unit
+val read_bytes : ?force:bool -> t -> int -> int -> bytes
+val write_bytes : ?force:bool -> t -> int -> bytes -> unit
+(** Data accessors.  [force] bypasses protection checks (kernel and
+    supervisor accesses).  All raise {!Segv} on unmapped addresses. *)
+
+val loaded_insns : int ref
+(** Global count of instructions loaded by [text_load] (program images),
+    for instrumentation cost models. *)
+
+val text_get : t -> int -> Insn.t option
+val text_set : t -> int -> Insn.t -> unit
+val text_load : t -> base:int -> Insn.t array -> unit
+
+val text_write : t -> int -> Insn.t -> unit
+(** A {e run-time} code write ([Emit]): also marks the address in
+    [written_text]. *)
+
+val text_was_written : t -> int -> bool
+
+val bp_set : t -> int -> unit
+val bp_clear : t -> int -> unit
+val bp_is_set : t -> int -> bool
+val bp_any : t -> bool
+
+val fork : t -> id:int -> t
+(** COW-share every frame; the basis of cheap checkpoints. *)
+
+val release : t -> unit
+
+val pss : t -> float
+(** Proportional set size in bytes (each frame counts size/refs). *)
+
+val mapped_bytes : t -> int

@@ -1,0 +1,32 @@
+(** Physical page frames with copy-on-write reference counting. *)
+
+val page_size : int
+val page_shift : int
+
+type prot = int
+
+val prot_r : prot
+val prot_w : prot
+val prot_x : prot
+val prot_rw : prot
+val prot_rwx : prot
+val prot_none : prot
+
+type page = {
+  mutable bytes : Bytes.t;
+  mutable refs : int;
+  mutable prot : prot;
+  mutable shared : bool;
+}
+
+val fresh_page : ?prot:prot -> ?shared:bool -> unit -> page
+val page_index : int -> int
+val page_offset : int -> int
+val incref : page -> unit
+val decref : page -> unit
+
+val unshare : page -> page
+(** Copy a COW page for the caller; other mappers keep the original. *)
+
+val get_u8 : page -> int -> int
+val set_u8 : page -> int -> int -> unit

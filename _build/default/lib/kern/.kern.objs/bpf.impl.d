@@ -1,0 +1,1 @@
+lib/kern/bpf.ml: Array Errno List

@@ -1,0 +1,1 @@
+lib/kern/bpf.mli:

@@ -1,0 +1,1 @@
+lib/kern/chan.ml: Buffer Bytes List Queue

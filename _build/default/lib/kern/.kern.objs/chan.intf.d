@@ -1,0 +1,1 @@
+lib/kern/chan.mli: Buffer Queue

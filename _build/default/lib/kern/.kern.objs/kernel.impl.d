@@ -1,0 +1,1 @@
+lib/kern/kernel.ml: Addr_space Array Bpf Buffer Bytes Chan Char Cost Cpu Entropy Errno Fmt Hashtbl Image Insn List Logs Mem Perf_event Pmu Signals String Sysno Task Vfs

@@ -1,0 +1,1 @@
+lib/kern/kernel.mli: Addr_space Bpf Chan Cost Entropy Hashtbl Image Mem Perf_event Signals Task Vfs

@@ -1,0 +1,1 @@
+lib/kern/perf_event.ml:

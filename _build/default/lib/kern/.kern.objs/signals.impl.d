@@ -1,0 +1,1 @@
+lib/kern/signals.ml: Fmt Insn List Printf

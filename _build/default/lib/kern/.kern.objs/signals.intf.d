@@ -1,0 +1,1 @@
+lib/kern/signals.mli: Fmt Insn

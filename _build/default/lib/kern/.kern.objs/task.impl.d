@@ -1,0 +1,1 @@
+lib/kern/task.ml: Addr_space Array Bpf Chan Cpu Fmt Hashtbl Perf_event Signals Sysno Vfs

@@ -1,0 +1,1 @@
+lib/kern/task.mli: Addr_space Bpf Chan Cpu Fmt Hashtbl Perf_event Signals Vfs

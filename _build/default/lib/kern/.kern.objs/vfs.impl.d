@@ -1,0 +1,1 @@
+lib/kern/vfs.ml: Array Bytes Errno Hashtbl Image List String

@@ -1,0 +1,1 @@
+lib/kern/vfs.mli: Bytes Hashtbl Image

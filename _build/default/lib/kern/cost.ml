@@ -1,0 +1,76 @@
+(* The virtual-time cost model.
+
+   All durations are in abstract nanosecond-ish units; one retired guest
+   instruction costs [insn].  Absolute values are not meant to match the
+   paper's hardware — only the *relative* magnitudes that drive its
+   results matter, chiefly that a ptrace stop costs two context switches
+   plus supervisor work, which dwarfs a cheap syscall (paper §3: "the
+   cost of even a single context switch dwarfs the cost of the system
+   call itself"). *)
+
+type t = {
+  insn : int;
+  context_switch : int; (* one direction, tracee <-> supervisor *)
+  supervisor_work : int; (* recorder bookkeeping at a stop *)
+  syscall_base : int; (* kernel entry/exit for a real syscall *)
+  syscall_bytes_shift : int; (* extra cost = bytes lsr shift *)
+  vdso_call : int; (* gettimeofday & friends in user space *)
+  open_cost : int;
+  stat_cost : int;
+  mmap_page : int;
+  fork_cost : int;
+  exec_cost : int;
+  futex_cost : int;
+  sched_switch : int; (* kernel-level task switch (not ptrace) *)
+  record_event : int; (* recorder: serialize one trace frame *)
+  record_syscall_work : int; (* recorder bookkeeping per traced syscall *)
+  replay_syscall_work : int; (* replayer bookkeeping per emulated syscall *)
+  record_bytes_shift : int; (* recorder: per-byte data capture cost *)
+  compress_bytes_shift : int; (* deflate cost per byte of input *)
+  clone_block : int; (* FICLONE one 4KB block *)
+  buffered_syscall_overhead : int; (* syscallbuf wrapper bookkeeping *)
+  instrument_block : int; (* DBI: translate one basic block *)
+  instrument_insn_num : int; (* DBI: per-insn slowdown numerator *)
+  instrument_insn_den : int;
+  instrument_proc_init : int; (* DBI: engine startup per process *)
+  instrument_jit_write : int; (* DBI: cache flush + retranslate per code write *)
+  timeslice_insns : int; (* baseline scheduler quantum *)
+}
+
+let default =
+  { insn = 1;
+    context_switch = 1_200;
+    supervisor_work = 500;
+    syscall_base = 300;
+    syscall_bytes_shift = 4; (* 1 unit per 16 bytes copied *)
+    vdso_call = 40;
+    open_cost = 700;
+    stat_cost = 350;
+    mmap_page = 30;
+    fork_cost = 20_000;
+    exec_cost = 40_000;
+    futex_cost = 250;
+    sched_switch = 1_200;
+    record_event = 250;
+    record_syscall_work = 22_000;
+    replay_syscall_work = 12_000;
+    record_bytes_shift = 4;
+    compress_bytes_shift = 3;
+    clone_block = 60;
+    buffered_syscall_overhead = 180;
+    instrument_block = 900;
+    instrument_insn_num = 3;
+    instrument_insn_den = 10;
+    instrument_proc_init = 350_000;
+    instrument_jit_write = 250_000;
+    timeslice_insns = 60_000 }
+
+(* Cost of one ptrace stop handled by the supervisor: tracee -> tracer
+   switch, tracer work, tracer -> tracee switch. *)
+let ptrace_stop c = (2 * c.context_switch) + c.supervisor_work
+
+let bytes_cost c len = len lsr c.syscall_bytes_shift
+
+let record_bytes c len = len lsr c.record_bytes_shift
+
+let compress_bytes c len = len lsr c.compress_bytes_shift

@@ -1,0 +1,44 @@
+(** The virtual-time cost model.  All durations are abstract
+    nanosecond-ish units; one retired guest instruction costs [insn].
+    Only the {e relative} magnitudes that drive the paper's results
+    matter — chiefly that a ptrace stop (two context switches plus
+    supervisor work) dwarfs a cheap system call (paper §3). *)
+
+type t = {
+  insn : int;
+  context_switch : int; (* one direction, tracee <-> supervisor *)
+  supervisor_work : int; (* recorder bookkeeping at a stop *)
+  syscall_base : int;
+  syscall_bytes_shift : int; (* data-copy cost = bytes lsr shift *)
+  vdso_call : int; (* user-space gettimeofday & friends (§2.5) *)
+  open_cost : int;
+  stat_cost : int;
+  mmap_page : int;
+  fork_cost : int;
+  exec_cost : int;
+  futex_cost : int;
+  sched_switch : int; (* kernel-level task switch (not ptrace) *)
+  record_event : int; (* serialize one trace frame *)
+  record_syscall_work : int; (* recorder bookkeeping per traced syscall *)
+  replay_syscall_work : int; (* replayer bookkeeping per emulated syscall *)
+  record_bytes_shift : int;
+  compress_bytes_shift : int;
+  clone_block : int; (* FICLONE one 4 KiB block (§3.9) *)
+  buffered_syscall_overhead : int;
+  instrument_block : int; (* DBI: translate one basic block *)
+  instrument_insn_num : int; (* DBI: per-insn slowdown numerator *)
+  instrument_insn_den : int;
+  instrument_proc_init : int; (* DBI: engine startup per process *)
+  instrument_jit_write : int; (* DBI: flush + retranslate per code write *)
+  timeslice_insns : int; (* baseline scheduler quantum *)
+}
+
+val default : t
+
+val ptrace_stop : t -> int
+(** One supervisor round trip: tracee→tracer switch, tracer work,
+    tracer→tracee switch. *)
+
+val bytes_cost : t -> int -> int
+val record_bytes : t -> int -> int
+val compress_bytes : t -> int -> int

@@ -1,0 +1,43 @@
+(* Errno values, Linux x86-64 numbering where it matters.  Syscalls
+   return [-e] for error [e], like the raw Linux ABI. *)
+
+let eperm = 1
+let enoent = 2
+let esrch = 3
+let eintr = 4
+let eio = 5
+let ebadf = 9
+let echild = 10
+let eagain = 11
+let enomem = 12
+let eacces = 13
+let efault = 14
+let eexist = 17
+let enotdir = 20
+let eisdir = 21
+let einval = 22
+let enfile = 23
+let enospc = 28
+let espipe = 29
+let epipe = 32
+let erange = 34
+let enosys = 38
+let enotempty = 39
+let eaddrinuse = 98
+let econnrefused = 111
+
+(* Kernel-internal restart sentinel (never visible to user space): a
+   blocking syscall interrupted by a signal parks this in the result
+   register; the restart machinery either converts it to -EINTR or
+   re-executes the syscall (paper §2.3.10). *)
+let erestartsys = 512
+
+let to_string = function
+  | 1 -> "EPERM" | 2 -> "ENOENT" | 3 -> "ESRCH" | 4 -> "EINTR" | 5 -> "EIO"
+  | 9 -> "EBADF" | 10 -> "ECHILD" | 11 -> "EAGAIN" | 12 -> "ENOMEM"
+  | 13 -> "EACCES" | 14 -> "EFAULT" | 17 -> "EEXIST" | 20 -> "ENOTDIR"
+  | 21 -> "EISDIR" | 22 -> "EINVAL" | 23 -> "ENFILE" | 28 -> "ENOSPC"
+  | 29 -> "ESPIPE" | 32 -> "EPIPE" | 34 -> "ERANGE" | 38 -> "ENOSYS"
+  | 39 -> "ENOTEMPTY" | 98 -> "EADDRINUSE" | 111 -> "ECONNREFUSED"
+  | 512 -> "ERESTARTSYS"
+  | e -> Printf.sprintf "E%d" e

@@ -1,0 +1,35 @@
+(* perf_event file objects.
+
+   The only event type rr needs from the kernel side is
+   PERF_COUNT_SW_CONTEXT_SWITCHES on a specific thread, configured to
+   send a signal to that thread whenever it is descheduled (paper §3.3).
+   The event is normally disabled and armed only around possibly-blocking
+   untraced syscalls, exactly as in the paper. *)
+
+type kind = Context_switches
+
+type t = {
+  id : int;
+  kind : kind;
+  target_tid : int;
+  mutable enabled : bool;
+  mutable count : int;
+  mutable signal_on_overflow : int option; (* signal number *)
+}
+
+let create ~id ~target_tid kind =
+  { id; kind; target_tid; enabled = false; count = 0; signal_on_overflow = None }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+
+let set_signal t signo = t.signal_on_overflow <- Some signo
+
+(* Record a deschedule of the target; returns the signal to send, if the
+   event is armed. *)
+let on_deschedule t =
+  if t.enabled then begin
+    t.count <- t.count + 1;
+    t.signal_on_overflow
+  end
+  else None

@@ -1,0 +1,24 @@
+(** perf_event objects.  The one event rr needs from the kernel is
+    PERF_COUNT_SW_CONTEXT_SWITCHES on a specific thread, configured to
+    signal that thread whenever it is descheduled (paper §3.3); the
+    interception library arms it only around possibly-blocking untraced
+    syscalls. *)
+
+type kind = Context_switches
+
+type t = {
+  id : int;
+  kind : kind;
+  target_tid : int;
+  mutable enabled : bool;
+  mutable count : int;
+  mutable signal_on_overflow : int option;
+}
+
+val create : id:int -> target_tid:int -> kind -> t
+val enable : t -> unit
+val disable : t -> unit
+val set_signal : t -> int -> unit
+
+val on_deschedule : t -> int option
+(** Record a deschedule of the target; the signal to send, if armed. *)

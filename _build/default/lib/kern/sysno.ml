@@ -1,0 +1,131 @@
+(* The simulated kernel's system call numbers.
+
+   Not the x86-64 numbering (the guest ISA is not x86), but the same
+   *surface*: every call rr's design has to handle specially — blocking
+   I/O, address-space manipulation, signal management, task creation,
+   seccomp, perf — exists here. *)
+
+let read = 0
+let write = 1
+let openat = 2
+let close = 3
+let stat = 4
+let lseek = 5
+let mmap = 6
+let munmap = 7
+let mprotect = 8
+let exit = 9
+let exit_group = 10
+let clone = 11 (* fork or thread, by flags *)
+let execve = 12
+let wait4 = 13
+let getpid = 14
+let gettid = 15
+let gettimeofday = 16
+let clock_gettime = 17
+let nanosleep = 18
+let sched_yield = 19
+let futex = 20
+let pipe = 21
+let kill = 22
+let tgkill = 23
+let rt_sigaction = 24
+let rt_sigprocmask = 25
+let rt_sigreturn = 26
+let getrandom = 27
+let sched_setaffinity = 28
+let prctl = 29
+let seccomp = 30
+let perf_event_open = 31
+let ioctl = 32
+let socket = 33
+let bind = 34
+let sendto = 35
+let recvfrom = 36
+let unlink = 37
+let mkdir = 38
+let rename = 39
+let link = 40
+let dup = 41
+let ftruncate = 42
+let getcwd = 43
+let chdir = 44
+let ptrace = 45
+let fsync = 46
+let readlink = 47
+let sigaltstack = 48
+let getppid = 49
+let set_tid_address = 50
+let poll = 51
+
+let max_syscall = 51
+
+let name = function
+  | 0 -> "read" | 1 -> "write" | 2 -> "openat" | 3 -> "close" | 4 -> "stat"
+  | 5 -> "lseek" | 6 -> "mmap" | 7 -> "munmap" | 8 -> "mprotect"
+  | 9 -> "exit" | 10 -> "exit_group" | 11 -> "clone" | 12 -> "execve"
+  | 13 -> "wait4" | 14 -> "getpid" | 15 -> "gettid" | 16 -> "gettimeofday"
+  | 17 -> "clock_gettime" | 18 -> "nanosleep" | 19 -> "sched_yield"
+  | 20 -> "futex" | 21 -> "pipe" | 22 -> "kill" | 23 -> "tgkill"
+  | 24 -> "rt_sigaction" | 25 -> "rt_sigprocmask" | 26 -> "rt_sigreturn"
+  | 27 -> "getrandom" | 28 -> "sched_setaffinity" | 29 -> "prctl"
+  | 30 -> "seccomp" | 31 -> "perf_event_open" | 32 -> "ioctl"
+  | 33 -> "socket" | 34 -> "bind" | 35 -> "sendto" | 36 -> "recvfrom"
+  | 37 -> "unlink" | 38 -> "mkdir" | 39 -> "rename" | 40 -> "link"
+  | 41 -> "dup" | 42 -> "ftruncate" | 43 -> "getcwd" | 44 -> "chdir"
+  | 45 -> "ptrace" | 46 -> "fsync" | 47 -> "readlink" | 48 -> "sigaltstack"
+  | 49 -> "getppid" | 50 -> "set_tid_address" | 51 -> "poll"
+  | n -> Printf.sprintf "sys_%d" n
+
+(* ioctl request numbers. *)
+let ficlone = 0x9409 (* BTRFS_IOC_CLONE *)
+let ficlonerange = 0x940d
+let perf_ioc_enable = 0x2400
+let perf_ioc_disable = 0x2401
+let perf_ioc_refresh = 0x2402
+
+(* futex ops *)
+let futex_wait = 0
+let futex_wake = 1
+
+(* clone flags *)
+let clone_vm = 0x100
+let clone_thread = 0x10000
+let clone_files = 0x400
+let clone_sighand = 0x800
+
+(* prctl ops *)
+let pr_set_tsc = 26
+let pr_tsc_enable = 1
+let pr_tsc_sigsegv = 2
+
+(* seccomp *)
+let seccomp_set_mode_filter = 1
+
+(* ptrace requests (Linux numbering) *)
+let ptrace_traceme = 0
+let ptrace_peekdata = 2
+let ptrace_getreg = 3 (* PEEKUSER analogue: addr = register index *)
+let ptrace_cont = 7
+let ptrace_attach = 16
+let ptrace_detach = 17
+
+(* poll events *)
+let pollin = 1
+let pollout = 4
+let pollerr = 8
+let pollhup = 16
+
+(* lseek whence *)
+let seek_set = 0
+let seek_cur = 1
+let seek_end = 2
+
+(* open flags *)
+let o_rdonly = 0
+let o_wronly = 1
+let o_rdwr = 2
+let o_creat = 0x40
+let o_trunc = 0x200
+let o_nonblock = 0x800
+let o_append = 0x400

@@ -1,0 +1,170 @@
+(* Kernel task (thread) and process state.
+
+   A process groups threads sharing an address space, fd table, signal
+   handler table and pending-signal set; each task additionally has a
+   private signal mask, pending queue, CPU context and ptrace state.
+   The ptrace state machine mirrors the subset of Linux that rr uses:
+   seccomp/entry/exit/signal/exec/clone/exit stops, and CONT / SYSCALL /
+   SINGLESTEP / SYSEMU resume requests. *)
+
+type fd_obj =
+  | F_reg of { reg : Vfs.reg; path : string }
+  | F_pipe_r of Chan.pipe
+  | F_pipe_w of Chan.pipe
+  | F_sock of Chan.sock
+  | F_perf of Perf_event.t
+
+type fd_entry = { mutable pos : int; obj : fd_obj; mutable fl : int }
+
+type fdtab = { mutable next_fd : int; fds : (int, fd_entry) Hashtbl.t }
+
+let make_fdtab () = { next_fd = 3; fds = Hashtbl.create 16 }
+
+let fdtab_copy t =
+  { next_fd = t.next_fd; fds = Hashtbl.copy t.fds }
+
+type wait_cond =
+  | W_pipe_read of Chan.pipe
+  | W_pipe_write of Chan.pipe
+  | W_sock_read of Chan.sock
+  | W_futex of int * int (* address-space id, address *)
+  | W_child of int (* pid, or -1 for any child *)
+  | W_sleep of int (* absolute virtual wake time *)
+  | W_poll of Chan.waitq list (* parked on several objects at once *)
+
+type saved_syscall = {
+  nr : int;
+  args : int array;
+  site : int; (* pc of the syscall instruction *)
+  entry_regs : int array; (* registers at syscall entry *)
+}
+
+type run_state =
+  | Runnable
+  | Blocked of wait_cond
+  | Stopped (* ptrace-stop; see [last_stop] *)
+  | Dead
+
+type ptrace_stop =
+  | Stop_seccomp of saved_syscall (* seccomp RET_TRACE at syscall entry *)
+  | Stop_syscall_entry of saved_syscall
+  | Stop_syscall_exit of saved_syscall * int (* result *)
+  | Stop_signal of Signals.info
+  | Stop_exec
+  | Stop_clone of int (* new tid *)
+  | Stop_exit of int (* status; PTRACE_EVENT_EXIT analogue *)
+  | Stop_singlestep
+
+type resume_how = R_cont | R_syscall | R_singlestep | R_sysemu | R_sysemu_single
+
+type process = {
+  pid : int;
+  mutable parent : int; (* parent pid; 0 for the root *)
+  mutable space : Addr_space.t;
+  mutable fdtab : fdtab;
+  sighand : Signals.action array; (* indexed by signo, shared by threads *)
+  mutable shared_pending : Signals.info list;
+  mutable threads : int list; (* tids *)
+  mutable children : int list; (* pids *)
+  mutable exit_code : int option; (* set when the last thread dies *)
+  mutable reaped : bool;
+  mutable cwd : string;
+  child_wait : Chan.waitq; (* parents sleeping in wait4 *)
+  mutable cmd : string; (* for diagnostics: image name *)
+}
+
+type t = {
+  tid : int;
+  proc : process;
+  cpu : Cpu.ctx;
+  mutable state : run_state;
+  mutable sigmask : int;
+  mutable pending : Signals.info list; (* task-directed signals *)
+  mutable in_syscall : saved_syscall option; (* blocked inside the kernel *)
+  mutable restart : saved_syscall option; (* interrupted, restartable *)
+  mutable restart_wanted : bool; (* result was -ERESTARTSYS *)
+  (* ptrace *)
+  mutable traced : bool;
+  mutable last_stop : ptrace_stop option;
+  mutable resume : resume_how;
+  mutable in_entry_stop : saved_syscall option; (* stopped at syscall entry *)
+  mutable want_exit_stop : bool; (* deliver Stop_syscall_exit on completion *)
+  mutable exit_is_group : bool; (* Stop_exit came from exit_group *)
+  (* seccomp *)
+  mutable seccomp : Bpf.program list;
+  (* scheduling *)
+  mutable affinity : int; (* -1 = any core *)
+  mutable priority : int; (* smaller = more important *)
+  mutable desched : Perf_event.t option; (* armed context-switch event *)
+  mutable exit_status : int;
+  mutable vdso_enabled : bool; (* fast user-space time calls *)
+  mutable tick_born : int; (* virtual time of creation *)
+  mutable last_wake : int; (* virtual time of the event that woke it *)
+  mutable sig_frames : int list; (* addresses of live signal frames *)
+}
+
+let make_task ~tid ~proc ~cpu =
+  { tid;
+    proc;
+    cpu;
+    state = Runnable;
+    sigmask = Signals.empty_set;
+    pending = [];
+    in_syscall = None;
+    restart = None;
+    restart_wanted = false;
+    traced = false;
+    last_stop = None;
+    resume = R_cont;
+    in_entry_stop = None;
+    want_exit_stop = false;
+    exit_is_group = false;
+    seccomp = [];
+    affinity = -1;
+    priority = 0;
+    desched = None;
+    exit_status = 0;
+    vdso_enabled = true;
+    tick_born = 0;
+    last_wake = 0;
+    sig_frames = [] }
+
+let make_process ~pid ~parent ~space =
+  { pid;
+    parent;
+    space;
+    fdtab = make_fdtab ();
+    sighand = Array.make (Signals.max_signal + 1) Signals.default_action;
+    shared_pending = [];
+    threads = [];
+    children = [];
+    exit_code = None;
+    reaped = false;
+    cwd = "/";
+    child_wait = Chan.waitq ();
+    cmd = "?" }
+
+let is_alive t = t.state <> Dead
+
+let find_fd t fd = Hashtbl.find_opt t.proc.fdtab.fds fd
+
+(* Linux allocates the lowest free descriptor. *)
+let add_fd t obj ~fl =
+  let tab = t.proc.fdtab in
+  let rec lowest fd = if Hashtbl.mem tab.fds fd then lowest (fd + 1) else fd in
+  let fd = lowest 3 in
+  if fd >= tab.next_fd then tab.next_fd <- fd + 1;
+  Hashtbl.replace tab.fds fd { pos = 0; obj; fl };
+  fd
+
+let remove_fd t fd = Hashtbl.remove t.proc.fdtab.fds fd
+
+let pp_stop ppf = function
+  | Stop_seccomp s -> Fmt.pf ppf "seccomp(%s)" (Sysno.name s.nr)
+  | Stop_syscall_entry s -> Fmt.pf ppf "entry(%s)" (Sysno.name s.nr)
+  | Stop_syscall_exit (s, r) -> Fmt.pf ppf "exit(%s=%d)" (Sysno.name s.nr) r
+  | Stop_signal i -> Fmt.pf ppf "signal(%a)" Signals.pp_info i
+  | Stop_exec -> Fmt.string ppf "exec"
+  | Stop_clone tid -> Fmt.pf ppf "clone(%d)" tid
+  | Stop_exit st -> Fmt.pf ppf "exit-event(%d)" st
+  | Stop_singlestep -> Fmt.string ppf "singlestep"

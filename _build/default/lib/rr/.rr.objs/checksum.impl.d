@@ -1,0 +1,1 @@
+lib/rr/checksum.ml: Addr_space Bytes Char List Mem

@@ -1,0 +1,1 @@
+lib/rr/checksum.mli: Addr_space

@@ -1,0 +1,1 @@
+lib/rr/debugger.ml: Addr_space Array Bytes Cpu Event Fmt Kernel List Replayer Task Trace

@@ -1,0 +1,1 @@
+lib/rr/debugger.mli: Event Replayer Task Trace

@@ -1,0 +1,1 @@
+lib/rr/diagnostics.ml: Addr_space Array Cpu Fmt Hashtbl Insn Kernel List Pmu Printf Signals Sysno Task

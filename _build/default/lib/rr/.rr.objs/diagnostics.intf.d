@@ -1,0 +1,1 @@
+lib/rr/diagnostics.mli: Fmt Kernel

@@ -1,0 +1,1 @@
+lib/rr/layout.ml:

@@ -1,0 +1,1 @@
+lib/rr/rec_sched.mli: Entropy Hashtbl

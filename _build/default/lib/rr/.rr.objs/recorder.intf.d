@@ -1,0 +1,1 @@
+lib/rr/recorder.mli: Kernel Trace

@@ -1,0 +1,1 @@
+lib/rr/replayer.mli: Event Hashtbl Image Kernel Queue Task Trace

@@ -1,0 +1,1 @@
+lib/rr/syscall_model.ml: Array List Sysno Task

@@ -1,0 +1,1 @@
+lib/rr/syscall_model.mli: Task

@@ -1,0 +1,1 @@
+lib/rr/syscallbuf.ml: Addr_space Array Bytes Cpu Event Fmt Hashtbl Insn Kernel Layout List Logs Mem Perf_event Pmu Printf Signals String Syscall_model Sysno Task

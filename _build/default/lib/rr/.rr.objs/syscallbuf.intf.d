@@ -1,0 +1,1 @@
+lib/rr/syscallbuf.mli: Event Kernel Task

@@ -1,0 +1,48 @@
+(* Memory checksums (paper §6.2): "To track down subtle errors in memory
+   state during replay, RR supports taking checksums of memory at
+   selected points during recording and comparing them with the replay."
+
+   The hash covers the application's own mappings; the recorder's scratch
+   and trace-buffer pages are excluded because their contents legitimately
+   differ between recording and replay (outputs detour through them only
+   while recording). *)
+
+module A = Addr_space
+
+let fnv_offset = 0x3bf29ce484222325 (* FNV-64 offset basis, truncated to 62 bits *)
+let fnv_prime = 0x100000001b3
+
+let hash_bytes h b =
+  let h = ref h in
+  for i = 0 to Bytes.length b - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get b i)) * fnv_prime
+  done;
+  !h
+
+let included_region (r : A.region) =
+  match r.A.kind with
+  | A.Scratch -> false
+  | A.Thread_locals ->
+    (* Swapped by the supervisor on context switches, asynchronously
+       with respect to trace frames: never replay-stable. *)
+    false
+  | A.Anon | A.Stack | A.File_backed _ | A.Rr_page -> true
+
+(* A deterministic digest of an address space's application-visible
+   memory: regions in address order, bytes in address order. *)
+let space space =
+  List.fold_left
+    (fun h (r : A.region) ->
+      if included_region r then begin
+        let h = ref (hash_bytes h (Bytes.of_string (string_of_int r.A.start))) in
+        let pos = ref r.A.start in
+        while !pos < r.A.start + r.A.len do
+          let chunk = min Mem.page_size (r.A.start + r.A.len - !pos) in
+          h := hash_bytes !h (A.read_bytes ~force:true space !pos chunk);
+          pos := !pos + chunk
+        done;
+        !h
+      end
+      else h)
+    fnv_offset (A.regions space)
+  land max_int

@@ -1,0 +1,179 @@
+(* A reverse-execution debugger over replay (paper §1, §6.1).
+
+   Time is measured in trace-event indices.  Forward execution replays
+   frames; *reverse* execution restores the nearest earlier checkpoint
+   and replays forward — exactly rr's scheme, made cheap by COW address-
+   space checkpoints ("most checkpoints are never resumed", so creating
+   one must cost almost nothing).
+
+   Primitives:
+   - [seek]: jump to any event index, backwards or forwards;
+   - [find_event] / [rfind_event]: next/previous frame matching a
+     predicate (static scan — frames are data);
+   - [last_change]: when was this memory last written?  (the reverse-
+     watchpoint workhorse);
+   - [read_mem]/[regs]: inspect tracee state at the current position. *)
+
+module E = Event
+module T = Task
+
+exception Debug_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Debug_error s)) fmt
+
+type t = {
+  trace : Trace.t;
+  opts : Replayer.opts;
+  checkpoint_every : int;
+  mutable session : Replayer.t;
+  mutable checkpoints : (int * Replayer.snapshot) list; (* ascending idx *)
+  mutable checkpoints_taken : int;
+  mutable checkpoints_restored : int;
+}
+
+let pos d = d.session.Replayer.idx
+
+let n_events d = Array.length (Trace.events d.trace)
+
+let take_checkpoint d =
+  let idx = pos d in
+  if not (List.mem_assoc idx d.checkpoints) then begin
+    let snap = Replayer.snapshot d.session in
+    d.checkpoints <- d.checkpoints @ [ (idx, snap) ];
+    d.checkpoints_taken <- d.checkpoints_taken + 1
+  end
+
+let create ?(opts = Replayer.default_opts) ?(checkpoint_every = 32) trace =
+  let d =
+    { trace;
+      opts;
+      checkpoint_every;
+      session = Replayer.start ~opts trace;
+      checkpoints = [];
+      checkpoints_taken = 0;
+      checkpoints_restored = 0 }
+  in
+  take_checkpoint d;
+  d
+
+let step d =
+  if Replayer.at_end d.session then fail "at end of trace";
+  let e = Replayer.step d.session in
+  if pos d mod d.checkpoint_every = 0 then take_checkpoint d;
+  e
+
+(* The nearest checkpoint at or before [idx]. *)
+let nearest_checkpoint d idx =
+  let rec best acc = function
+    | [] -> acc
+    | (i, snap) :: rest -> if i <= idx then best (Some (i, snap)) rest else acc
+  in
+  match best None d.checkpoints with
+  | Some c -> c
+  | None -> fail "no checkpoint at or before %d" idx
+
+let seek d target =
+  if target < 0 || target > n_events d then fail "seek out of range";
+  if target < pos d then begin
+    (* Reverse execution: restore and re-execute (§6.1). *)
+    let _, snap = nearest_checkpoint d target in
+    d.session <- Replayer.restore ~opts:d.opts d.trace snap;
+    d.checkpoints_restored <- d.checkpoints_restored + 1
+  end;
+  while pos d < target do
+    ignore (step d)
+  done
+
+let reverse_step d = if pos d > 0 then seek d (pos d - 1)
+
+(* Static frame search (frames are data; no execution needed). *)
+let find_event d ~from p =
+  let events = Trace.events d.trace in
+  let rec go i =
+    if i >= Array.length events then None
+    else if p events.(i) then Some i
+    else go (i + 1)
+  in
+  go (max from 0)
+
+let rfind_event d ~before p =
+  let events = Trace.events d.trace in
+  let rec go i =
+    if i < 0 then None else if p events.(i) then Some i else go (i - 1)
+  in
+  go (min (before - 1) (Array.length events - 1))
+
+(* Run forward to the next frame satisfying [p]; position lands just
+   after it.  Returns the frame index. *)
+let continue_to d p =
+  match find_event d ~from:(pos d) p with
+  | None -> None
+  | Some i ->
+    seek d (i + 1);
+    Some i
+
+(* Reverse-continue: land just after the previous matching frame,
+   skipping a hit at the current position (gdb semantics). *)
+let reverse_continue_to d p =
+  match rfind_event d ~before:(pos d - 1) p with
+  | None -> None
+  | Some i ->
+    seek d (i + 1);
+    Some i
+
+(* ---- state inspection ------------------------------------------------ *)
+
+let task d tid =
+  match Kernel.find_task d.session.Replayer.k tid with
+  | Some t -> t
+  | None -> fail "no task %d at event %d" tid (pos d)
+
+let live_tids d =
+  List.filter_map
+    (fun t -> if T.is_alive t then Some t.T.tid else None)
+    (Kernel.all_tasks d.session.Replayer.k)
+
+let regs d tid =
+  let t = task d tid in
+  (Cpu.copy_regs t.T.cpu, t.T.cpu.Cpu.pc)
+
+let read_mem d tid addr len =
+  let t = task d tid in
+  try Addr_space.read_bytes ~force:true t.T.cpu.Cpu.space addr len
+  with Addr_space.Segv _ -> fail "address %#x not mapped in task %d" addr tid
+
+let read_word d tid addr =
+  let t = task d tid in
+  try Addr_space.read_u64 ~force:true t.T.cpu.Cpu.space addr
+  with Addr_space.Segv _ -> fail "address %#x not mapped in task %d" addr tid
+
+(* ---- reverse watchpoint ----------------------------------------------
+
+   "When did [addr..addr+len) in task [tid] last change before the
+   current position?"  Replays forward from the start (checkpoint-
+   accelerated by seek) sampling the region after every frame. *)
+
+let sample d tid addr len =
+  match Kernel.find_task d.session.Replayer.k tid with
+  | None -> None
+  | Some t when not (T.is_alive t) -> None
+  | Some t -> (
+    try Some (Addr_space.read_bytes ~force:true t.T.cpu.Cpu.space addr len)
+    with Addr_space.Segv _ -> None)
+
+let last_change d ~tid ~addr ~len =
+  let upto = pos d in
+  let here = sample d tid addr len in
+  seek d 0;
+  let prev = ref (sample d tid addr len) in
+  let last = ref None in
+  while pos d < upto do
+    ignore (step d);
+    let now = sample d tid addr len in
+    (match (!prev, now) with
+    | Some a, Some b when not (Bytes.equal a b) -> last := Some (pos d - 1)
+    | (Some _ | None), (Some _ | None) -> () (* death/birth is not a write *));
+    prev := now
+  done;
+  ignore here;
+  !last

@@ -1,0 +1,64 @@
+(** A reverse-execution debugger over replay (paper §1, §6.1).
+
+    Time is measured in trace-frame indices.  Forward execution replays
+    frames; {e reverse} execution restores the nearest earlier checkpoint
+    and replays forward — rr's scheme, cheap because checkpoints are
+    copy-on-write address-space snapshots. *)
+
+exception Debug_error of string
+
+type t = {
+  trace : Trace.t;
+  opts : Replayer.opts;
+  checkpoint_every : int;
+  mutable session : Replayer.t;
+  mutable checkpoints : (int * Replayer.snapshot) list;
+  mutable checkpoints_taken : int;
+  mutable checkpoints_restored : int;
+}
+
+val create : ?opts:Replayer.opts -> ?checkpoint_every:int -> Trace.t -> t
+(** Start a session at frame 0, checkpointing every [checkpoint_every]
+    frames as execution moves forward (default 32). *)
+
+val pos : t -> int
+(** Current position: the index of the next frame to apply. *)
+
+val n_events : t -> int
+
+val step : t -> Event.t
+(** Apply the next frame; may take a checkpoint. *)
+
+val seek : t -> int -> unit
+(** Jump to any frame index.  Backward seeks restore the nearest earlier
+    checkpoint and re-execute (reverse execution). *)
+
+val reverse_step : t -> unit
+
+val find_event : t -> from:int -> (Event.t -> bool) -> int option
+val rfind_event : t -> before:int -> (Event.t -> bool) -> int option
+(** Static frame searches (frames are data; nothing executes). *)
+
+val continue_to : t -> (Event.t -> bool) -> int option
+(** Run forward to the next matching frame; lands just after it. *)
+
+val reverse_continue_to : t -> (Event.t -> bool) -> int option
+(** Reverse-continue: land just after the previous matching frame,
+    skipping a hit at the current position (gdb semantics). *)
+
+val task : t -> int -> Task.t
+val live_tids : t -> int list
+
+val regs : t -> int -> int array * int
+(** [(general-purpose registers, pc)] of a task at the current position. *)
+
+val read_mem : t -> int -> int -> int -> bytes
+(** [read_mem d tid addr len]. Raises {!Debug_error} on unmapped
+    addresses. *)
+
+val read_word : t -> int -> int -> int
+
+val last_change : t -> tid:int -> addr:int -> len:int -> int option
+(** Reverse watchpoint: the index of the frame during which
+    [addr..addr+len) last changed before the current position
+    (checkpoint-accelerated forward scan).  Position is restored. *)

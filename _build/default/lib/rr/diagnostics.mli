@@ -1,0 +1,8 @@
+(** The emergency debugger (paper §6.2): a human-readable dump of every
+    tracee's registers, stop status, pending signals and address-space
+    shape, produced automatically when recording or replay errors out so
+    failures can be diagnosed in the field. *)
+
+val pp : Kernel.t Fmt.t
+
+val dump : ?msg:string -> Kernel.t -> string

@@ -1,0 +1,80 @@
+(* The recorder's scheduler (paper §2.2).
+
+   One task at a time; strict priorities with round-robin among equals;
+   preemption budgets expressed in RCBs (the recorder programs the PMU
+   interrupt for the budget).  Chaos mode (paper §8) perturbs priorities
+   and timeslices randomly to surface races that the default deterministic
+   schedule would hide — the randomness flows from the recording kernel's
+   entropy, and every decision is recorded as a sched event, so replay is
+   unaffected. *)
+
+type t = {
+  mutable order : int list; (* round-robin order of tids *)
+  base_timeslice_rcbs : int;
+  chaos : bool;
+  entropy : Entropy.t;
+  chaos_prio : (int, int) Hashtbl.t;
+  mutable picks_until_reshuffle : int;
+}
+
+let create ?(timeslice_rcbs = 50_000) ?(chaos = false) ~seed () =
+  { order = [];
+    base_timeslice_rcbs = timeslice_rcbs;
+    chaos;
+    entropy = Entropy.create seed;
+    chaos_prio = Hashtbl.create 8;
+    picks_until_reshuffle = 0 }
+
+let add_task t tid = if not (List.mem tid t.order) then t.order <- t.order @ [ tid ]
+
+let remove_task t tid =
+  t.order <- List.filter (fun x -> x <> tid) t.order;
+  Hashtbl.remove t.chaos_prio tid
+
+let effective_priority t tid base =
+  if t.chaos then
+    match Hashtbl.find_opt t.chaos_prio tid with
+    | Some p -> p
+    | None -> base
+  else base
+
+let reshuffle t =
+  Hashtbl.reset t.chaos_prio;
+  List.iter
+    (fun tid ->
+      if Entropy.bool t.entropy then
+        Hashtbl.replace t.chaos_prio tid (Entropy.range t.entropy (-2) 2))
+    t.order;
+  t.picks_until_reshuffle <- Entropy.range t.entropy 3 10
+
+(* Pick the next task: the runnable task with the best (lowest) effective
+   priority, round-robin within that class.  Rotates the picked task to
+   the back of the order. *)
+let pick t ~runnable ~priority =
+  if t.chaos then begin
+    t.picks_until_reshuffle <- t.picks_until_reshuffle - 1;
+    if t.picks_until_reshuffle <= 0 then reshuffle t
+  end;
+  let candidates = List.filter runnable t.order in
+  match candidates with
+  | [] -> None
+  | _ ->
+    let best =
+      List.fold_left
+        (fun acc tid ->
+          let p = effective_priority t tid (priority tid) in
+          match acc with Some (_, bp) when bp <= p -> acc | _ -> Some (tid, p))
+        None candidates
+    in
+    (match best with
+    | None -> None
+    | Some (tid, _) ->
+      t.order <- List.filter (fun x -> x <> tid) t.order @ [ tid ];
+      Some tid)
+
+let timeslice t =
+  if t.chaos then
+    (* Log-uniform-ish slices: mostly short, occasionally long. *)
+    let scale = 1 lsl Entropy.range t.entropy 0 6 in
+    max 500 (t.base_timeslice_rcbs / scale)
+  else t.base_timeslice_rcbs

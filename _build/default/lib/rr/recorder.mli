@@ -1,0 +1,61 @@
+(** The rr recorder (paper §2, §3).
+
+    Supervises a group of traced tasks through the simulated kernel's
+    ptrace interface, runs exactly one task's user code at a time
+    (§2.2), and records every input that crosses the user/kernel
+    boundary into a {!Trace.t}:
+
+    - system call results and memory effects, from a per-syscall model
+      (§2.3.6), with blocking outputs detoured through scratch buffers
+      (§2.3.1);
+    - asynchronous event timing as an execution point — RCB count, full
+      registers, and a word of stack (§2.4.1);
+    - signal-handler frames (§2.3.9), emulated RDTSC/RDRAND values
+      (§2.6), seccomp-filter installs patched with the allow-prologue
+      (§2.3.5), and tracee-level ptrace, which is emulated (§2.3.2);
+    - syscall-site patches and syscallbuf flushes for the in-process
+      interception fast path (§3), including the desched dance for
+      blocked untraced syscalls (§3.3) and block-cloned large reads
+      (§3.9). *)
+
+exception Record_error of string
+
+type opts = {
+  intercept : bool; (* in-process syscall interception (§3) *)
+  scratch : bool; (* detour blocking outputs through scratch (§2.3.1) *)
+  clone_blocks : bool; (* block cloning for big reads (§3.9) *)
+  compress : bool; (* deflate the general trace data (§2.7) *)
+  chaos : bool; (* randomized scheduling (§8) *)
+  timeslice_rcbs : int; (* preemption budget (§2.4) *)
+  seed : int; (* recording-side entropy *)
+  max_events : int; (* runaway-recording guard *)
+  checksum_every : int; (* memory digests every N frames (§6.2); 0 = off *)
+}
+
+val default_opts : opts
+
+type stats = {
+  wall_time : int; (* virtual ns *)
+  trace_stats : Trace.stats;
+  n_ptrace_stops : int;
+  n_syscalls : int;
+  n_sched_events : int;
+  n_patched_sites : int;
+  exit_status : int option; (* of the root process *)
+}
+
+val record :
+  ?opts:opts ->
+  ?on_stop:(Kernel.t -> unit) ->
+  setup:(Kernel.t -> unit) ->
+  exe:string ->
+  unit ->
+  Trace.t * stats * Kernel.t
+(** Create a fresh kernel, run [setup] (install images, files, seccomp
+    filters, and optionally spawn {e untraced} helper processes), spawn
+    [exe] under supervision, and record it to completion.  [on_stop] is
+    invoked after every handled ptrace stop (used for PSS sampling).
+    Returns the trace, recording statistics, and the final kernel.
+
+    Raises {!Record_error} on unsupported syscalls (§2.3.6 — the model
+    must be extended), recording deadlock, or the event-count guard. *)

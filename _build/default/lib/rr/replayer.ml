@@ -1,0 +1,813 @@
+(* The rr replayer (paper §2.3.7–§2.3.9, §3.8).
+
+   Replays a {!Trace} against a *fresh* simulated kernel with different
+   entropy: no files are opened, no signals are delivered, no real
+   syscalls run except the address-space operations that must be
+   re-performed.  User-space memory, registers and control flow are
+   reproduced exactly; every applied frame cross-checks the tracee state
+   and raises {!Divergence} on mismatch.
+
+   Mechanics per frame kind:
+   - syscalls: software breakpoint at the recorded syscall site, run to
+     it, apply recorded registers and memory effects, skip the
+     instruction (one stop per syscall, §2.3.7); sites in run-time-written
+     code fall back to the SYSEMU-style path;
+   - async events (signals, preemptions): program the PMU interrupt
+     *early* (the interrupt skids, §2.4.3), then breakpoint/single-step
+     until RCB count, registers and the extra stack word all match;
+   - buffered syscalls: refill the guest trace buffer from flush frames;
+     the interception hook replays results with identical control flow. *)
+
+module A = Addr_space
+module T = Task
+module K = Kernel
+module E = Event
+
+let src = Logs.Src.create "rr.replay"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+exception Divergence of string
+
+let diverged fmt = Fmt.kstr (fun s -> raise (Divergence s)) fmt
+
+type opts = {
+  seed : int; (* deliberately different from recording *)
+  check_regs : bool; (* cross-check registers at every frame *)
+  sysemu_all : bool; (* ablation: replay every syscall via SYSEMU *)
+}
+
+let default_opts = { seed = 424242; check_regs = true; sysemu_all = false }
+
+type per_task = {
+  batches : E.buf_record list Queue.t;
+  mutable saved_locals : bytes;
+  mutable next_resume : T.resume_how;
+  mutable in_blocked_syscall : bool;
+      (* parked at a syscall site whose recording blocked in the kernel *)
+}
+
+type t = {
+  mutable k : K.t;
+  trace : Trace.t;
+  opts : opts;
+  mutable rts : (int, per_task) Hashtbl.t;
+  mutable locals_owner : (int, int) Hashtbl.t;
+  mutable idx : int;
+  mutable events_applied : int;
+  mutable root_tid : int;
+  mutable installed : (string * Image.t) list; (* exe path -> image *)
+}
+
+type stats = {
+  wall_time : int;
+  events_applied : int;
+  n_ptrace_stops : int;
+  exit_status : int option;
+}
+
+let get_rt r tid =
+  match Hashtbl.find_opt r.rts tid with
+  | Some st -> st
+  | None ->
+    let st =
+      { batches = Queue.create ();
+        saved_locals = Bytes.create 0;
+        next_resume = T.R_cont;
+        in_blocked_syscall = false }
+    in
+    Hashtbl.replace r.rts tid st;
+    st
+
+let task r tid =
+  match K.find_task r.k tid with
+  | Some t -> t
+  | None -> diverged "no replay task %d" tid
+
+let capture_regs task : E.regs =
+  let a = Array.make 17 0 in
+  Array.blit task.T.cpu.Cpu.regs 0 a 0 16;
+  a.(E.pc_slot) <- task.T.cpu.Cpu.pc;
+  a
+
+let apply_regs task (regs : E.regs) =
+  Array.blit regs 0 task.T.cpu.Cpu.regs 0 16;
+  task.T.cpu.Cpu.pc <- regs.(E.pc_slot)
+
+let regs_equal (a : E.regs) (b : E.regs) = a = b
+
+let apply_writes task writes =
+  List.iter
+    (fun w ->
+      A.write_bytes ~force:true task.T.cpu.Cpu.space w.E.addr
+        (Bytes.of_string w.E.data))
+    writes
+
+let check_pc r task expected what =
+  if r.opts.check_regs && task.T.cpu.Cpu.pc <> expected then
+    diverged "%s: pc %#x, recorded %#x (task %d, event %d)" what
+      task.T.cpu.Cpu.pc expected task.T.tid r.idx
+
+(* ---- locals swapping (mirrors the recorder, §3.6) ------------------- *)
+
+let has_locals task =
+  A.find_region task.T.cpu.Cpu.space Layout.thread_locals_page <> None
+
+let switch_locals r t =
+  if has_locals t then begin
+    let sid = t.T.cpu.Cpu.space.A.id in
+    match Hashtbl.find_opt r.locals_owner sid with
+    | Some owner when owner = t.T.tid -> ()
+    | Some owner ->
+      (match (Hashtbl.find_opt r.rts owner, K.find_task r.k owner) with
+      | Some ost, Some otask when T.is_alive otask ->
+        ost.saved_locals <- Syscallbuf.save_locals otask
+      | _, _ -> ());
+      let st = get_rt r t.T.tid in
+      if Bytes.length st.saved_locals > 0 then
+        Syscallbuf.restore_locals t st.saved_locals;
+      Hashtbl.replace r.locals_owner sid t.T.tid
+    | None -> Hashtbl.replace r.locals_owner sid t.T.tid
+  end
+
+(* ---- driving a single task ------------------------------------------ *)
+
+(* Resume [t] (if parked) and run the world until the next ptrace stop,
+   which must belong to [t]. *)
+let rec run_until_stop r t =
+  if t.T.state = T.Stopped then begin
+    switch_locals r t;
+    let st = get_rt r t.T.tid in
+    let how = st.next_resume in
+    st.next_resume <- T.R_cont;
+    K.resume r.k t how ()
+  end;
+  match K.wait r.k with
+  | K.Stopped_task (t', stop) -> (
+    match stop with
+    | T.Stop_signal { Signals.origin = Signals.User _; _ } ->
+      (* A kernel-generated signal (e.g. SIGCHLD from a replayed exit):
+         replay never delivers real signals (§2.3.9) — the recorded
+         delivery, if any, is its own frame.  Suppress and continue. *)
+      K.resume r.k t' T.R_cont ();
+      if t'.T.tid <> t.T.tid then K.park r.k t';
+      run_until_stop r t
+    | _ ->
+      if t'.T.tid <> t.T.tid then
+        diverged "unexpected stop %a from task %d while replaying task %d"
+          T.pp_stop stop t'.T.tid t.T.tid;
+      stop)
+  | K.All_dead -> diverged "task %d died before its next frame" t.T.tid
+  | K.Deadlocked _ -> diverged "replay deadlocked while running task %d" t.T.tid
+
+(* Run [t] to the recorded syscall site and return with the site
+   un-executed.  Fast path: software breakpoint, one stop (§2.3.7).
+   Writable-code path: let the syscall trap through seccomp and suppress
+   it (SYSEMU, §2.3.7's fallback). *)
+(* Slow-path syscall replay: the site can't take a breakpoint — either
+   it lives in run-time-written code (§2.3.7), or it is the interception
+   library's traced fallback in the RR page, reached through the kernel
+   rather than by executing the site. *)
+let syscall_slow_path r ~site ~writable_site =
+  writable_site || r.opts.sysemu_all || site >= Layout.rr_page_text
+
+let run_to_syscall r t ~nr ~site ~writable_site =
+  K.charge r.k r.k.K.cost.Cost.replay_syscall_work;
+  if syscall_slow_path r ~site ~writable_site then begin
+    match run_until_stop r t with
+    | T.Stop_seccomp ss | T.Stop_syscall_entry ss ->
+      if ss.T.nr <> nr then
+        diverged "expected syscall %s, tracee did %s (event %d)"
+          (Sysno.name nr) (Sysno.name ss.T.nr) r.idx;
+      if ss.T.site <> site then
+        diverged "syscall site %#x, recorded %#x" ss.T.site site;
+      (* Suppress the syscall on the way out. *)
+      (get_rt r t.T.tid).next_resume <- T.R_sysemu;
+      (* Extra supervisor work for the slow path. *)
+      K.charge r.k r.k.K.cost.Cost.supervisor_work
+    | stop -> diverged "expected syscall entry, got %a" T.pp_stop stop
+  end
+  else begin
+    A.bp_set t.T.cpu.Cpu.space site;
+    (match run_until_stop r t with
+    | T.Stop_signal { Signals.origin = Signals.Bkpt; _ } ->
+      A.bp_clear t.T.cpu.Cpu.space site;
+      check_pc r t site "syscall breakpoint"
+    | stop ->
+      A.bp_clear t.T.cpu.Cpu.space site;
+      diverged "expected breakpoint at syscall site %#x, got %a" site
+        T.pp_stop stop);
+    ()
+  end
+
+(* Run [t] to an asynchronous execution point: program the interrupt
+   early, then breakpoint (or single-step through run-time-generated
+   code) until RCB + registers + stack word match (§2.4). *)
+let interrupt_slack = Pmu.max_skid + 6
+
+let point_matches t (point : E.exec_point) =
+  t.T.cpu.Cpu.pmu.Pmu.rcb = point.E.rcb
+  && regs_equal (capture_regs t) point.E.point_regs
+  &&
+  let extra =
+    try
+      A.read_u64 ~force:true t.T.cpu.Cpu.space t.T.cpu.Cpu.regs.(Insn.reg_sp)
+    with A.Segv _ -> 0
+  in
+  extra = point.E.stack_extra
+
+let run_to_point r t (point : E.exec_point) =
+  let target = point.E.rcb in
+  let pc_target = point.E.point_regs.(E.pc_slot) in
+  let cur = t.T.cpu.Cpu.pmu.Pmu.rcb in
+  if cur > target then
+    diverged "rcb overshoot: at %d, target %d (task %d, event %d)" cur target
+      t.T.tid r.idx;
+  (* Phase 1: coarse approach on the PMU interrupt, programmed early
+     because it fires late (§2.4.3). *)
+  if cur < target - interrupt_slack then begin
+    Pmu.program_interrupt t.T.cpu.Cpu.pmu
+      ~target:(target - interrupt_slack)
+      ~skid:(Entropy.range r.k.K.entropy 0 Pmu.max_skid);
+    match run_until_stop r t with
+    | T.Stop_signal { Signals.origin = Signals.Preempt | Signals.Fault; _ } ->
+      Pmu.clear_interrupt t.T.cpu.Cpu.pmu;
+      if t.T.cpu.Cpu.pmu.Pmu.rcb > target then
+        diverged "interrupt skidded past the target point (rcb %d > %d)"
+          t.T.cpu.Cpu.pmu.Pmu.rcb target
+    | stop -> diverged "expected PMU interrupt, got %a" T.pp_stop stop
+  end;
+  (* Phase 2: precise approach — "repeatedly run to the breakpoint until
+     the RCB count and the general-purpose register values match"
+     (§2.4.3).  When the tracee sits exactly on the breakpointed address
+     without matching yet, step over it (remove, single-step, reinsert),
+     as any breakpoint-based debugger must. *)
+  if not (point_matches t point) then begin
+    let stepping = A.text_was_written t.T.cpu.Cpu.space pc_target in
+    if not stepping then A.bp_set t.T.cpu.Cpu.space pc_target;
+    let arrived = ref false in
+    while not !arrived do
+      let at_bp = (not stepping) && t.T.cpu.Cpu.pc = pc_target in
+      if at_bp then A.bp_clear t.T.cpu.Cpu.space pc_target;
+      (get_rt r t.T.tid).next_resume <-
+        (if stepping || at_bp then T.R_singlestep else T.R_cont);
+      (match run_until_stop r t with
+      | T.Stop_signal { Signals.origin = Signals.Bkpt | Signals.Fault; _ }
+      | T.Stop_singlestep ->
+        (* Faults re-occur deterministically during replay; the recorded
+           signal frame is the one being applied at this very point. *)
+        ()
+      | stop -> diverged "while stepping to point: %a" T.pp_stop stop);
+      if at_bp then A.bp_set t.T.cpu.Cpu.space pc_target;
+      if t.T.cpu.Cpu.pmu.Pmu.rcb > target then
+        diverged
+          "ran past execution point (rcb %d > %d, pc %#x, task %d, event %d)"
+          t.T.cpu.Cpu.pmu.Pmu.rcb target t.T.cpu.Cpu.pc t.T.tid r.idx;
+      if point_matches t point then arrived := true
+    done;
+    if not stepping then A.bp_clear t.T.cpu.Cpu.space pc_target
+  end
+
+(* ---- frame handlers --------------------------------------------------- *)
+
+let setup_replay_task r t (setup : int * int * int * int) =
+  let rr_page, _locals, scratch, buf = setup in
+  ignore rr_page;
+  Syscallbuf.inject_rr_page r.k t;
+  if t.T.seccomp = [] then
+    t.T.seccomp <- [ Bpf.rr_filter ~untraced_ip:Layout.untraced_syscall_insn ];
+  let sid = t.T.cpu.Cpu.space.A.id in
+  (match Hashtbl.find_opt r.locals_owner sid with
+  | Some owner when owner <> t.T.tid -> (
+    match (Hashtbl.find_opt r.rts owner, K.find_task r.k owner) with
+    | Some ost, Some otask when T.is_alive otask ->
+      ost.saved_locals <- Syscallbuf.save_locals otask
+    | _, _ -> ())
+  | Some _ | None -> ());
+  ignore
+    (Syscallbuf.setup_task_at r.k t ~scratch ~buf ~is_replay:true);
+  let st = get_rt r t.T.tid in
+  st.saved_locals <- Syscallbuf.save_locals t;
+  Hashtbl.replace r.locals_owner sid t.T.tid;
+  t.T.vdso_enabled <- false;
+  t.T.cpu.Cpu.tsc_trap <- true;
+  t.T.affinity <- 0
+
+(* Replaying an exec is expensive: exec a stub, tear down every mapping,
+   recreate the recorded ones (paper §2.3.8) — a long run of remote
+   syscalls in tracee context. *)
+let exec_replay_cost k =
+  K.charge k (120 * (Cost.ptrace_stop k.K.cost + k.K.cost.Cost.syscall_base))
+
+let on_exec r ~tid ~image_ref ~regs_after =
+  let img = Trace.image r.trace image_ref in
+  exec_replay_cost r.k;
+  match K.find_task r.k tid with
+  | None ->
+    (* The root task's initial exec: install and spawn. *)
+    let path = "/replay_exe/" ^ image_ref in
+    Vfs.mkdir_p (K.vfs r.k) "/replay_exe";
+    Vfs.mkdir_p (K.vfs r.k) ("/replay_exe/" ^ Filename.dirname image_ref);
+    K.install_image r.k ~path img;
+    r.installed <- (path, img) :: r.installed;
+    let t = K.spawn r.k ~path ~traced:true ~tid () in
+    r.root_tid <- tid;
+    (match K.wait r.k with
+    | K.Stopped_task (t', T.Stop_exec) when t'.T.tid = tid -> ()
+    | _ -> diverged "expected initial exec stop");
+    if r.opts.check_regs && not (regs_equal (capture_regs t) regs_after) then
+      diverged "initial exec registers differ";
+    ()
+  | Some t ->
+    (* An execve by an existing task: run it to the syscall, install the
+       trace image at the path the tracee names, and perform it. *)
+    let stop = run_until_stop r t in
+    (match stop with
+    | T.Stop_seccomp ss when ss.T.nr = Sysno.execve ->
+      let addr = ss.T.args.(0) in
+      let rec read_str a acc =
+        let c = A.read_u8 ~force:true t.T.cpu.Cpu.space a in
+        if c = 0 then String.concat "" (List.rev acc)
+        else read_str (a + 1) (String.make 1 (Char.chr c) :: acc)
+      in
+      let p = read_str addr [] in
+      let path =
+        if String.length p > 0 && p.[0] = '/' then p
+        else t.T.proc.T.cwd ^ "/" ^ p
+      in
+      (match Vfs.resolve_opt (K.vfs r.k) path with
+      | Some _ -> ()
+      | None ->
+        Vfs.mkdir_p (K.vfs r.k) (Filename.dirname path);
+        K.install_image r.k ~path img;
+        r.installed <- (path, img) :: r.installed);
+      K.resume r.k t T.R_syscall ();
+      (match K.wait r.k with
+      | K.Stopped_task (t', T.Stop_exec) when t'.T.tid = tid -> ()
+      | _ -> diverged "expected exec stop after execve")
+    | s -> diverged "expected execve entry, got %a" T.pp_stop s);
+    if r.opts.check_regs && not (regs_equal (capture_regs t) regs_after) then
+      diverged "exec registers differ (task %d)" tid
+
+(* Cross-check the tracee registers against the recorded post-syscall
+   registers: everything except the result register must already agree
+   when the tracee arrives at the syscall site (the kernel only writes
+   r0).  This is what catches corrupted traces and replay divergence. *)
+let verify_arrival r t (regs_after : E.regs) ~pc_delta =
+  if r.opts.check_regs then begin
+    for i = 1 to 15 do
+      if t.T.cpu.Cpu.regs.(i) <> regs_after.(i) then
+        diverged "register r%d = %d, recorded %d (task %d, event %d)" i
+          t.T.cpu.Cpu.regs.(i) regs_after.(i) t.T.tid r.idx
+    done;
+    if t.T.cpu.Cpu.pc + pc_delta <> regs_after.(E.pc_slot) then
+      diverged "pc %#x(+%d), recorded %#x (task %d, event %d)"
+        t.T.cpu.Cpu.pc pc_delta
+        regs_after.(E.pc_slot)
+        t.T.tid r.idx
+  end
+
+(* The entry half of a blocking syscall (see E_syscall_enter): run the
+   task to the syscall and park it "inside the kernel". *)
+let on_syscall_enter r ~tid ~nr ~site ~writable_site ~via_abort =
+  let t = task r tid in
+  let st = get_rt r tid in
+  if via_abort then begin
+    match run_until_stop r t with
+    | T.Stop_signal { Signals.origin = Signals.Desched; _ } ->
+      st.in_blocked_syscall <- true
+    | stop -> diverged "expected syscallbuf abort stop, got %a" T.pp_stop stop
+  end
+  else begin
+    run_to_syscall r t ~nr ~site ~writable_site;
+    st.in_blocked_syscall <- true
+  end
+
+let on_syscall r ~tid ~nr ~site ~writable_site ~via_abort ~regs_after ~writes
+    ~kind =
+  let t = task r tid in
+  let st = get_rt r tid in
+  if st.in_blocked_syscall then begin
+    (* Entry already replayed by the E_syscall_enter frame; the kernel
+       work happened "off screen" — just apply the recorded effects. *)
+    st.in_blocked_syscall <- false;
+    ignore (nr, site, writable_site, kind);
+    apply_writes t writes;
+    apply_regs t regs_after
+  end
+  else if via_abort then begin
+    (* The interception hook stops the task when it reaches the recorded
+       abort marker (§3.3); no breakpoint is involved. *)
+    match run_until_stop r t with
+    | T.Stop_signal { Signals.origin = Signals.Desched; _ } ->
+      verify_arrival r t regs_after ~pc_delta:0;
+      apply_writes t writes;
+      apply_regs t regs_after
+    | stop -> diverged "expected syscallbuf abort stop, got %a" T.pp_stop stop
+  end
+  else begin
+    run_to_syscall r t ~nr ~site ~writable_site;
+    (* sigreturn rewrites every register; there is nothing to cross-check
+       at arrival. *)
+    if nr <> Sysno.rt_sigreturn then
+      verify_arrival r t regs_after
+        ~pc_delta:(if syscall_slow_path r ~site ~writable_site then 0 else 1);
+    (* Re-perform address-space operations (§2.3.8); everything else is
+       pure emulation. *)
+    (match kind with
+    | E.K_perform ->
+      let args = Array.init 6 (fun i -> t.T.cpu.Cpu.regs.(i + 1)) in
+      if nr = Sysno.munmap then
+        A.unmap t.T.cpu.Cpu.space ~addr:args.(0) ~len:args.(1)
+      else if nr = Sysno.mprotect then
+        A.protect t.T.cpu.Cpu.space ~addr:args.(0) ~len:args.(1)
+          ~prot:args.(2)
+    | E.K_emulate -> ());
+    apply_writes t writes;
+    apply_regs t regs_after
+  end
+
+let on_clone r ~parent ~child ~flags ~child_sp ~parent_regs_after ~child_regs =
+  let p = task r parent in
+  (* The clone syscall site is derivable from the recorded registers. *)
+  let site = parent_regs_after.(E.pc_slot) - 1 in
+  run_to_syscall r p ~nr:Sysno.clone ~site
+    ~writable_site:(A.text_was_written p.T.cpu.Cpu.space site);
+  let c = K.do_clone r.k p ~flags ~child_sp ~tid:child () in
+  (* Consume the child's birth stop; it stays parked until its frames. *)
+  (match K.next_stopped r.k with
+  | Some (c', T.Stop_clone _) when c'.T.tid = child -> ()
+  | Some (_, stop) -> diverged "expected clone stop, got %a" T.pp_stop stop
+  | None -> diverged "missing clone stop for task %d" child);
+  apply_regs p parent_regs_after;
+  apply_regs c child_regs;
+  if r.opts.check_regs && c.T.cpu.Cpu.regs.(0) <> 0 then
+    diverged "clone child r0 not zero"
+
+let on_mmap r ~tid ~addr ~len ~prot ~shared ~source ~regs_after =
+  let t = task r tid in
+  let site = regs_after.(E.pc_slot) - 1 in
+  run_to_syscall r t ~nr:Sysno.mmap ~site
+    ~writable_site:(A.text_was_written t.T.cpu.Cpu.space site);
+  (* MAP_FIXED recreation of the recorded mapping (§2.3.8). *)
+  let sp = t.T.cpu.Cpu.space in
+  if not (A.overlaps sp ~addr ~len) then
+    ignore (A.map sp ~addr ~len ~prot ~shared ());
+  (match source with
+  | E.Src_zero -> ()
+  | E.Src_trace_file path ->
+    let data = Trace.file r.trace path in
+    A.write_bytes ~force:true sp addr
+      (Bytes.of_string (String.sub data 0 (min (String.length data) len)))
+  | E.Src_inline data ->
+    A.write_bytes ~force:true sp addr
+      (Bytes.of_string (String.sub data 0 (min (String.length data) len))));
+  apply_regs t regs_after
+
+let on_signal r ~tid ~signo ~point ~disposition =
+  let t = task r tid in
+  run_to_point r t point;
+  ignore signo;
+  match disposition with
+  | E.Sr_handler { frame_addr; frame_data; regs_after; mask_after } ->
+    (* §2.3.9: no real signal is delivered; write the recorded frame and
+       registers. *)
+    A.write_bytes ~force:true t.T.cpu.Cpu.space frame_addr
+      (Bytes.of_string frame_data);
+    apply_regs t regs_after;
+    t.T.sigmask <- mask_after;
+    t.T.sig_frames <- frame_addr :: t.T.sig_frames
+  | E.Sr_fatal status -> K.kill_process r.k t.T.proc status
+  | E.Sr_ignored regs_after ->
+    (* No handler ran, but the kernel may have rewound for a restart. *)
+    apply_regs t regs_after
+
+let on_insn_trap r ~tid ~reg ~value =
+  let t = task r tid in
+  match run_until_stop r t with
+  | T.Stop_signal { Signals.origin = Signals.Tsc_trap reg'; _ } ->
+    if reg' <> reg then diverged "TSC trap register mismatch";
+    t.T.cpu.Cpu.regs.(reg) <- value
+  | stop -> diverged "expected TSC trap, got %a" T.pp_stop stop
+
+let on_exit r ~tid ~status =
+  match K.find_task r.k tid with
+  | None -> ()
+  | Some t when not (T.is_alive t) ->
+    if t.T.exit_status <> status && status <> 0 then
+      Log.warn (fun m ->
+          m "task %d exit status %d, recorded %d" tid t.T.exit_status status)
+  | Some t when (get_rt r tid).in_blocked_syscall ->
+    (* Died while blocked in a syscall (killed by exit_group or a fatal
+       signal elsewhere): it never runs again. *)
+    K.kill_task r.k t status
+  | Some t -> (
+    (* Run it into its exit syscall and let it really die. *)
+    match run_until_stop r t with
+    | T.Stop_seccomp ss
+      when ss.T.nr = Sysno.exit || ss.T.nr = Sysno.exit_group -> (
+      K.resume r.k t T.R_syscall ();
+      match K.wait r.k with
+      | K.Stopped_task (t', T.Stop_exit st') when t'.T.tid = tid ->
+        if st' <> status then
+          diverged "exit status %d, recorded %d (task %d)" st' status tid;
+        K.resume r.k t T.R_cont ()
+      | _ -> diverged "expected exit event for task %d" tid)
+    | stop -> diverged "expected exit syscall, got %a" T.pp_stop stop)
+
+(* ---- the main loop ---------------------------------------------------- *)
+
+let apply_frame r e =
+  (match e with
+  | E.E_exec { tid; image_ref; regs_after } -> on_exec r ~tid ~image_ref ~regs_after
+  | E.E_rr_setup { tid; rr_page; locals; scratch; buf; buf_len = _ } ->
+    setup_replay_task r (task r tid) (rr_page, locals, scratch, buf)
+  | E.E_patch { tid; site } -> Syscallbuf.patch_site (task r tid) ~site
+  | E.E_buf_flush { tid; records } ->
+    Queue.push records (get_rt r tid).batches
+  | E.E_syscall { tid; nr; site; writable_site; via_abort; regs_after; writes; kind }
+    ->
+    on_syscall r ~tid ~nr ~site ~writable_site ~via_abort ~regs_after ~writes
+      ~kind
+  | E.E_clone { parent; child; flags; child_sp; parent_regs_after; child_regs }
+    ->
+    on_clone r ~parent ~child ~flags ~child_sp ~parent_regs_after ~child_regs
+  | E.E_mmap { tid; addr; len; prot; shared; source; regs_after } ->
+    on_mmap r ~tid ~addr ~len ~prot ~shared ~source ~regs_after
+  | E.E_signal { tid; signo; point; disposition } ->
+    on_signal r ~tid ~signo ~point ~disposition
+  | E.E_syscall_enter { tid; nr; site; writable_site; via_abort } ->
+    on_syscall_enter r ~tid ~nr ~site ~writable_site ~via_abort
+  | E.E_sched { tid; point } -> run_to_point r (task r tid) point
+  | E.E_insn_trap { tid; reg; value } -> on_insn_trap r ~tid ~reg ~value
+  | E.E_exit { tid; status } -> on_exit r ~tid ~status
+  | E.E_checksum { tid; value } -> (
+    match K.find_task r.k tid with
+    | Some t when T.is_alive t ->
+      let now = Checksum.space t.T.cpu.Cpu.space in
+      if now <> value then
+        diverged
+          "memory checksum mismatch for task %d at event %d (%#x vs \
+           recorded %#x)"
+          tid r.idx now value
+    | Some _ | None -> ()));
+  r.events_applied <- r.events_applied + 1
+
+(* Patched RDRAND sites stop so the E_insn_trap frame supplies the
+   recorded value (same protocol as trapped RDTSC). *)
+let install_rdrand_hooks k =
+  for reg = 0 to Insn.num_regs - 1 do
+    K.set_hook k
+      (Syscallbuf.rdrand_hook_of_reg reg)
+      (fun k task ->
+        K.enter_stop k task
+          (T.Stop_signal (Signals.make_info Signals.sigsegv (Signals.Tsc_trap reg))))
+  done
+
+let install_hook r k =
+  K.set_hook k Syscallbuf.hook_number
+    (Syscallbuf.hook
+       (Syscallbuf.Replay
+          { fetch_clone =
+              (fun cref ->
+                let data = Trace.file r.trace cref.E.cr_path in
+                String.sub data cref.E.cr_off
+                  (min cref.E.cr_len (String.length data - cref.E.cr_off)));
+            refill =
+              (fun t ->
+                let st = get_rt r t.T.tid in
+                if Queue.is_empty st.batches then None
+                else Some (Queue.pop st.batches)) }))
+
+let start ?(opts = default_opts) trace =
+  let k = K.create ~seed:opts.seed () in
+  let r =
+    { k;
+      trace;
+      opts;
+      rts = Hashtbl.create 16;
+      locals_owner = Hashtbl.create 8;
+      idx = 0;
+      events_applied = 0;
+      root_tid = 0;
+      installed = [] }
+  in
+  install_hook r k;
+  install_rdrand_hooks k;
+  r
+
+let at_end r = r.idx >= Array.length (Trace.events r.trace)
+
+(* Apply the next frame; returns it. *)
+let step r =
+  if at_end r then invalid_arg "Replayer.step: at end of trace";
+  let e = (Trace.events r.trace).(r.idx) in
+  apply_frame r e;
+  r.idx <- r.idx + 1;
+  e
+
+let stats_of r =
+  let exit_status =
+    match Hashtbl.find_opt r.k.K.procs r.root_tid with
+    | Some p -> p.T.exit_code
+    | None -> None
+  in
+  { wall_time = K.now r.k;
+    events_applied = r.events_applied;
+    n_ptrace_stops = r.k.K.trace_stop_count;
+    exit_status }
+
+let replay ?(opts = default_opts) ?(on_frame = fun (_ : K.t) -> ()) trace =
+  let r = start ~opts trace in
+  (try
+     while not (at_end r) do
+       ignore (step r);
+       on_frame r.k
+     done
+   with Divergence _ as exn ->
+     (* The emergency debugger (§6.2): dump the replay state next to the
+        divergence report. *)
+     Log.err (fun m ->
+         m "replay diverged at frame %d:@,%a" r.idx Diagnostics.pp r.k);
+     raise exn);
+  (stats_of r, r.k)
+
+(* ---- checkpoints (paper §6.1) ----------------------------------------
+
+   A checkpoint is a COW snapshot of the whole replay: address spaces are
+   forked (copy-on-write page sharing, so this is cheap no matter the
+   tracee size), task registers/counters and the replayer's own cursor
+   are copied.  Restoring builds a fresh kernel around the shared
+   pages — the mechanism behind rr's reverse execution. *)
+
+type snap_task = {
+  sn_tid : int;
+  sn_pid : int;
+  sn_regs : int array;
+  sn_pc : int;
+  sn_rcb : int;
+  sn_insns : int;
+  sn_branches : int;
+  sn_sigmask : int;
+  sn_frames : int list;
+  sn_dead : bool;
+  sn_status : int;
+  sn_seccomp : Bpf.program list;
+  sn_tsc : bool;
+  sn_batches : E.buf_record list list;
+  sn_locals : bytes;
+  sn_next_resume : T.resume_how;
+  sn_in_blocked : bool;
+}
+
+type snap_proc = {
+  sp_pid : int;
+  sp_parent : int;
+  sp_space : A.t; (* a COW fork taken at snapshot time *)
+  sp_threads : int list;
+  sp_exit : int option;
+  sp_reaped : bool;
+  sp_cwd : string;
+  sp_cmd : string;
+  sp_children : int list;
+  sp_owner : int option; (* locals_owner for this space *)
+}
+
+type snapshot = {
+  snap_idx : int;
+  snap_events_applied : int;
+  snap_root : int;
+  snap_procs : snap_proc list;
+  snap_tasks : snap_task list;
+  snap_installed : (string * Image.t) list;
+  snap_clock : int;
+}
+
+(* Every live task must be parked at an event boundary. *)
+let snapshot r =
+  let procs =
+    List.filter_map
+      (fun (p : T.process) ->
+        if p.T.exit_code <> None && p.T.reaped then None
+        else
+          Some
+            { sp_pid = p.T.pid;
+              sp_parent = p.T.parent;
+              sp_space =
+                (if p.T.exit_code = None then
+                   A.fork p.T.space ~id:p.T.space.A.id
+                 else A.create ~id:p.T.space.A.id);
+              sp_threads = p.T.threads;
+              sp_exit = p.T.exit_code;
+              sp_reaped = p.T.reaped;
+              sp_cwd = p.T.cwd;
+              sp_cmd = p.T.cmd;
+              sp_children = p.T.children;
+              sp_owner = Hashtbl.find_opt r.locals_owner p.T.space.A.id })
+      (K.all_procs r.k)
+  in
+  let tasks =
+    List.filter_map
+      (fun (t : T.t) ->
+        let st = get_rt r t.T.tid in
+        Some
+          { sn_tid = t.T.tid;
+            sn_pid = t.T.proc.T.pid;
+            sn_regs = Array.copy t.T.cpu.Cpu.regs;
+            sn_pc = t.T.cpu.Cpu.pc;
+            sn_rcb = t.T.cpu.Cpu.pmu.Pmu.rcb;
+            sn_insns = t.T.cpu.Cpu.pmu.Pmu.insns;
+            sn_branches = t.T.cpu.Cpu.pmu.Pmu.branches;
+            sn_sigmask = t.T.sigmask;
+            sn_frames = t.T.sig_frames;
+            sn_dead = not (T.is_alive t);
+            sn_status = t.T.exit_status;
+            sn_seccomp = t.T.seccomp;
+            sn_tsc = t.T.cpu.Cpu.tsc_trap;
+            sn_batches = List.of_seq (Queue.to_seq st.batches);
+            sn_locals = st.saved_locals;
+            sn_next_resume = st.next_resume;
+            sn_in_blocked = st.in_blocked_syscall })
+      (K.all_tasks r.k)
+  in
+  { snap_idx = r.idx;
+    snap_events_applied = r.events_applied;
+    snap_root = r.root_tid;
+    snap_procs = procs;
+    snap_tasks = tasks;
+    snap_installed = r.installed;
+    snap_clock = K.now r.k }
+
+(* Rebuild a live replayer from a snapshot. *)
+let restore ?(opts = default_opts) trace snap =
+  let k = K.create ~seed:opts.seed () in
+  let r =
+    { k;
+      trace;
+      opts;
+      rts = Hashtbl.create 16;
+      locals_owner = Hashtbl.create 8;
+      idx = snap.snap_idx;
+      events_applied = snap.snap_events_applied;
+      root_tid = snap.snap_root;
+      installed = snap.snap_installed }
+  in
+  install_hook r k;
+  install_rdrand_hooks k;
+  List.iter
+    (fun (path, img) ->
+      Vfs.mkdir_p (K.vfs k) (Filename.dirname path);
+      K.install_image k ~path img)
+    snap.snap_installed;
+  k.K.clock <- snap.snap_clock;
+  (* Processes first (spaces COW-forked again so the snapshot stays
+     immutable and reusable). *)
+  List.iter
+    (fun sp ->
+      K.reserve_id k sp.sp_pid;
+      let space = A.fork sp.sp_space ~id:sp.sp_space.A.id in
+      let p = T.make_process ~pid:sp.sp_pid ~parent:sp.sp_parent ~space in
+      p.T.threads <- sp.sp_threads;
+      p.T.exit_code <- sp.sp_exit;
+      p.T.reaped <- sp.sp_reaped;
+      p.T.cwd <- sp.sp_cwd;
+      p.T.cmd <- sp.sp_cmd;
+      p.T.children <- sp.sp_children;
+      Hashtbl.replace k.K.procs sp.sp_pid p;
+      (match sp.sp_owner with
+      | Some tid -> Hashtbl.replace r.locals_owner space.A.id tid
+      | None -> ()))
+    snap.snap_procs;
+  List.iter
+    (fun sn ->
+      match Hashtbl.find_opt k.K.procs sn.sn_pid with
+      | None -> () (* reaped process: its tasks are gone *)
+      | Some proc ->
+        K.reserve_id k sn.sn_tid;
+        let cpu = Cpu.create ~space:proc.T.space in
+        Array.blit sn.sn_regs 0 cpu.Cpu.regs 0 Insn.num_regs;
+        cpu.Cpu.pc <- sn.sn_pc;
+        cpu.Cpu.pmu.Pmu.rcb <- sn.sn_rcb;
+        cpu.Cpu.pmu.Pmu.insns <- sn.sn_insns;
+        cpu.Cpu.pmu.Pmu.branches <- sn.sn_branches;
+        cpu.Cpu.tsc_trap <- sn.sn_tsc;
+        let t = T.make_task ~tid:sn.sn_tid ~proc ~cpu in
+        t.T.sigmask <- sn.sn_sigmask;
+        t.T.sig_frames <- sn.sn_frames;
+        t.T.seccomp <- sn.sn_seccomp;
+        t.T.traced <- true;
+        t.T.vdso_enabled <- false;
+        t.T.affinity <- 0;
+        if sn.sn_dead then begin
+          t.T.state <- T.Dead;
+          t.T.exit_status <- sn.sn_status
+        end
+        else t.T.state <- T.Stopped;
+        Hashtbl.replace k.K.tasks sn.sn_tid t;
+        let st = get_rt r sn.sn_tid in
+        List.iter (fun b -> Queue.push b st.batches) sn.sn_batches;
+        st.saved_locals <- sn.sn_locals;
+        st.next_resume <- sn.sn_next_resume;
+        st.in_blocked_syscall <- sn.sn_in_blocked)
+    snap.snap_tasks;
+  r

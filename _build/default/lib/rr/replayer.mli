@@ -1,0 +1,91 @@
+(** The rr replayer (paper §2.3.7–§2.3.9, §3.8).
+
+    Replays a {!Trace.t} against a fresh simulated kernel seeded with
+    {e different} entropy: no files are opened, no signals delivered, no
+    real syscalls run except the address-space operations that must be
+    re-performed.  User-space registers, memory and control flow are
+    reproduced exactly; every applied frame cross-checks tracee state and
+    raises {!Divergence} on any mismatch.
+
+    Per frame kind:
+    - syscalls: software breakpoint at the recorded site, one ptrace stop,
+      apply recorded registers and memory effects, skip the instruction
+      (§2.3.7); sites in run-time-written code use the SYSEMU fallback;
+    - asynchronous events: program the PMU interrupt {e early} (it skids,
+      §2.4.3), then breakpoint/single-step until the RCB count, the full
+      register state and an extra stack word all match (§2.4.1);
+    - buffered syscalls: refill the guest trace buffer from flush frames;
+      the interception hook replays results with identical control flow
+      and identical RCB charges (§3.8). *)
+
+exception Divergence of string
+
+type opts = {
+  seed : int; (* deliberately different from the recording seed *)
+  check_regs : bool; (* cross-check registers at every frame *)
+  sysemu_all : bool; (* ablation: replay every syscall via SYSEMU *)
+}
+
+val default_opts : opts
+
+type per_task = {
+  batches : Event.buf_record list Queue.t;
+  mutable saved_locals : bytes;
+  mutable next_resume : Task.resume_how;
+  mutable in_blocked_syscall : bool;
+}
+
+type t = {
+  mutable k : Kernel.t;
+  trace : Trace.t;
+  opts : opts;
+  mutable rts : (int, per_task) Hashtbl.t;
+  mutable locals_owner : (int, int) Hashtbl.t;
+  mutable idx : int; (* index of the next frame to apply *)
+  mutable events_applied : int;
+  mutable root_tid : int;
+  mutable installed : (string * Image.t) list;
+}
+
+type stats = {
+  wall_time : int;
+  events_applied : int;
+  n_ptrace_stops : int;
+  exit_status : int option;
+}
+
+val replay : ?opts:opts -> ?on_frame:(Kernel.t -> unit) -> Trace.t -> stats * Kernel.t
+(** Replay the whole trace.  Raises {!Divergence} on mismatch. *)
+
+(** {2 Incremental replay (the debugger's substrate)} *)
+
+val start : ?opts:opts -> Trace.t -> t
+val at_end : t -> bool
+
+val step : t -> Event.t
+(** Apply the next frame; returns it. *)
+
+val stats_of : t -> stats
+
+(** {2 Checkpoints (paper §6.1)}
+
+    A checkpoint is a COW snapshot of the whole replay: address spaces
+    are forked (copy-on-write page sharing — creating one is cheap no
+    matter the tracee size), task registers/counters and the replayer's
+    cursor are copied.  "Most checkpoints are never resumed", so creation
+    cost is what matters. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Valid at frame boundaries (every live task parked). *)
+
+val restore : ?opts:opts -> Trace.t -> snapshot -> t
+(** Rebuild a live replayer from a snapshot; the snapshot remains valid
+    and reusable. *)
+
+(** {2 Internals exposed for tests} *)
+
+val task : t -> int -> Task.t
+val run_to_point : t -> Task.t -> Event.exec_point -> unit
+val install_rdrand_hooks : Kernel.t -> unit

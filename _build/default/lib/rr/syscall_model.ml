@@ -1,0 +1,111 @@
+(* The system-call model (paper §2.3.6).
+
+   For every syscall the recorder supports, this module answers:
+   - which user memory does it write, given entry args and the result?
+   - can it block (so outputs must detour through scratch buffers and the
+     desched event must be armed on the buffered path)?
+   - may the interception library handle it without a trap?
+   - how must replay treat it (emulate, or re-perform for address-space
+     effects)?
+
+   Unknown syscalls make the recorder fail loudly with the syscall name —
+   the paper's "unsupported system calls produce a message clearly
+   identifying the problem" behavior. *)
+
+module T = Task
+
+exception Unsupported of string
+
+type output = { out_addr : int; out_len : int }
+
+(* Memory written by a completed syscall.  [args] are the entry arguments
+   (post any supervisor rewriting), [result] the return value. *)
+let outputs ~nr ~(args : int array) ~result : output list =
+  if result < 0 then []
+  else if nr = Sysno.read || nr = Sysno.recvfrom then
+    let buf = { out_addr = args.(1); out_len = result } in
+    if nr = Sysno.recvfrom && args.(3) <> 0 then
+      [ buf; { out_addr = args.(3); out_len = 8 } ]
+    else [ buf ]
+  else if nr = Sysno.stat then [ { out_addr = args.(1); out_len = 32 } ]
+  else if nr = Sysno.pipe then [ { out_addr = args.(0); out_len = 16 } ]
+  else if nr = Sysno.getcwd then [ { out_addr = args.(0); out_len = result } ]
+  else if nr = Sysno.wait4 then
+    if args.(1) <> 0 then [ { out_addr = args.(1); out_len = 8 } ] else []
+  else if nr = Sysno.gettimeofday || nr = Sysno.clock_gettime then
+    if args.(0) <> 0 then [ { out_addr = args.(0); out_len = 8 } ] else []
+  else if nr = Sysno.getrandom then [ { out_addr = args.(0); out_len = result } ]
+  else if nr = Sysno.rt_sigprocmask then
+    if args.(2) <> 0 then [ { out_addr = args.(2); out_len = 8 } ] else []
+  else if nr = Sysno.poll then
+    (* revents slots of every entry *)
+    List.init args.(1) (fun i ->
+        { out_addr = args.(0) + (24 * i) + 16; out_len = 8 })
+  else if
+    nr = Sysno.write || nr = Sysno.openat || nr = Sysno.close
+    || nr = Sysno.lseek || nr = Sysno.mmap || nr = Sysno.munmap
+    || nr = Sysno.mprotect || nr = Sysno.exit || nr = Sysno.exit_group
+    || nr = Sysno.clone || nr = Sysno.execve || nr = Sysno.getpid
+    || nr = Sysno.gettid || nr = Sysno.getppid || nr = Sysno.nanosleep
+    || nr = Sysno.sched_yield || nr = Sysno.futex || nr = Sysno.kill
+    || nr = Sysno.tgkill || nr = Sysno.rt_sigaction || nr = Sysno.rt_sigreturn
+    || nr = Sysno.sched_setaffinity || nr = Sysno.prctl || nr = Sysno.seccomp
+    || nr = Sysno.perf_event_open || nr = Sysno.ioctl || nr = Sysno.socket
+    || nr = Sysno.bind || nr = Sysno.sendto || nr = Sysno.unlink
+    || nr = Sysno.mkdir || nr = Sysno.rename || nr = Sysno.link
+    || nr = Sysno.dup || nr = Sysno.ftruncate || nr = Sysno.chdir
+    || nr = Sysno.fsync || nr = Sysno.readlink || nr = Sysno.sigaltstack
+    || nr = Sysno.set_tid_address || nr = Sysno.ptrace
+  then []
+  else raise (Unsupported (Sysno.name nr))
+
+(* Can this call sleep in the kernel?  [task] lets us inspect the fd —
+   reads from regular files never block, reads from pipes/sockets can. *)
+let may_block task ~nr ~(args : int array) =
+  if nr = Sysno.read then
+    match T.find_fd task args.(0) with
+    | Some { T.obj = T.F_reg _; _ } | None -> false
+    | Some { T.obj = T.F_pipe_r _ | T.F_pipe_w _ | T.F_sock _ | T.F_perf _; _ }
+      ->
+      true
+  else if nr = Sysno.write then begin
+    match T.find_fd task args.(0) with
+    | Some { T.obj = T.F_pipe_w _; _ } -> true
+    | Some _ | None -> false
+  end
+  else
+    nr = Sysno.recvfrom || nr = Sysno.wait4 || nr = Sysno.futex
+    || nr = Sysno.nanosleep || nr = Sysno.poll
+
+(* The interception library's fast-path set (paper §3.1: "it only
+   contains wrappers for the most common system calls").  *)
+let bufferable ~nr =
+  nr = Sysno.read || nr = Sysno.write || nr = Sysno.lseek
+  || nr = Sysno.getpid || nr = Sysno.gettid || nr = Sysno.gettimeofday
+  || nr = Sysno.clock_gettime || nr = Sysno.recvfrom || nr = Sysno.sendto
+  || nr = Sysno.futex || nr = Sysno.sched_yield || nr = Sysno.openat
+  || nr = Sysno.close || nr = Sysno.stat
+
+(* Which buffered syscalls redirect an output pointer into the trace
+   buffer: (arg index, output length given args), per §3.8. *)
+let buffered_output ~nr ~(args : int array) =
+  if nr = Sysno.read || nr = Sysno.recvfrom then Some (1, args.(2))
+  else if nr = Sysno.stat then Some (1, 32)
+  else None
+
+(* Syscalls whose effects replay must re-perform rather than emulate:
+   address-space operations (mmap is handled by its own event kind). *)
+let replay_performs ~nr = nr = Sysno.munmap || nr = Sysno.mprotect
+
+(* Events with their own trace frame kinds. *)
+let is_special ~nr =
+  nr = Sysno.clone || nr = Sysno.execve || nr = Sysno.mmap || nr = Sysno.exit
+  || nr = Sysno.exit_group
+
+(* Traced blocking syscalls whose output buffer must detour through
+   scratch memory (§2.3.1): (arg index, length-from-args). *)
+let scratch_redirect task ~nr ~(args : int array) =
+  if may_block task ~nr ~args then
+    if nr = Sysno.read || nr = Sysno.recvfrom then Some (1, args.(2))
+    else None
+  else None

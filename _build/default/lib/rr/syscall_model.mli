@@ -1,0 +1,36 @@
+(** The system-call model (paper §2.3.6): for every supported syscall,
+    which user memory it writes, whether it can block, whether the
+    interception library may fast-path it, and how replay must treat it.
+    Unknown syscalls raise {!Unsupported} with the syscall name, making
+    the recorder fail loudly rather than record garbage. *)
+
+exception Unsupported of string
+
+type output = { out_addr : int; out_len : int }
+
+val outputs : nr:int -> args:int array -> result:int -> output list
+(** Memory written by a completed syscall, given its entry arguments and
+    result.  Raises {!Unsupported} for syscalls outside the model. *)
+
+val may_block : Task.t -> nr:int -> args:int array -> bool
+(** Can this call sleep in the kernel?  Inspects the fd table: regular
+    file reads never block; pipe/socket reads can. *)
+
+val bufferable : nr:int -> bool
+(** The interception library's fast-path set (paper §3.1). *)
+
+val buffered_output : nr:int -> args:int array -> (int * int) option
+(** For buffered syscalls that write an output buffer: (argument index
+    of the buffer pointer, its length), per §3.8's redirect-into-the-
+    trace-buffer scheme. *)
+
+val replay_performs : nr:int -> bool
+(** Syscalls whose effects replay must re-perform rather than emulate:
+    address-space operations (paper §2.3.8). *)
+
+val is_special : nr:int -> bool
+(** Syscalls with their own trace frame kinds (clone/execve/mmap/exit). *)
+
+val scratch_redirect : Task.t -> nr:int -> args:int array -> (int * int) option
+(** For traced blocking syscalls: (argument index, length) of the output
+    buffer to detour through scratch memory (paper §2.3.1). *)

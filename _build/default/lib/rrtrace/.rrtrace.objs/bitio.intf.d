@@ -1,0 +1,1 @@
+lib/rrtrace/bitio.mli:

@@ -1,0 +1,1 @@
+lib/rrtrace/codec.ml: Array Buffer Bytes Char List String

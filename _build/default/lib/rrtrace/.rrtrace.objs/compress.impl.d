@@ -1,0 +1,1 @@
+lib/rrtrace/compress.ml: Array Bitio Buffer Char Huffman List String

@@ -1,0 +1,1 @@
+lib/rrtrace/compress.mli:

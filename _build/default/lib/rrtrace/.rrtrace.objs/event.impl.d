@@ -1,0 +1,1 @@
+lib/rrtrace/event.ml: Codec Fmt Printf Signals Sysno

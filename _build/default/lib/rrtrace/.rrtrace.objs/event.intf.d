@@ -1,0 +1,1 @@
+lib/rrtrace/event.mli: Codec Fmt

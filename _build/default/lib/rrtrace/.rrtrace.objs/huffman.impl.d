@@ -1,0 +1,1 @@
+lib/rrtrace/huffman.ml: Array Bitio Hashtbl List

@@ -1,0 +1,1 @@
+lib/rrtrace/trace.ml: Array Buffer Codec Compress Event Fmt Fun Hashtbl Image List Marshal String

@@ -1,0 +1,1 @@
+lib/rrtrace/trace.mli: Event Fmt Image

@@ -1,0 +1,86 @@
+(* Byte-level serialization for trace frames: LEB128-style varints with a
+   zigzag transform for possibly-negative values, length-prefixed strings
+   and lists. *)
+
+type sink = Buffer.t
+
+let sink () = Buffer.create 4096
+
+let zigzag v = (v lsl 1) lxor (v asr 62)
+let unzigzag v = (v lsr 1) lxor (-(v land 1))
+
+let put_uvarint b v =
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char b (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char b (Char.chr (byte lor 0x80))
+  done
+
+let put_int b v = put_uvarint b (zigzag v)
+
+let put_string b s =
+  put_uvarint b (String.length s);
+  Buffer.add_string b s
+
+let put_bytes b s = put_string b (Bytes.to_string s)
+
+let put_list b f xs =
+  put_uvarint b (List.length xs);
+  List.iter (f b) xs
+
+let put_array b f xs =
+  put_uvarint b (Array.length xs);
+  Array.iter (f b) xs
+
+let put_bool b v = put_uvarint b (if v then 1 else 0)
+
+type source = { data : string; mutable pos : int }
+
+exception Corrupt of string
+
+let source data = { data; pos = 0 }
+
+let eof s = s.pos >= String.length s.data
+
+let byte s =
+  if s.pos >= String.length s.data then raise (Corrupt "eof");
+  let c = Char.code s.data.[s.pos] in
+  s.pos <- s.pos + 1;
+  c
+
+let get_uvarint s =
+  let rec go shift acc =
+    if shift > 62 then raise (Corrupt "varint too long");
+    let b = byte s in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_int s = unzigzag (get_uvarint s)
+
+let get_string s =
+  let n = get_uvarint s in
+  if s.pos + n > String.length s.data then raise (Corrupt "string length");
+  let out = String.sub s.data s.pos n in
+  s.pos <- s.pos + n;
+  out
+
+let get_bytes s = Bytes.of_string (get_string s)
+
+(* NB: explicit loops — List.init/Array.init evaluation order is
+   unspecified, and [f] reads from a stateful source. *)
+let get_list s f =
+  let n = get_uvarint s in
+  let rec go i acc = if i = n then List.rev acc else go (i + 1) (f s :: acc) in
+  go 0 []
+
+let get_array s f = Array.of_list (get_list s f)
+
+let get_bool s = get_uvarint s <> 0

@@ -1,0 +1,28 @@
+(** Byte-level serialization for trace frames: LEB128-style varints with
+    a zigzag transform for signed values, length-prefixed strings and
+    lists. *)
+
+type sink = Buffer.t
+
+val sink : unit -> sink
+val put_uvarint : sink -> int -> unit
+val put_int : sink -> int -> unit
+val put_string : sink -> string -> unit
+val put_bytes : sink -> bytes -> unit
+val put_list : sink -> (sink -> 'a -> unit) -> 'a list -> unit
+val put_array : sink -> (sink -> 'a -> unit) -> 'a array -> unit
+val put_bool : sink -> bool -> unit
+
+type source
+
+exception Corrupt of string
+
+val source : string -> source
+val eof : source -> bool
+val get_uvarint : source -> int
+val get_int : source -> int
+val get_string : source -> string
+val get_bytes : source -> bytes
+val get_list : source -> (source -> 'a) -> 'a list
+val get_array : source -> (source -> 'a) -> 'a array
+val get_bool : source -> bool

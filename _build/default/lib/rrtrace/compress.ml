@@ -1,0 +1,204 @@
+(* A DEFLATE-style compressor: LZ77 with hash-chain matching over a 32 KiB
+   window, followed by canonical Huffman coding of a literal/length
+   alphabet and a distance alphabet with extra bits — the same structure
+   as zlib's "deflate", which rr uses for all general trace data (paper
+   §2.7).  The bitstream is our own (single block, code lengths stored
+   verbatim), so it is not zlib-compatible, but the algorithmic costs and
+   achieved ratios are comparable for trace-like data. *)
+
+let window_size = 32768
+let min_match = 4
+let max_match = 258
+let hash_bits = 15
+let hash_size = 1 lsl hash_bits
+let max_chain = 64
+
+(* Symbol alphabet: 0..255 literals, 256 end-of-block, 257.. length codes. *)
+let eob = 256
+
+(* Length codes: (base, extra_bits), deflate's table. *)
+let len_table =
+  [| (3, 0); (4, 0); (5, 0); (6, 0); (7, 0); (8, 0); (9, 0); (10, 0);
+     (11, 1); (13, 1); (15, 1); (17, 1); (19, 2); (23, 2); (27, 2); (31, 2);
+     (35, 3); (43, 3); (51, 3); (59, 3); (67, 4); (83, 4); (99, 4); (115, 4);
+     (131, 5); (163, 5); (195, 5); (227, 5); (258, 0) |]
+
+let dist_table =
+  [| (1, 0); (2, 0); (3, 0); (4, 0); (5, 1); (7, 1); (9, 2); (13, 2);
+     (17, 3); (25, 3); (33, 4); (49, 4); (65, 5); (97, 5); (129, 6); (193, 6);
+     (257, 7); (385, 7); (513, 8); (769, 8); (1025, 9); (1537, 9);
+     (2049, 10); (3073, 10); (4097, 11); (6145, 11); (8193, 12); (12289, 12);
+     (16385, 13); (24577, 13) |]
+
+let num_lit_syms = 257 + Array.length len_table
+let num_dist_syms = Array.length dist_table
+
+let code_of_table table v =
+  let n = Array.length table in
+  let rec go i =
+    if i + 1 >= n then i
+    else
+      let next_base, _ = table.(i + 1) in
+      if v < next_base then i else go (i + 1)
+  in
+  go 0
+
+type token = Lit of char | Match of int * int (* len, dist *)
+
+let hash4 s i =
+  let b k = Char.code (String.unsafe_get s (i + k)) in
+  (b 0 + (b 1 lsl 5) + (b 2 lsl 10) + (b 3 lsl 15)) land (hash_size - 1)
+
+(* Greedy LZ77 tokenization with hash chains. *)
+let tokenize src =
+  let n = String.length src in
+  let head = Array.make hash_size (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let insert pos =
+    if pos + min_match <= n then begin
+      let h = hash4 src pos in
+      prev.(pos) <- head.(h);
+      head.(h) <- pos
+    end
+  in
+  while !i < n do
+    let pos = !i in
+    if pos + min_match > n then begin
+      tokens := Lit src.[pos] :: !tokens;
+      incr i
+    end
+    else begin
+      (* Find the longest match on the chain. *)
+      let best_len = ref 0 and best_dist = ref 0 in
+      let cand = ref head.(hash4 src pos) in
+      let chain = ref 0 in
+      while !cand >= 0 && !chain < max_chain do
+        let c = !cand in
+        if pos - c <= window_size then begin
+          let lim = min max_match (n - pos) in
+          let l = ref 0 in
+          while !l < lim && src.[c + !l] = src.[pos + !l] do incr l done;
+          if !l > !best_len then begin
+            best_len := !l;
+            best_dist := pos - c
+          end;
+          cand := prev.(c);
+          incr chain
+        end
+        else cand := -1
+      done;
+      if !best_len >= min_match then begin
+        tokens := Match (!best_len, !best_dist) :: !tokens;
+        for p = pos to pos + !best_len - 1 do insert p done;
+        i := pos + !best_len
+      end
+      else begin
+        tokens := Lit src.[pos] :: !tokens;
+        insert pos;
+        incr i
+      end
+    end
+  done;
+  List.rev !tokens
+
+(* Entropy-coded body; [deflate] below falls back to a stored block when
+   this doesn't pay (small inputs can't amortize the code-length tables,
+   like deflate's stored-block case). *)
+let deflate_huffman src =
+  let tokens = tokenize src in
+  (* Frequency pass. *)
+  let lit_freq = Array.make num_lit_syms 0 in
+  let dist_freq = Array.make num_dist_syms 0 in
+  let bump a i = a.(i) <- a.(i) + 1 in
+  List.iter
+    (fun tok ->
+      match tok with
+      | Lit c -> bump lit_freq (Char.code c)
+      | Match (len, dist) ->
+        bump lit_freq (257 + code_of_table len_table len);
+        bump dist_freq (code_of_table dist_table dist))
+    tokens;
+  bump lit_freq eob;
+  let lit_enc = Huffman.encoder lit_freq in
+  let dist_enc = Huffman.encoder dist_freq in
+  let w = Bitio.writer () in
+  (* Header: original size, then the two code-length tables (4 bits...
+     lengths go to 15, so 4 bits each). *)
+  Bitio.put_bits w (String.length src land 0xffffff) 24;
+  Bitio.put_bits w (String.length src lsr 24) 24;
+  Array.iter (fun l -> Bitio.put_bits w l 4) lit_enc.Huffman.lens;
+  Array.iter (fun l -> Bitio.put_bits w l 4) dist_enc.Huffman.lens;
+  List.iter
+    (fun tok ->
+      match tok with
+      | Lit c -> Huffman.write_symbol w lit_enc (Char.code c)
+      | Match (len, dist) ->
+        let lc = code_of_table len_table len in
+        let base, extra = len_table.(lc) in
+        Huffman.write_symbol w lit_enc (257 + lc);
+        if extra > 0 then Bitio.put_bits w (len - base) extra;
+        let dc = code_of_table dist_table dist in
+        let dbase, dextra = dist_table.(dc) in
+        Huffman.write_symbol w dist_enc (code_of_table dist_table dist);
+        ignore dc;
+        if dextra > 0 then Bitio.put_bits w (dist - dbase) dextra)
+    tokens;
+  Huffman.write_symbol w lit_enc eob;
+  Bitio.finish w
+
+let deflate src =
+  let packed = deflate_huffman src in
+  if String.length packed + 1 <= String.length src then "\001" ^ packed
+  else "\000" ^ src
+
+exception Corrupt of string
+
+let inflate_huffman data =
+  let r = Bitio.reader data in
+  (try
+     let lo = Bitio.get_bits r 24 in
+     let hi = Bitio.get_bits r 24 in
+     let size = lo lor (hi lsl 24) in
+     let lit_lens = Array.init num_lit_syms (fun _ -> Bitio.get_bits r 4) in
+     let dist_lens = Array.init num_dist_syms (fun _ -> Bitio.get_bits r 4) in
+     let lit_dec = Huffman.decoder lit_lens in
+     let dist_dec = Huffman.decoder dist_lens in
+     let out = Buffer.create (max size 16) in
+     let finished = ref false in
+     while not !finished do
+       let s = Huffman.read_symbol r lit_dec in
+       if s < 256 then Buffer.add_char out (Char.chr s)
+       else if s = eob then finished := true
+       else begin
+         let base, extra = len_table.(s - 257) in
+         let len = base + if extra > 0 then Bitio.get_bits r extra else 0 in
+         let dc = Huffman.read_symbol r dist_dec in
+         let dbase, dextra = dist_table.(dc) in
+         let dist = dbase + if dextra > 0 then Bitio.get_bits r dextra else 0 in
+         let start = Buffer.length out - dist in
+         if start < 0 then raise (Corrupt "distance before start");
+         (* Overlapping copies are the LZ77 norm: byte-by-byte. *)
+         for i = 0 to len - 1 do
+           Buffer.add_char out (Buffer.nth out (start + i))
+         done
+       end
+     done;
+     if Buffer.length out <> size then raise (Corrupt "size mismatch");
+     Buffer.contents out
+   with
+  | Bitio.Truncated -> raise (Corrupt "truncated")
+  | Huffman.Bad_code -> raise (Corrupt "bad code"))
+
+let inflate data =
+  if String.length data = 0 then raise (Corrupt "empty stream")
+  else
+    let body = String.sub data 1 (String.length data - 1) in
+    match data.[0] with
+    | '\000' -> body
+    | '\001' -> inflate_huffman body
+    | _ -> raise (Corrupt "bad mode byte")
+
+let ratio ~original ~compressed =
+  if compressed = 0 then 0. else float_of_int original /. float_of_int compressed

@@ -1,0 +1,14 @@
+(** A DEFLATE-style compressor: LZ77 with hash-chain matching over a
+    32 KiB window, then canonical-Huffman coding of the literal/length
+    and distance alphabets with extra bits — the structure of zlib's
+    "deflate", which rr uses for all general trace data (paper §2.7).
+    Small inputs fall back to a stored block. *)
+
+exception Corrupt of string
+
+val deflate : string -> string
+
+val inflate : string -> string
+(** Raises {!Corrupt} on malformed input. *)
+
+val ratio : original:int -> compressed:int -> float

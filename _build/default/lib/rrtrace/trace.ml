@@ -1,0 +1,201 @@
+(* Trace container, writer and reader.
+
+   General frame data is serialized ({!Event}) and deflate-compressed in
+   chunks — the "all other trace data" stream of paper §2.7/Table 2.
+   Memory-mapped executables and block-cloned file data are *not* run
+   through the compressor: they are cloned (hard-link/FICLONE style) and
+   accounted separately, which is exactly what makes rr traces cheap. *)
+
+type stats = {
+  mutable n_events : int;
+  mutable raw_bytes : int; (* frame bytes before compression *)
+  mutable compressed_bytes : int;
+  mutable cloned_blocks : int; (* 4 KiB blocks snapshotted by cloning *)
+  mutable cloned_bytes : int; (* bytes snapshotted by cloning/hard links *)
+  mutable copied_file_bytes : int; (* file bytes copied (cloning disabled) *)
+  mutable n_chunks : int;
+  mutable n_buffered_syscalls : int; (* syscalls recorded via syscallbuf *)
+  mutable n_traced_syscalls : int;
+}
+
+let new_stats () =
+  { n_events = 0;
+    raw_bytes = 0;
+    compressed_bytes = 0;
+    cloned_blocks = 0;
+    cloned_bytes = 0;
+    copied_file_bytes = 0;
+    n_chunks = 0;
+    n_buffered_syscalls = 0;
+    n_traced_syscalls = 0 }
+
+type t = {
+  events : Event.t array;
+  images : (string, Image.t) Hashtbl.t; (* trace path -> executable image *)
+  files : (string, string) Hashtbl.t; (* trace path -> snapshotted bytes *)
+  chunks : string list; (* compressed frame chunks, in order *)
+  stats : stats;
+  initial_exe : string;
+}
+
+let chunk_limit = 1 lsl 16
+
+module Writer = struct
+  type w = {
+    mutable rev_events : Event.t list;
+    mutable rev_chunks : string list;
+    mutable pending : Codec.sink;
+    images : (string, Image.t) Hashtbl.t;
+    files : (string, string) Hashtbl.t;
+    stats : stats;
+    mutable exe : string;
+    compress : bool;
+  }
+
+  let create ?(compress = true) ~initial_exe () =
+    { rev_events = [];
+      rev_chunks = [];
+      pending = Codec.sink ();
+      images = Hashtbl.create 8;
+      files = Hashtbl.create 8;
+      stats = new_stats ();
+      exe = initial_exe;
+      compress }
+
+  let flush_chunk w =
+    if Buffer.length w.pending > 0 then begin
+      let raw = Buffer.contents w.pending in
+      Buffer.clear w.pending;
+      let stored = if w.compress then Compress.deflate raw else raw in
+      w.stats.compressed_bytes <-
+        w.stats.compressed_bytes + String.length stored;
+      w.stats.n_chunks <- w.stats.n_chunks + 1;
+      w.rev_chunks <- stored :: w.rev_chunks
+    end
+
+  (* Append one frame; returns the serialized size (for cost charging). *)
+  let event w e =
+    w.rev_events <- e :: w.rev_events;
+    w.stats.n_events <- w.stats.n_events + 1;
+    let before = Buffer.length w.pending in
+    Event.encode w.pending e;
+    let sz = Buffer.length w.pending - before in
+    w.stats.raw_bytes <- w.stats.raw_bytes + sz;
+    (match e with
+    | Event.E_buf_flush { records; _ } ->
+      w.stats.n_buffered_syscalls <-
+        w.stats.n_buffered_syscalls + List.length records
+    | Event.E_syscall _ ->
+      w.stats.n_traced_syscalls <- w.stats.n_traced_syscalls + 1
+    | Event.E_clone _ | Event.E_exec _ | Event.E_mmap _ | Event.E_signal _
+    | Event.E_sched _ | Event.E_insn_trap _ | Event.E_patch _
+    | Event.E_exit _ | Event.E_rr_setup _ | Event.E_syscall_enter _
+    | Event.E_checksum _ ->
+      ());
+    if Buffer.length w.pending >= chunk_limit then flush_chunk w;
+    sz
+
+  (* Snapshot an executable image into the trace (hard link / clone):
+     costs no data copying, only accounting. *)
+  let add_image w ~path img =
+    if not (Hashtbl.mem w.images path) then begin
+      Hashtbl.replace w.images path img;
+      let size = Image.byte_size img in
+      w.stats.cloned_bytes <- w.stats.cloned_bytes + size;
+      w.stats.cloned_blocks <-
+        w.stats.cloned_blocks + ((size + 4095) / 4096)
+    end
+
+  (* Snapshot file bytes.  [cloned] distinguishes free COW clones from
+     real copies (the no-cloning configuration of Table 1).  Re-adding a
+     path (the growing per-task cloned-data file) accounts only the
+     growth. *)
+  let add_file w ~path ~cloned data =
+    let old_size =
+      match Hashtbl.find_opt w.files path with
+      | Some prev -> String.length prev
+      | None -> 0
+    in
+    Hashtbl.replace w.files path data;
+    let delta = max 0 (String.length data - old_size) in
+    if cloned then begin
+      w.stats.cloned_bytes <- w.stats.cloned_bytes + delta;
+      w.stats.cloned_blocks <- w.stats.cloned_blocks + ((delta + 4095) / 4096)
+    end
+    else w.stats.copied_file_bytes <- w.stats.copied_file_bytes + delta
+
+  let find_file w path = Hashtbl.find_opt w.files path
+
+  let finish w =
+    flush_chunk w;
+    { events = Array.of_list (List.rev w.rev_events);
+      images = w.images;
+      files = w.files;
+      chunks = List.rev w.rev_chunks;
+      stats = w.stats;
+      initial_exe = w.exe }
+end
+
+let events t = t.events
+
+let stats t = t.stats
+
+let image t path =
+  match Hashtbl.find_opt t.images path with
+  | Some img -> img
+  | None -> Fmt.invalid_arg "trace: no image %s" path
+
+let file t path =
+  match Hashtbl.find_opt t.files path with
+  | Some d -> d
+  | None -> Fmt.invalid_arg "trace: no file %s" path
+
+(* Decode the compressed chunk stream back into events — proves the trace
+   on disk is self-contained (used by tests and `rr dump`). *)
+let decode_events t =
+  let out = ref [] in
+  List.iter
+    (fun chunk ->
+      let raw = Compress.inflate chunk in
+      let s = Codec.source raw in
+      while not (Codec.eof s) do
+        out := Event.decode s :: !out
+      done)
+    t.chunks;
+  Array.of_list (List.rev !out)
+
+(* Host-filesystem persistence.  Frames are stored in the compressed
+   chunk encoding; images and snapshotted files ride along via Marshal
+   (they are plain data).  The header guards against version skew. *)
+let magic = "RRTRACE1"
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc t [])
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then failwith (path ^ ": not a trace file");
+      let t : t = Marshal.from_channel ic in
+      (* cross-check the self-contained chunk stream *)
+      let decoded = decode_events t in
+      if Array.length decoded <> Array.length t.events then
+        failwith (path ^ ": corrupt trace (chunk stream mismatch)");
+      t)
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "events=%d raw=%dB compressed=%dB (%.2fx) cloned=%dB (%d blocks) \
+     copied=%dB buffered-syscalls=%d traced-syscalls=%d"
+    s.n_events s.raw_bytes s.compressed_bytes
+    (Compress.ratio ~original:s.raw_bytes ~compressed:s.compressed_bytes)
+    s.cloned_bytes s.cloned_blocks s.copied_file_bytes s.n_buffered_syscalls
+    s.n_traced_syscalls

@@ -1,0 +1,60 @@
+(** Trace container, writer and reader.
+
+    General frame data is serialized and deflate-compressed in chunks —
+    the "all other trace data" stream of paper §2.7/Table 2.  Memory-
+    mapped executables and block-cloned file data bypass the compressor:
+    they are snapshotted by hard-link/FICLONE-style cloning and accounted
+    separately. *)
+
+type stats = {
+  mutable n_events : int;
+  mutable raw_bytes : int;
+  mutable compressed_bytes : int;
+  mutable cloned_blocks : int;
+  mutable cloned_bytes : int;
+  mutable copied_file_bytes : int; (* bytes copied when cloning is off *)
+  mutable n_chunks : int;
+  mutable n_buffered_syscalls : int;
+  mutable n_traced_syscalls : int;
+}
+
+type t
+
+module Writer : sig
+  type w
+
+  val create : ?compress:bool -> initial_exe:string -> unit -> w
+
+  val event : w -> Event.t -> int
+  (** Append one frame; returns its serialized size (cost charging). *)
+
+  val add_image : w -> path:string -> Image.t -> unit
+  (** Snapshot an executable by hard link/clone: accounting only. *)
+
+  val add_file : w -> path:string -> cloned:bool -> string -> unit
+  (** Snapshot file bytes; re-adding a path (the growing per-task
+      cloned-data file) accounts only the growth. *)
+
+  val find_file : w -> string -> string option
+  val finish : w -> t
+end
+
+val events : t -> Event.t array
+val stats : t -> stats
+
+val image : t -> string -> Image.t
+(** Raises [Invalid_argument] for unknown paths. *)
+
+val file : t -> string -> string
+
+val decode_events : t -> Event.t array
+(** Decode the compressed chunk stream back into frames — proves the
+    stored representation is self-contained. *)
+
+val save : t -> string -> unit
+(** Persist to a host file (compressed chunks + marshalled images). *)
+
+val load : string -> t
+(** Load and verify a saved trace; fails on corrupt or foreign files. *)
+
+val pp_stats : stats Fmt.t

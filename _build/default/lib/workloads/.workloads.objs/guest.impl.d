@@ -1,0 +1,1 @@
+lib/workloads/guest.ml: Asm Image Insn List Printf String Sysno

@@ -1,0 +1,1 @@
+lib/workloads/guest.mli: Asm Image Insn

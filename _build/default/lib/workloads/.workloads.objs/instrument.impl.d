@@ -1,0 +1,1 @@
+lib/workloads/instrument.ml: Addr_space Cost Cpu Kernel Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_common.ml: Asm Buffer Bytes Char Entropy Guest Insn Int64 Kernel List Printf String Sysno Vfs

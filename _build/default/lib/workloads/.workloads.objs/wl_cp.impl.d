@@ -1,0 +1,1 @@
+lib/workloads/wl_cp.ml: Asm Guest Insn Kernel List Printf Sysno Vfs Wl_common Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_htmltest.ml: Asm Guest Insn Kernel Sysno Vfs Wl_common Workload

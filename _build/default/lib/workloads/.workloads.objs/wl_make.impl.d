@@ -1,0 +1,1 @@
+lib/workloads/wl_make.ml: Asm Guest Insn Kernel List Printf Sysno Vfs Wl_common Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_octane.ml: Asm Guest Insn Kernel Mem Sysno Vfs Wl_common Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_samba.ml: Asm Guest Insn Kernel String Vfs Wl_common Workload

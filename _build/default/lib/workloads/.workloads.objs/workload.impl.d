@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Fmt Hashtbl Kernel Recorder Replayer Task Trace

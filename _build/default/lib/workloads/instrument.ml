@@ -1,0 +1,60 @@
+(* A dynamic-binary-instrumentation "null tool" (paper §4.2's
+   DynamoRio-null comparison).
+
+   We model the cost structure of a DBI engine rather than interpreting
+   through a second translator: every process translates its code once
+   (block translation cost, paid again by each fork/exec since code
+   caches are per-process), every retired instruction pays a relative
+   dispatch overhead, and run-time code writes invalidate the code cache
+   and force retranslation — the reason DBI engines suffer on JIT-heavy
+   workloads and crashed outright on octane (Figure 6). *)
+
+module K = Kernel
+
+type result = {
+  time : int; (* virtual ns, Int.max_int when crashed *)
+  crashed : bool;
+  base_time : int;
+  translated_insns : int;
+  jit_writes : int;
+}
+
+(* A DBI engine gives up (or falls over) past this rate of code
+   modification; DynamoRio's crash on octane is modeled as a threshold on
+   run-time code writes. *)
+let crash_jit_writes = 500
+
+let insns_per_block = 6
+
+let run ?(cores = 0) w =
+  let loaded0 = !Addr_space.loaded_insns in
+  let jit0 = !Cpu.jit_writes in
+  let cores = if cores = 0 then cores else cores in
+  let cores = if cores = 0 then w.Workload.cores else cores in
+  let k = K.create ~seed:17 () in
+  w.Workload.setup k;
+  ignore (K.spawn k ~path:w.Workload.exe ());
+  let stats = K.run_baseline k ~cores () in
+  let translated = !Addr_space.loaded_insns - loaded0 in
+  let jit = !Cpu.jit_writes - jit0 in
+  let cost = k.K.cost in
+  let blocks = translated / insns_per_block in
+  let insn_overhead =
+    k.K.insns_retired * cost.Cost.instrument_insn_num
+    / cost.Cost.instrument_insn_den * cost.Cost.insn
+  in
+  let translate_overhead = blocks * cost.Cost.instrument_block in
+  (* Each code write flushes and retranslates the surrounding region and
+     flushes the dispatch caches: expensive. *)
+  let jit_overhead = jit * cost.Cost.instrument_jit_write in
+  let init_overhead = k.K.exec_count * cost.Cost.instrument_proc_init in
+  let crashed = jit > crash_jit_writes in
+  { time =
+      (if crashed then max_int
+       else
+         stats.K.wall_time + insn_overhead + translate_overhead + jit_overhead
+         + init_overhead);
+    crashed;
+    base_time = stats.K.wall_time;
+    translated_insns = translated;
+    jit_writes = jit }

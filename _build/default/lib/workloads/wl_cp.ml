@@ -1,0 +1,77 @@
+(* The `cp` workload (paper §4.1): duplicate a tree of files with
+   stat/open/read/write/close — single-threaded, syscall-dense, almost no
+   user computation.  Reads are large and block-aligned, so the recorder's
+   block-cloning fast path (§3.9) carries the whole recording cost. *)
+
+module K = Kernel
+module G = Guest
+open Wl_common
+
+type params = { files : int; file_kb : int }
+
+let default = { files = 16; file_kb = 256 }
+
+let chunk = 65536
+
+let program b p =
+  let src_paths = List.init p.files (Printf.sprintf "/src/f%d") in
+  let dst_paths = List.init p.files (Printf.sprintf "/dst/f%d") in
+  let src_tbl = path_table b src_paths in
+  let dst_tbl = path_table b dst_paths in
+  let buf = G.bss b chunk in
+  let statbuf = G.bss b 32 in
+  G.emit b
+    ([ Asm.movi 12 0 ] (* i *)
+    @. [ Asm.label "file_loop" ]
+    (* r7 = src path, r9 = dst path *)
+    @. [ Asm.movr 9 12;
+         Asm.muli 9 8;
+         Asm.addi 9 src_tbl;
+         Asm.load 7 9 0;
+         Asm.movr 9 12;
+         Asm.muli 9 8;
+         Asm.addi 9 dst_tbl;
+         Asm.load 9 9 0 ]
+    (* stat(src) *)
+    @. G.sc Sysno.stat [ G.reg 7; G.imm statbuf ]
+    @. die_if_error b 1
+    (* open src/dst *)
+    @. G.sc Sysno.openat [ G.imm 0; G.reg 7; G.imm Sysno.o_rdonly ]
+    @. die_if_error b 2
+    @. [ Asm.movr 10 0 ]
+    @. G.sc Sysno.openat
+         [ G.imm 0;
+           G.reg 9;
+           G.imm (Sysno.o_creat lor Sysno.o_wronly lor Sysno.o_trunc) ]
+    @. die_if_error b 3
+    @. [ Asm.movr 11 0 ]
+    (* copy loop *)
+    @. [ Asm.label "copy_loop" ]
+    @. G.sys_read ~fd:(G.reg 10) ~buf:(G.imm buf) ~len:(G.imm chunk)
+    @. [ Asm.jcc Insn.Le 0 (G.imm 0) "file_done"; Asm.movr 8 0 ]
+    @. G.sys_write ~fd:(G.reg 11) ~buf:(G.imm buf) ~len:(G.reg 8)
+    (* result check keeps the syscall site patchable (§3.1) *)
+    @. [ Asm.jcc Insn.Le 0 (G.imm 0) "file_done" ]
+    @. [ Asm.jmp "copy_loop" ]
+    @. [ Asm.label "file_done" ]
+    @. G.sys_close (G.reg 10)
+    @. G.sys_close (G.reg 11)
+    @. [ Asm.addi 12 1; Asm.jcc Insn.Lt 12 (G.imm p.files) "file_loop" ]
+    @. G.sys_exit_group 0)
+
+let make ?(params = default) () =
+  let setup k =
+    Vfs.mkdir_p (K.vfs k) "/bin";
+    Vfs.mkdir_p (K.vfs k) "/src";
+    Vfs.mkdir_p (K.vfs k) "/dst";
+    for i = 0 to params.files - 1 do
+      install_file k
+        ~path:(Printf.sprintf "/src/f%d" i)
+        ~seed:(1000 + i)
+        ~len:(params.file_kb * 1024)
+    done;
+    let b = G.create () in
+    program b params;
+    K.install_image k ~path:"/bin/cp" (G.build b ~name:"cp" ())
+  in
+  { Workload.name = "cp"; exe = "/bin/cp"; setup; cores = 1; score_based = false }

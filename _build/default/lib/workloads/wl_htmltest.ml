@@ -1,0 +1,137 @@
+(* The `htmltest` workload (paper §4.1): a browser process driven over
+   IPC by a test harness that is *excluded from recording* (the paper
+   runs the mochitest harness outside rr; about 30% of user CPU time is
+   the harness).  The "browser" mixes layout-ish computation, a little
+   JIT churn, file reads and datagram IPC. *)
+
+module K = Kernel
+module G = Guest
+open Wl_common
+
+type params = {
+  tests : int;
+  layout_work : int; (* compute per test *)
+  harness_work : int; (* harness compute per test *)
+  jit_every : int; (* re-emit code every N tests *)
+}
+
+let default =
+  { tests = 60; layout_work = 20_000; harness_work = 9_000; jit_every = 1 }
+
+let browser_port = 9001
+let harness_port = 9000
+let quit_marker = 0xdead
+
+let jit_area = 0x9000
+
+let encode insn =
+  match Insn.encode insn with Some v -> v | None -> assert false
+
+(* The harness: drive [tests] requests, then send the quit marker. *)
+let harness_program b p =
+  let buf = G.bss b 128 in
+  let src = G.bss b 8 in
+  G.emit b
+    (G.sys_socket
+    @. [ Asm.movr 7 0 ]
+    @. G.sys_bind ~fd:(G.reg 7) ~port:(G.imm harness_port)
+    @. [ Asm.movi 12 0 ]
+    @. [ Asm.label "tests" ]
+    (* request: payload[0] = test number *)
+    @. [ Asm.movi 9 buf; Asm.store 12 9 0 ]
+    @. [ Asm.label "send" ]
+    @. G.sys_sendto ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 16)
+         ~port:(G.imm browser_port)
+    (* the browser may not have bound yet: retry on ECONNREFUSED *)
+    @. [ Asm.jcc Insn.Ge 0 (G.imm 0) "sent" ]
+    @. G.sys_nanosleep ~ns:(G.imm 20_000)
+    @. [ Asm.jmp "send" ]
+    @. [ Asm.label "sent" ]
+    @. G.sys_recvfrom ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 128)
+         ~src_addr:(G.imm src)
+    (* verify and crunch (log checking, screenshot diffing...) *)
+    @. G.compute_loop b ~n:p.harness_work
+    @. [ Asm.addi 12 1; Asm.jcc Insn.Lt 12 (G.imm p.tests) "tests" ]
+    (* quit *)
+    @. [ Asm.movi 9 buf; Asm.movi 10 quit_marker; Asm.store 10 9 0 ]
+    @. G.sys_sendto ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 16)
+         ~port:(G.imm browser_port)
+    @. G.sys_exit_group 0)
+
+(* The browser: serve test requests until the quit marker. *)
+let browser_program b p =
+  let buf = G.bss b 128 in
+  let src = G.bss b 8 in
+  let layout_file = G.str b "/gre/layout.dat" in
+  let fbuf = G.bss b 16384 in
+  G.emit b
+    (G.sys_socket
+    @. [ Asm.movr 7 0 ]
+    @. G.sys_bind ~fd:(G.reg 7) ~port:(G.imm browser_port)
+    @. [ Asm.movi 12 0 ] (* tests served *)
+    @. [ Asm.label "serve" ]
+    @. G.sys_recvfrom ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 128)
+         ~src_addr:(G.imm src)
+    @. [ Asm.movi 9 buf; Asm.load 10 9 0 ]
+    @. [ Asm.jcc Insn.Eq 10 (G.imm quit_marker) "quit" ]
+    (* style data read *)
+    @. G.sc Sysno.openat [ G.imm 0; G.imm layout_file; G.imm Sysno.o_rdonly ]
+    @. die_if_error b 1
+    @. [ Asm.movr 11 0 ]
+    @. G.sys_read ~fd:(G.reg 11) ~buf:(G.imm fbuf) ~len:(G.imm 16384)
+    @. G.sys_close (G.reg 11)
+    (* occasional JIT warm-up (self-modifying code) *)
+    @. [ Asm.movr 2 12;
+         Asm.I (Insn.Alu (Insn.Rem, 2, Insn.Imm p.jit_every));
+         Asm.jnz 2 "layout" ]
+    @. [ Asm.movr 2 12;
+         Asm.I (Insn.Alu (Insn.And, 2, Insn.Imm 0xff));
+         Asm.muli 2 65536;
+         Asm.addi 2 (encode (Insn.Mov (5, Insn.Imm 0)));
+         Asm.movi 1 jit_area;
+         Asm.I (Insn.Emit (1, 2));
+         Asm.movi 2 (encode (Insn.Alu (Insn.Add, 5, Insn.Imm 3)));
+         Asm.movi 1 (jit_area + 1);
+         Asm.I (Insn.Emit (1, 2));
+         Asm.movi 2 (encode (Insn.Alu (Insn.Add, 5, Insn.Imm 9)));
+         Asm.movi 1 (jit_area + 2);
+         Asm.I (Insn.Emit (1, 2));
+         Asm.movi 2 (encode Insn.Ret);
+         Asm.movi 1 (jit_area + 3);
+         Asm.I (Insn.Emit (1, 2)) ]
+    @. [ Asm.movi 9 20 ]
+    @. [ Asm.label "jitcalls";
+         Asm.movi 1 jit_area;
+         Asm.I (Insn.Callr 1);
+         Asm.subi 9 1;
+         Asm.jnz 9 "jitcalls" ]
+    @. [ Asm.label "layout" ]
+    (* layout/script computation *)
+    @. G.compute_loop b ~n:p.layout_work
+    (* reply *)
+    @. [ Asm.movi 9 src; Asm.load 10 9 0 ]
+    @. G.sys_sendto ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 16)
+         ~port:(G.reg 10)
+    @. [ Asm.addi 12 1; Asm.jmp "serve" ]
+    @. [ Asm.label "quit" ]
+    @. G.sys_exit_group 0)
+
+let make ?(params = default) () =
+  let setup k =
+    Vfs.mkdir_p (K.vfs k) "/bin";
+    Vfs.mkdir_p (K.vfs k) "/gre";
+    install_file k ~path:"/gre/layout.dat" ~seed:3100 ~len:16384;
+    let bh = G.create () in
+    harness_program bh params;
+    K.install_image k ~path:"/bin/harness" (G.build bh ~name:"harness" ());
+    let bb = G.create () in
+    browser_program bb params;
+    K.install_image k ~path:"/bin/firefox" (G.build bb ~name:"firefox" ());
+    (* The harness runs OUTSIDE the recording: spawned untraced here. *)
+    ignore (K.spawn k ~path:"/bin/harness" ())
+  in
+  { Workload.name = "htmltest";
+    exe = "/bin/firefox";
+    setup;
+    cores = 4;
+    score_based = false }

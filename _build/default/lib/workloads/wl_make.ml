@@ -1,0 +1,109 @@
+(* The `make -j8` workload (paper §4.1): many short-lived compiler
+   processes fork+exec'd in parallel waves.  Forcing everything onto one
+   core costs the most here, and the syscallbuf never pays off for
+   processes this short (paper §4.3). *)
+
+module K = Kernel
+module G = Guest
+open Wl_common
+
+type params = {
+  jobs : int; (* parallelism: -j *)
+  compiles : int; (* total cc invocations *)
+  src_kb : int;
+  compile_work : int; (* compute iterations per compile *)
+}
+
+let default = { jobs = 8; compiles = 96; src_kb = 8; compile_work = 6_500 }
+
+(* Serial work make itself does between waves (dependency scanning,
+   linking): this is what caps make's parallel speedup (paper: single
+   core costs 3.36x, not 8x). *)
+let serial_work = 20_000
+
+let nsrc = 8 (* distinct source files, reused round-robin *)
+
+(* The "cc" image: pick a source by pid, read it, crunch, write the
+   object file. *)
+let cc_program b p =
+  let srcs = List.init nsrc (Printf.sprintf "/proj/s%d.c") in
+  let objs = List.init nsrc (Printf.sprintf "/proj/obj/s%d.o") in
+  let src_tbl = path_table b srcs in
+  let obj_tbl = path_table b objs in
+  let buf = G.bss b 65536 in
+  G.emit b
+    (G.sc Sysno.getpid []
+    @. [ Asm.movr 12 0;
+         Asm.I (Insn.Alu (Insn.Rem, 12, Insn.Imm nsrc)) ] (* idx *)
+    @. [ Asm.movr 9 12; Asm.muli 9 8; Asm.addi 9 src_tbl; Asm.load 7 9 0 ]
+    @. G.sc Sysno.openat [ G.imm 0; G.reg 7; G.imm Sysno.o_rdonly ]
+    @. die_if_error b 1
+    @. [ Asm.movr 10 0 ]
+    (* read the whole file *)
+    @. [ Asm.label "rd" ]
+    @. G.sys_read ~fd:(G.reg 10) ~buf:(G.imm buf) ~len:(G.imm 65536)
+    @. [ Asm.jcc Insn.Gt 0 (G.imm 0) "rd" ]
+    @. G.sys_close (G.reg 10)
+    (* compile: crunch *)
+    @. G.compute_loop b ~n:p.compile_work
+    (* write the object *)
+    @. [ Asm.movr 9 12; Asm.muli 9 8; Asm.addi 9 obj_tbl; Asm.load 7 9 0 ]
+    @. G.sc Sysno.openat
+         [ G.imm 0;
+           G.reg 7;
+           G.imm (Sysno.o_creat lor Sysno.o_wronly lor Sysno.o_trunc) ]
+    @. die_if_error b 2
+    @. [ Asm.movr 11 0 ]
+    @. G.sys_write ~fd:(G.reg 11) ~buf:(G.imm buf) ~len:(G.imm (p.src_kb * 256))
+    @. G.sys_close (G.reg 11)
+    @. G.sys_exit_group 0)
+
+(* The "make" image: waves of [jobs] fork+exec children, reaped with
+   wait4 before the next wave. *)
+let make_program b p =
+  let status_addr = G.bss b 8 in
+  let cc_path = G.str b "/bin/cc" in
+  let waves = (p.compiles + p.jobs - 1) / p.jobs in
+  G.emit b
+    ([ Asm.movi 11 0 ] (* wave counter *)
+    @. [ Asm.label "wave" ]
+    @. [ Asm.movi 12 0 ] (* jobs spawned this wave *)
+    @. [ Asm.label "spawn" ]
+    @. G.sys_fork
+    @. [ Asm.jz 0 "child" ]
+    @. [ Asm.addi 12 1; Asm.jcc Insn.Lt 12 (G.imm p.jobs) "spawn" ]
+    (* reap the wave *)
+    @. [ Asm.movi 12 0 ]
+    @. [ Asm.label "reap" ]
+    @. G.sys_wait4 ~pid:(G.imm (-1)) ~status_addr:(G.imm status_addr)
+    @. [ Asm.addi 12 1; Asm.jcc Insn.Lt 12 (G.imm p.jobs) "reap" ]
+    (* serial dependency/link work before the next wave *)
+    @. G.compute_loop b ~n:serial_work
+    @. [ Asm.addi 11 1; Asm.jcc Insn.Lt 11 (G.imm waves) "wave" ]
+    @. G.sys_exit_group 0
+    @. [ Asm.label "child" ]
+    @. G.sc Sysno.execve [ G.imm cc_path ]
+    @. G.sys_exit_group 70)
+
+let make ?(params = default) () =
+  let setup k =
+    Vfs.mkdir_p (K.vfs k) "/bin";
+    Vfs.mkdir_p (K.vfs k) "/proj/obj";
+    for i = 0 to nsrc - 1 do
+      install_file k
+        ~path:(Printf.sprintf "/proj/s%d.c" i)
+        ~seed:(2000 + i)
+        ~len:(params.src_kb * 1024)
+    done;
+    let bc = G.create () in
+    cc_program bc params;
+    K.install_image k ~path:"/bin/cc" (G.build bc ~name:"cc" ());
+    let bm = G.create () in
+    make_program bm params;
+    K.install_image k ~path:"/bin/make" (G.build bm ~name:"make" ())
+  in
+  { Workload.name = "make";
+    exe = "/bin/make";
+    setup;
+    cores = 8;
+    score_based = false }

@@ -1,0 +1,128 @@
+(* The `octane` workload (paper §4.1): CPU-intensive multi-threaded
+   compute inside a JIT-style runtime — code is emitted at run time and
+   re-emitted as it "warms up" (polymorphic inline caches etc., §1).
+   Recording overhead comes almost entirely from losing parallelism;
+   dynamic instrumentation engines choke on the code churn (Figure 6:
+   DynamoRio crashed here). *)
+
+module K = Kernel
+module G = Guest
+open Wl_common
+
+type params = {
+  threads : int; (* including the main thread *)
+  iters : int; (* emit/run cycles per thread *)
+  calls_per_emit : int;
+  crunch : int;
+}
+
+let default = { threads = 3; iters = 150; calls_per_emit = 150; crunch = 2_000 }
+
+(* The workers' share of the main thread's iteration count (percent):
+   octane has limited parallelism (paper Table 1: single-core only costs
+   1.36x). *)
+let worker_share = 18
+
+let jit_area = 0x9000
+
+let encode insn =
+  match Insn.encode insn with Some v -> v | None -> assert false
+
+let program b p =
+  let idx_ctr = G.bss b 8 in
+  let done_ctr = G.bss b 8 in
+  let stacks = G.bss b (8192 * (p.threads + 1)) in
+  G.emit b
+    ((* spawn workers; every thread (main included) runs [worker] *)
+    [ Asm.movi 12 1 ]
+    @. [ Asm.label "spawn" ]
+    @. [ Asm.jcc Insn.Ge 12 (G.imm p.threads) "main_work" ]
+    @. [ Asm.movr 9 12; Asm.muli 9 8192; Asm.addi 9 (stacks + 8192) ]
+    @. G.sys_clone_thread ~child_sp:(G.reg 9)
+    @. [ Asm.jz 0 "worker" ]
+    @. [ Asm.addi 12 1; Asm.jmp "spawn" ]
+    @. [ Asm.label "main_work"; Asm.call "worker_body" ]
+    (* main: wait until all workers are done *)
+    @. [ Asm.label "join" ]
+    @. [ Asm.movi 9 done_ctr; Asm.load 10 9 0 ]
+    @. [ Asm.jcc Insn.Ge 10 (G.imm (p.threads - 1)) "alldone" ]
+    @. G.sys_futex ~addr:(G.imm done_ctr) ~op:Sysno.futex_wait ~v:(G.reg 10)
+    @. [ Asm.jmp "join" ]
+    @. [ Asm.label "alldone" ]
+    @. G.sys_exit_group 0
+    (* worker threads land here: run the body, bump done_ctr, exit *)
+    @. [ Asm.label "worker"; Asm.call "worker_body" ]
+    @. [ Asm.label "bump";
+         Asm.movi 9 done_ctr;
+         Asm.load 2 9 0;
+         Asm.movr 3 2;
+         Asm.addi 3 1;
+         Asm.I (Insn.Cas (9, 2, 3, 4));
+         Asm.jz 4 "bump" ]
+    @. G.sys_futex ~addr:(G.imm done_ctr) ~op:Sysno.futex_wake ~v:(G.imm 8)
+    @. G.sys_exit 0
+    (* the compute kernel: claim a thread index, JIT, call, crunch *)
+    @. [ Asm.label "worker_body" ]
+    @. [ Asm.label "claim";
+         Asm.movi 9 idx_ctr;
+         Asm.load 2 9 0;
+         Asm.movr 3 2;
+         Asm.addi 3 1;
+         Asm.I (Insn.Cas (9, 2, 3, 4));
+         Asm.jz 4 "claim";
+         Asm.movr 11 2 ] (* r11 = my index *)
+    @. [ Asm.movr 10 11; Asm.muli 10 64; Asm.addi 10 jit_area ] (* jit base *)
+    (* r8 = my iteration budget: the main thread does the bulk *)
+    @. [ Asm.movi 8 p.iters;
+         Asm.jcc Insn.Eq 11 (G.imm 0) "budget_done";
+         Asm.movi 8 (p.iters * worker_share / 100);
+         Asm.label "budget_done" ]
+    @. [ Asm.movi 12 0 ] (* iteration *)
+    @. [ Asm.label "iter" ]
+    (* re-emit the jitted function: mov r5, #(iter & 0xfff); add r5, #7; ret *)
+    @. [ Asm.movr 2 12;
+         Asm.I (Insn.Alu (Insn.And, 2, Insn.Imm 0xfff));
+         Asm.muli 2 256; (* value into the imm16 field (v lsl 16 total) *)
+         Asm.muli 2 256;
+         Asm.addi 2 (encode (Insn.Mov (5, Insn.Imm 0)));
+         Asm.movr 1 10;
+         Asm.I (Insn.Emit (1, 2)) ]
+    @. [ Asm.movi 2 (encode (Insn.Alu (Insn.Add, 5, Insn.Imm 7)));
+         Asm.movr 1 10;
+         Asm.addi 1 1;
+         Asm.I (Insn.Emit (1, 2)) ]
+    @. [ Asm.movi 2 (encode Insn.Ret);
+         Asm.movr 1 10;
+         Asm.addi 1 2;
+         Asm.I (Insn.Emit (1, 2)) ]
+    (* hot loop over the jitted function *)
+    @. [ Asm.movi 9 p.calls_per_emit ]
+    @. [ Asm.label "hot";
+         Asm.I (Insn.Callr 10);
+         Asm.addr_ 6 5;
+         Asm.subi 9 1;
+         Asm.jnz 9 "hot" ]
+    @. G.compute_loop b ~n:p.crunch
+    (* GC-style heap churn: grow and release an arena every few cycles *)
+    @. [ Asm.movr 2 12;
+         Asm.I (Insn.Alu (Insn.And, 2, Insn.Imm 15));
+         Asm.jnz 2 "no_gc" ]
+    @. G.sys_mmap ~len:(G.imm 65536) ~prot:Mem.prot_rw ~flags:1
+    @. [ Asm.movr 7 0; Asm.movi 3 1; Asm.store 3 7 0 ]
+    @. G.sc Sysno.munmap [ G.reg 7; G.imm 65536 ]
+    @. [ Asm.label "no_gc" ]
+    @. [ Asm.addi 12 1; Asm.jcc Insn.Lt 12 (Insn.Reg 8) "iter" ]
+    @. [ Asm.ret ])
+
+let make ?(params = default) () =
+  let setup k =
+    Vfs.mkdir_p (K.vfs k) "/bin";
+    let b = G.create () in
+    program b params;
+    K.install_image k ~path:"/bin/octane" (G.build b ~name:"octane" ())
+  in
+  { Workload.name = "octane";
+    exe = "/bin/octane";
+    setup;
+    cores = 4;
+    score_based = true }

@@ -1,0 +1,98 @@
+(* The `sambatest` workload (paper §4.1): a UDP echo test — a server
+   process and a test client exchanging datagrams, everything recorded.
+   Blocking recvfrom calls make this the desched machinery's (§3.3)
+   natural habitat. *)
+
+module K = Kernel
+module G = Guest
+open Wl_common
+
+type params = {
+  echoes : int;
+  payload : int;
+  server_work : int; (* per-request processing *)
+  client_work : int;
+}
+
+let default =
+  { echoes = 120; payload = 64; server_work = 12_000; client_work = 6_000 }
+
+let server_port = 5000
+let client_port = 5001
+let quit_marker = 0xbeef
+
+let program b p =
+  let buf = G.bss b 2048 in
+  let src = G.bss b 8 in
+  let payload = G.blob b (String.make p.payload 'S') in
+  let status_addr = G.bss b 8 in
+  G.emit b
+    ((* root: fork server, fork client, wait for both *)
+    G.sys_fork
+    @. [ Asm.jz 0 "server" ]
+    @. G.sys_fork
+    @. [ Asm.jz 0 "client" ]
+    @. G.sys_wait4 ~pid:(G.imm (-1)) ~status_addr:(G.imm status_addr)
+    @. G.sys_wait4 ~pid:(G.imm (-1)) ~status_addr:(G.imm status_addr)
+    @. G.sys_exit_group 0
+    (* ---- server ---- *)
+    @. [ Asm.label "server" ]
+    @. G.sys_socket
+    @. [ Asm.movr 7 0 ]
+    @. G.sys_bind ~fd:(G.reg 7) ~port:(G.imm server_port)
+    @. [ Asm.label "srv_loop" ]
+    @. G.sys_recvfrom ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 2048)
+         ~src_addr:(G.imm src)
+    @. [ Asm.movr 8 0 ] (* length *)
+    @. [ Asm.movi 9 buf; Asm.load 10 9 0 ]
+    @. [ Asm.jcc Insn.Eq 10 (G.imm quit_marker) "srv_done" ]
+    @. G.compute_loop b ~n:p.server_work
+    @. [ Asm.movi 9 src; Asm.load 10 9 0 ]
+    @. G.sys_sendto ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.reg 8)
+         ~port:(G.reg 10)
+    (* result check keeps the syscall site patchable (§3.1) *)
+    @. [ Asm.jcc Insn.Lt 0 (G.imm 0) "srv_done" ]
+    @. [ Asm.jmp "srv_loop" ]
+    @. [ Asm.label "srv_done" ]
+    @. G.sys_exit_group 0
+    (* ---- client ---- *)
+    @. [ Asm.label "client" ]
+    @. G.sys_socket
+    @. [ Asm.movr 7 0 ]
+    @. G.sys_bind ~fd:(G.reg 7) ~port:(G.imm client_port)
+    @. [ Asm.movi 12 0 ]
+    @. [ Asm.label "cli_loop" ]
+    @. [ Asm.label "cli_send" ]
+    @. G.sys_sendto ~fd:(G.reg 7) ~buf:(G.imm payload) ~len:(G.imm p.payload)
+         ~port:(G.imm server_port)
+    @. [ Asm.jcc Insn.Ge 0 (G.imm 0) "cli_sent" ]
+    @. G.sys_nanosleep ~ns:(G.imm 20_000)
+    @. [ Asm.jmp "cli_send" ]
+    @. [ Asm.label "cli_sent" ]
+    @. G.sys_recvfrom ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 2048)
+         ~src_addr:(G.imm src)
+    @. G.compute_loop b ~n:p.client_work
+    @. [ Asm.addi 12 1; Asm.jcc Insn.Lt 12 (G.imm p.echoes) "cli_loop" ]
+    (* tell the server to stop *)
+    @. [ Asm.movi 9 buf; Asm.movi 10 quit_marker; Asm.store 10 9 0 ]
+    @. [ Asm.label "cli_quit" ]
+    @. G.sys_sendto ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 16)
+         ~port:(G.imm server_port)
+    @. [ Asm.jcc Insn.Ge 0 (G.imm 0) "cli_done" ]
+    @. G.sys_nanosleep ~ns:(G.imm 20_000)
+    @. [ Asm.jmp "cli_quit" ]
+    @. [ Asm.label "cli_done" ]
+    @. G.sys_exit_group 0)
+
+let make ?(params = default) () =
+  let setup k =
+    Vfs.mkdir_p (K.vfs k) "/bin";
+    let b = G.create () in
+    program b params;
+    K.install_image k ~path:"/bin/sambatest" (G.build b ~name:"sambatest" ())
+  in
+  { Workload.name = "sambatest";
+    exe = "/bin/sambatest";
+    setup;
+    cores = 2;
+    score_based = false }

@@ -1,0 +1,92 @@
+(* Benchmark workloads (paper §4.1).
+
+   A workload bundles a root executable, the filesystem/process
+   environment it needs, and metadata for the harness.  The same workload
+   runs four ways:
+   - baseline: untraced, on [cores] cores (the paper's "Baseline");
+   - single-core: untraced, pinned to one core;
+   - recorded: under the recorder, with options (the Record columns);
+   - replayed: the recorded trace under the replayer.
+
+   The [setup] function may spawn untraced helper processes — that is how
+   htmltest's mochitest harness stays outside the recording (§4.1). *)
+
+module K = Kernel
+
+type t = {
+  name : string;
+  exe : string;
+  setup : K.t -> unit;
+  cores : int; (* baseline parallelism *)
+  score_based : bool; (* octane: overhead computed from scores (§4.2) *)
+}
+
+type run_result = {
+  wall_time : int;
+  peak_pss : float;
+  exit_status : int option;
+  kernel : K.t;
+}
+
+(* PSS sampling interval in virtual time, following §4.5's 10ms. *)
+let pss_sample_interval = 100_000
+
+let baseline ?(cores = 0) ?(seed = 11) w =
+  let cores = if cores = 0 then w.cores else cores in
+  let k = K.create ~seed () in
+  w.setup k;
+  let root = K.spawn k ~path:w.exe () in
+  let peak = ref 0. in
+  let on_sample _t = peak := max !peak (K.total_pss k) in
+  let stats =
+    K.run_baseline k ~cores ~sample_every:pss_sample_interval ~on_sample ()
+  in
+  on_sample 0;
+  if stats.K.deadlocked then
+    Fmt.failwith "workload %s deadlocked in baseline" w.name;
+  { wall_time = stats.K.wall_time;
+    peak_pss = !peak;
+    exit_status =
+      (match Hashtbl.find_opt k.K.procs root.Task.tid with
+      | Some p -> p.Task.exit_code
+      | None -> None);
+    kernel = k }
+
+type recorded = {
+  trace : Trace.t;
+  rec_stats : Recorder.stats;
+  rec_peak_pss : float;
+}
+
+let record ?(opts = Recorder.default_opts) w =
+  let peak = ref 0. in
+  let last_sample = ref 0 in
+  let on_stop k =
+    if K.now k - !last_sample >= pss_sample_interval then begin
+      last_sample := K.now k;
+      peak := max !peak (K.total_pss k)
+    end
+  in
+  let trace, rec_stats, k =
+    Recorder.record ~opts ~on_stop ~setup:w.setup ~exe:w.exe ()
+  in
+  peak := max !peak (K.total_pss k);
+  ({ trace; rec_stats; rec_peak_pss = !peak }, k)
+
+type replayed = {
+  rep_stats : Replayer.stats;
+  rep_peak_pss : float;
+}
+
+let replay ?(opts = Replayer.default_opts) (r : recorded) =
+  let peak = ref 0. in
+  let last_sample = ref 0 in
+  let on_frame k =
+    if K.now k - !last_sample >= pss_sample_interval then begin
+      last_sample := K.now k;
+      peak := max !peak (K.total_pss k)
+    end
+  in
+  let rep_stats, k = Replayer.replay ~opts ~on_frame r.trace in
+  peak := max !peak (K.total_pss k);
+  ({ rep_stats; rep_peak_pss = !peak }, k)

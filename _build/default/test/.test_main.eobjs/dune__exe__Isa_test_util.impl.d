@@ -1,0 +1,1 @@
+test/isa_test_util.ml: Addr_space Asm Cpu Fmt Mem

@@ -1,0 +1,1 @@
+test/test_debugger.ml: Alcotest Array Asm Debugger Event Gen Guest Kernel List Printf QCheck QCheck_alcotest Recorder Sysno Vfs Wl_cp Wl_samba Workload

@@ -1,0 +1,1 @@
+test/test_isa.ml: Addr_space Alcotest Array Asm Bytes Cpu Entropy Gen Insn Isa_test_util List Mem Pmu QCheck QCheck_alcotest String

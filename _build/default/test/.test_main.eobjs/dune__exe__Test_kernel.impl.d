@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Asm Bpf Bytes Char Cpu Entropy Errno Gen Guest Insn Kernel List Printf QCheck QCheck_alcotest Signals String Sysno Task Vfs

@@ -1,0 +1,1 @@
+test/test_kernel_edge.ml: Alcotest Asm Bytes Errno Guest Insn Kernel List Mem Printf QCheck QCheck_alcotest Signals Sysno Task Vfs

@@ -1,0 +1,1 @@
+test/test_rr.ml: Alcotest Array Asm Bytes Char Debugger Event Filename Fun Guest Insn Kernel List Mem Printf Recorder Replayer Signals String Sys Sysno Task Trace Vfs

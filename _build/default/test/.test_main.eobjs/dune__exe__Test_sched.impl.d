@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Fun Gen List Option QCheck QCheck_alcotest Rec_sched

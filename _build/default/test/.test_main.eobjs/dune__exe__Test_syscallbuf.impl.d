@@ -1,0 +1,1 @@
+test/test_syscallbuf.ml: Addr_space Alcotest Cpu Event Guest Image Insn Kernel Layout List Printf QCheck QCheck_alcotest Syscallbuf Sysno Task Vfs

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Bitio Buffer Bytes Char Codec Compress Entropy Event Fmt Gen Huffman List Printf QCheck QCheck_alcotest Signals String Sysno Trace

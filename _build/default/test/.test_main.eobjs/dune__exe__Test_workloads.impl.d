@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Event Fmt Instrument Printf QCheck QCheck_alcotest Recorder Replayer Trace Wl_cp Wl_htmltest Wl_make Wl_octane Wl_samba Workload

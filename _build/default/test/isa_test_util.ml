@@ -1,0 +1,33 @@
+(* Shared helpers for ISA-level tests: assemble a fragment at 0x1000 with
+   a mapped scratch page at 0x4000 and a stack at 0x5000, run it to a
+   stop, and return the context. *)
+
+let null_env =
+  { Cpu.rdtsc = (fun () -> 0); Cpu.rdrand = (fun () -> 0) }
+
+let fresh_space () =
+  let space = Addr_space.create ~id:1 in
+  ignore (Addr_space.map space ~addr:0x4000 ~len:8192 ~prot:Mem.prot_rw ());
+  space
+
+let run_program_full items =
+  let space = fresh_space () in
+  let prog = Asm.assemble ~base:0x1000 items in
+  Addr_space.text_load space ~base:0x1000 prog.Asm.code;
+  let ctx = Cpu.create ~space in
+  ctx.Cpu.pc <- 0x1000;
+  let stop, steps = Cpu.run null_env ctx ~fuel:1_000_000 in
+  (ctx, stop, steps)
+
+(* Run to the terminating Halt (an F_ill fault is the normal ending). *)
+let run_program items =
+  let ctx, _, _ = run_program_full items in
+  ctx
+
+let run_program_stop items =
+  let _, stop, _ = run_program_full items in
+  stop
+
+let pp_stop_opt ppf = function
+  | None -> Fmt.string ppf "None (fuel out)"
+  | Some s -> Cpu.pp_stop ppf s

@@ -1,0 +1,686 @@
+(* Tests for the simulated kernel: syscalls, blocking I/O, process
+   lifecycle, signals with restart semantics, seccomp, ptrace stops. *)
+
+module K = Kernel
+module T = Task
+module G = Guest
+
+let ( @. ) = List.append
+
+(* Build an image, install it at [path], spawn it untraced and run it on
+   one core; returns (kernel, exit status of the root process). *)
+let run_guest ?(cores = 1) ?(setup = fun _ -> ()) build_fn =
+  let k = K.create ~seed:42 () in
+  Vfs.mkdir_p (K.vfs k) "/bin";
+  setup k;
+  let b = G.create () in
+  build_fn k b;
+  let img = G.build b ~name:"test" () in
+  K.install_image k ~path:"/bin/test" img;
+  let task = K.spawn k ~path:"/bin/test" () in
+  ignore (K.run_baseline k ~cores ());
+  (k, task.T.proc)
+
+let status proc =
+  match proc.T.exit_code with Some s -> s | None -> -1
+
+(* --- basic syscalls ------------------------------------------------- *)
+
+let test_hello_file () =
+  let k, proc =
+    run_guest (fun _k b ->
+        let msg = G.str b "hello" in
+        G.emit b
+          (G.sys_open b ~path:"/out.txt" ~flags:(Sysno.o_creat lor Sysno.o_wronly)
+          @. G.check_ok b
+          @. [ Asm.movr 7 0 ]
+          @. G.sys_write ~fd:(G.reg 7) ~buf:(G.imm msg) ~len:(G.imm 5)
+          @. G.sys_close (G.reg 7)
+          @. G.sys_exit_group 0))
+  in
+  Alcotest.(check int) "exit status" 0 (status proc);
+  let reg = Vfs.lookup_reg (K.vfs k) "/out.txt" in
+  Alcotest.(check string) "file content" "hello"
+    (Bytes.to_string (Vfs.read (K.vfs k) reg ~off:0 ~len:10))
+
+let test_read_back () =
+  let k, proc =
+    run_guest
+      ~setup:(fun k ->
+        let reg = Vfs.create_file (K.vfs k) "/data" in
+        ignore (Vfs.write (K.vfs k) reg ~off:0 (Bytes.of_string "ABCDEFG")))
+      (fun _k b ->
+        let buf = G.bss b 64 in
+        G.emit b
+          (G.sys_open b ~path:"/data" ~flags:Sysno.o_rdonly
+          @. [ Asm.movr 7 0 ]
+          @. G.sys_read ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 64)
+          @. [ Asm.movr 8 0 ] (* byte count *)
+          @. [ Asm.movi 9 buf; Asm.load8 10 9 2 ] (* third byte *)
+          (* exit with 10*count + byte('C')-64 *)
+          @. [ Asm.muli 8 10; Asm.addr_ 8 10; Asm.subi 8 64; Asm.movr 1 8 ]
+          @. G.sc Sysno.exit_group [ G.reg 1 ]))
+  in
+  ignore k;
+  (* 7 bytes read, 'C' = 67: 70 + 67 - 64 = 73 *)
+  Alcotest.(check int) "read result encoding" 73 (status proc)
+
+let test_bad_fd () =
+  let _, proc =
+    run_guest (fun _k b ->
+        let buf = G.bss b 8 in
+        G.emit b
+          (G.sys_read ~fd:(G.imm 77) ~buf:(G.imm buf) ~len:(G.imm 8)
+          (* expect -EBADF: exit(-r0 == EBADF ? 0 : 1) *)
+          @. [ Asm.movi 7 0; Asm.subi 7 0 ] (* r7 = 0 *)
+          @. [ Asm.I (Insn.Alu (Insn.Sub, 7, Insn.Reg 0)) ] (* r7 = -r0 *)
+          @. [ Asm.jcc Insn.Eq 7 (G.imm Errno.ebadf) "good" ]
+          @. G.sys_exit_group 1
+          @. [ Asm.label "good" ]
+          @. G.sys_exit_group 0))
+  in
+  Alcotest.(check int) "EBADF detected" 0 (status proc)
+
+let test_gettimeofday_monotone () =
+  let _, proc =
+    run_guest (fun _k b ->
+        let t0 = G.bss b 8 and t1 = G.bss b 8 in
+        G.emit b
+          (G.sys_gettimeofday ~buf:t0
+          @. G.compute_loop b ~n:1000
+          @. G.sys_gettimeofday ~buf:t1
+          @. [ Asm.movi 1 t0;
+               Asm.load 2 1 0;
+               Asm.movi 1 t1;
+               Asm.load 3 1 0;
+               Asm.jcc Insn.Gt 3 (Insn.Reg 2) "good" ]
+          @. G.sys_exit_group 1
+          @. [ Asm.label "good" ]
+          @. G.sys_exit_group 0))
+  in
+  Alcotest.(check int) "time advanced" 0 (status proc)
+
+(* --- pipes and threads ---------------------------------------------- *)
+
+let test_pipe_between_threads () =
+  let _, proc =
+    run_guest (fun _k b ->
+        let fds = G.bss b 16 in
+        let child_stack = G.bss b 4096 + 4096 in
+        let buf = G.bss b 16 in
+        G.emit b
+          (G.sys_pipe ~fds_addr:fds
+          @. G.sys_clone_thread ~child_sp:(G.imm child_stack)
+          @. [ Asm.jz 0 "child" ]
+          (* parent: blocking read on the empty pipe *)
+          @. [ Asm.movi 9 fds; Asm.load 7 9 0 ] (* read fd *)
+          @. G.sys_read ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 16)
+          @. [ Asm.movi 9 buf; Asm.load8 10 9 0; Asm.movr 1 10 ]
+          @. G.sc Sysno.exit_group [ G.reg 1 ]
+          @. [ Asm.label "child" ]
+          (* child: give the parent time to block, then write *)
+          @. G.compute_loop b ~n:500
+          @. [ Asm.movi 9 fds; Asm.load 7 9 8 ] (* write fd *)
+          @. (let msg = G.str b "Z" in
+              G.sys_write ~fd:(G.reg 7) ~buf:(G.imm msg) ~len:(G.imm 1))
+          @. G.sys_exit 0))
+  in
+  Alcotest.(check int) "parent read byte 'Z'" (Char.code 'Z') (status proc)
+
+let test_futex_wait_wake () =
+  let _, proc =
+    run_guest (fun _k b ->
+        let fvar = G.bss b 8 in
+        let child_stack = G.bss b 4096 + 4096 in
+        G.emit b
+          (G.sys_clone_thread ~child_sp:(G.imm child_stack)
+          @. [ Asm.jz 0 "child" ]
+          (* parent: futex wait while *fvar == 0 *)
+          @. G.sys_futex ~addr:(G.imm fvar) ~op:Sysno.futex_wait ~v:(G.imm 0)
+          @. [ Asm.movi 9 fvar; Asm.load 10 9 0; Asm.movr 1 10 ]
+          @. G.sc Sysno.exit_group [ G.reg 1 ]
+          @. [ Asm.label "child" ]
+          @. G.compute_loop b ~n:500
+          @. [ Asm.movi 9 fvar; Asm.movi 10 33; Asm.store 10 9 0 ]
+          @. G.sys_futex ~addr:(G.imm fvar) ~op:Sysno.futex_wake ~v:(G.imm 1)
+          @. G.sys_exit 0))
+  in
+  Alcotest.(check int) "woken after store" 33 (status proc)
+
+(* --- fork / exec / wait --------------------------------------------- *)
+
+let test_fork_wait () =
+  let _, proc =
+    run_guest (fun _k b ->
+        let status_addr = G.bss b 8 in
+        G.emit b
+          (G.sys_fork
+          @. [ Asm.jz 0 "child"; Asm.movr 7 0 ] (* r7 = child pid *)
+          @. G.sys_wait4 ~pid:(G.reg 7) ~status_addr:(G.imm status_addr)
+          @. [ Asm.movi 9 status_addr; Asm.load 10 9 0; Asm.movr 1 10 ]
+          @. G.sc Sysno.exit_group [ G.reg 1 ]
+          @. [ Asm.label "child" ]
+          @. G.sys_exit_group 5))
+  in
+  Alcotest.(check int) "reaped child status" 5 (status proc)
+
+let test_fork_cow_isolation () =
+  (* Parent writes 1 to a cell, forks; child writes 2; parent's view must
+     stay 1 (COW), and the child's exit code carries its own view. *)
+  let _, proc =
+    run_guest (fun _k b ->
+        let cell = G.bss b 8 in
+        let status_addr = G.bss b 8 in
+        G.emit b
+          ([ Asm.movi 9 cell; Asm.movi 10 1; Asm.store 10 9 0 ]
+          @. G.sys_fork
+          @. [ Asm.jz 0 "child"; Asm.movr 7 0 ]
+          @. G.sys_wait4 ~pid:(G.reg 7) ~status_addr:(G.imm status_addr)
+          @. [ Asm.movi 9 cell; Asm.load 10 9 0 ] (* parent view *)
+          @. [ Asm.movi 9 status_addr; Asm.load 11 9 0 ] (* child's exit *)
+          @. [ Asm.muli 10 10; Asm.addr_ 10 11; Asm.movr 1 10 ]
+          (* parent's view (1) * 10 + child's exit code (2) = 12 *)
+          @. G.sc Sysno.exit_group [ G.reg 1 ]
+          @. [ Asm.label "child";
+               Asm.movi 9 cell;
+               Asm.movi 10 2;
+               Asm.store 10 9 0;
+               Asm.load 11 9 0;
+               Asm.movr 1 11 ]
+          @. G.sc Sysno.exit_group [ G.reg 1 ]))
+  in
+  Alcotest.(check int) "COW isolation" 12 (status proc)
+
+let test_execve () =
+  let _, proc =
+    run_guest
+      ~setup:(fun k ->
+        let b2 = G.create () in
+        G.emit b2 (G.sys_exit_group 9);
+        K.install_image k ~path:"/bin/other" (G.build b2 ~name:"other" ()))
+      (fun _k b ->
+        G.emit b (G.sys_execve b ~path:"/bin/other" @. G.sys_exit_group 1))
+  in
+  Alcotest.(check int) "exec replaced image" 9 (status proc)
+
+(* --- signals --------------------------------------------------------- *)
+
+let test_signal_handler_runs () =
+  let _, proc =
+    run_guest (fun _k b ->
+        let marker = G.bss b 8 in
+        G.emit b
+          ([ Asm.jmp "main" ]
+          @. [ Asm.label "handler" ]
+          (* r1 = signo; store it *)
+          @. [ Asm.movi 9 marker; Asm.store 1 9 0 ]
+          @. G.sys_sigreturn
+          @. [ Asm.label "main" ]
+          @. [ Asm.lea 2 "handler" ]
+          @. G.sys_sigaction ~signo:Signals.sigusr1 ~handler:(G.reg 2) ~mask:0
+               ~flags:0
+          @. G.sc Sysno.getpid []
+          @. [ Asm.movr 7 0 ]
+          @. G.sys_kill ~pid:(G.reg 7) ~signo:Signals.sigusr1
+          @. [ Asm.movi 9 marker; Asm.load 10 9 0; Asm.movr 1 10 ]
+          @. G.sc Sysno.exit_group [ G.reg 1 ]))
+  in
+  Alcotest.(check int) "handler saw SIGUSR1" Signals.sigusr1 (status proc)
+
+let test_signal_default_kills () =
+  let _, proc =
+    run_guest (fun _k b ->
+        G.emit b
+          (G.sc Sysno.getpid []
+          @. [ Asm.movr 7 0 ]
+          @. G.sys_kill ~pid:(G.reg 7) ~signo:Signals.sigterm
+          @. G.sys_exit_group 0))
+  in
+  Alcotest.(check int) "terminated by SIGTERM" (256 + Signals.sigterm)
+    (status proc)
+
+let test_sigprocmask_blocks () =
+  let _, proc =
+    run_guest (fun _k b ->
+        let mask = Signals.add Signals.empty_set Signals.sigusr1 in
+        G.emit b
+          (G.sys_sigprocmask ~how:Signals.sig_block ~set:(G.imm mask)
+          @. G.sc Sysno.getpid []
+          @. [ Asm.movr 7 0 ]
+          @. G.sys_kill ~pid:(G.reg 7) ~signo:Signals.sigusr1
+          (* SIGUSR1 default would kill, but it's blocked. *)
+          @. G.sys_exit_group 4))
+  in
+  Alcotest.(check int) "blocked signal did not kill" 4 (status proc)
+
+(* Interrupted blocking syscall: without SA_RESTART the read returns
+   -EINTR; with SA_RESTART it completes after the handler (paper
+   §2.3.10). *)
+let eintr_guest restart_flag _k b =
+  let fds = G.bss b 16 in
+  let child_stack = G.bss b 4096 + 4096 in
+  let buf = G.bss b 16 in
+  let ready = G.bss b 8 in
+  G.emit b
+    ([ Asm.jmp "main" ]
+    @. [ Asm.label "handler" ]
+    @. G.sys_sigreturn
+    @. [ Asm.label "main" ]
+    @. [ Asm.lea 2 "handler" ]
+    @. G.sys_sigaction ~signo:Signals.sigusr1 ~handler:(G.reg 2) ~mask:0
+         ~flags:restart_flag
+    @. G.sys_pipe ~fds_addr:fds
+    @. G.sc Sysno.getpid []
+    @. [ Asm.movr 12 0 ] (* pid *)
+    @. G.sys_clone_thread ~child_sp:(G.imm child_stack)
+    @. [ Asm.jz 0 "child" ]
+    (* parent: announce, then block in read; interrupted by SIGUSR1 *)
+    @. [ Asm.movi 9 fds; Asm.load 7 9 0 ]
+    @. [ Asm.movi 9 ready; Asm.movi 10 1; Asm.store 10 9 0 ]
+    @. G.sys_read ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 16)
+    @. [ Asm.movr 11 0 ] (* read result *)
+    (* exit code: result + 200 (to keep it positive for -EINTR) *)
+    @. [ Asm.addi 11 200; Asm.movr 1 11 ]
+    @. G.sc Sysno.exit_group [ G.reg 1 ]
+    @. [ Asm.label "child" ]
+    (* spin until the parent is about to block *)
+    @. [ Asm.movi 9 ready;
+         Asm.label "spin";
+         Asm.load 10 9 0;
+         Asm.jz 10 "spin" ]
+    @. G.compute_loop b ~n:500
+    @. G.sys_tgkill ~pid:(G.reg 12) ~tid:(G.reg 12) ~signo:Signals.sigusr1
+    @. G.compute_loop b ~n:500
+    @. [ Asm.movi 9 fds; Asm.load 7 9 8 ]
+    @. (let msg = G.str b "Q" in
+        G.sys_write ~fd:(G.reg 7) ~buf:(G.imm msg) ~len:(G.imm 1))
+    @. G.sys_exit 0)
+
+let test_eintr_without_restart () =
+  let _, proc = run_guest (eintr_guest 0) in
+  Alcotest.(check int) "read returned -EINTR" (200 - Errno.eintr) (status proc)
+
+let test_restart_with_sa_restart () =
+  let _, proc = run_guest (eintr_guest Signals.sa_restart) in
+  Alcotest.(check int) "read restarted and completed" 201 (status proc)
+
+(* --- sockets --------------------------------------------------------- *)
+
+let test_udp_echo () =
+  let _, proc =
+    run_guest (fun _k b ->
+        let child_stack = G.bss b 4096 + 4096 in
+        let buf = G.bss b 64 in
+        let src = G.bss b 8 in
+        G.emit b
+          (G.sys_clone_thread ~child_sp:(G.imm child_stack)
+          @. [ Asm.jz 0 "server" ]
+          (* client *)
+          @. G.sys_socket
+          @. [ Asm.movr 7 0 ]
+          @. G.sys_bind ~fd:(G.reg 7) ~port:(G.imm 2000)
+          @. G.compute_loop b ~n:300
+          @. (let msg = G.str b "ping" in
+              G.sys_sendto ~fd:(G.reg 7) ~buf:(G.imm msg) ~len:(G.imm 4)
+                ~port:(G.imm 7777))
+          @. G.sys_recvfrom ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 64)
+               ~src_addr:(G.imm src)
+          @. [ Asm.movr 11 0 ] (* reply length *)
+          @. [ Asm.movi 9 buf; Asm.load8 10 9 0 ]
+          (* exit code fits in 8 bits: 10*len + (byte - 100) *)
+          @. [ Asm.muli 11 10; Asm.addr_ 11 10; Asm.subi 11 100; Asm.movr 1 11 ]
+          @. G.sc Sysno.exit_group [ G.reg 1 ]
+          (* server: echo one datagram *)
+          @. [ Asm.label "server" ]
+          @. G.sys_socket
+          @. [ Asm.movr 7 0 ]
+          @. G.sys_bind ~fd:(G.reg 7) ~port:(G.imm 7777)
+          @. G.sys_recvfrom ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 64)
+               ~src_addr:(G.imm src)
+          @. [ Asm.movr 8 0 ] (* length *)
+          @. [ Asm.movi 9 src; Asm.load 10 9 0 ] (* sender port *)
+          @. G.sys_sendto ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.reg 8)
+               ~port:(G.reg 10)
+          @. G.sys_exit 0))
+  in
+  (* reply length 4, first byte 'p' (112): 40 + 112 - 100 = 52 *)
+  Alcotest.(check int) "udp echo" 52 (status proc)
+
+(* --- seccomp --------------------------------------------------------- *)
+
+let test_seccomp_whitelist () =
+  let _, proc =
+    run_guest
+      ~setup:(fun k ->
+        K.register_filter k 1
+          (Bpf.whitelist
+             [ Sysno.exit_group; Sysno.seccomp; Sysno.getpid ]))
+      (fun _k b ->
+        G.emit b
+          (G.sc Sysno.seccomp
+             [ G.imm Sysno.seccomp_set_mode_filter; G.imm 0; G.imm 1 ]
+          @. G.sc Sysno.getpid [] (* allowed *)
+          @. [ Asm.movr 7 0 ]
+          @. G.sc Sysno.gettid [] (* denied: -EPERM *)
+          @. [ Asm.movi 8 0; Asm.I (Insn.Alu (Insn.Sub, 8, Insn.Reg 0)) ]
+          @. [ Asm.jcc Insn.Eq 8 (G.imm Errno.eperm) "good" ]
+          @. G.sys_exit_group 1
+          @. [ Asm.label "good" ]
+          @. G.sys_exit_group 0))
+  in
+  Alcotest.(check int) "whitelist enforced" 0 (status proc)
+
+(* --- nondeterministic instructions ----------------------------------- *)
+
+let test_tsc_trap_untraced_fatal () =
+  let _, proc =
+    run_guest (fun _k b ->
+        G.emit b
+          (G.sc Sysno.prctl [ G.imm Sysno.pr_set_tsc; G.imm Sysno.pr_tsc_sigsegv ]
+          @. [ Asm.I (Insn.Rdtsc 5) ]
+          @. G.sys_exit_group 0))
+  in
+  Alcotest.(check int) "RDTSC trapped fatally" (256 + Signals.sigsegv)
+    (status proc)
+
+let test_rdtsc_untrapped () =
+  let _, proc =
+    run_guest (fun _k b ->
+        G.emit b
+          ([ Asm.I (Insn.Rdtsc 5); Asm.jcc Insn.Gt 5 (G.imm 0) "good" ]
+          @. G.sys_exit_group 1
+          @. [ Asm.label "good" ]
+          @. G.sys_exit_group 0))
+  in
+  Alcotest.(check int) "RDTSC returned a value" 0 (status proc)
+
+(* --- ptrace ---------------------------------------------------------- *)
+
+let spawn_traced_simple () =
+  let k = K.create ~seed:7 () in
+  Vfs.mkdir_p (K.vfs k) "/bin";
+  let b = G.create () in
+  G.emit b (G.sc Sysno.getpid [] @. G.sys_exit_group 0);
+  K.install_image k ~path:"/bin/t" (G.build b ~name:"t" ());
+  let task = K.spawn k ~path:"/bin/t" ~traced:true () in
+  (k, task)
+
+let test_ptrace_syscall_stops () =
+  let k, task = spawn_traced_simple () in
+  (match K.wait k with
+  | K.Stopped_task (t, T.Stop_exec) ->
+    Alcotest.(check int) "exec stop from spawned task" task.T.tid t.T.tid
+  | _ -> Alcotest.fail "expected exec stop");
+  K.resume k task T.R_syscall ();
+  (match K.wait k with
+  | K.Stopped_task (_, T.Stop_syscall_entry ss) ->
+    Alcotest.(check int) "getpid entry" Sysno.getpid ss.T.nr
+  | _ -> Alcotest.fail "expected syscall entry");
+  K.resume k task T.R_syscall ();
+  (match K.wait k with
+  | K.Stopped_task (_, T.Stop_syscall_exit (ss, r)) ->
+    Alcotest.(check int) "getpid exit nr" Sysno.getpid ss.T.nr;
+    Alcotest.(check int) "getpid result" task.T.proc.T.pid r
+  | _ -> Alcotest.fail "expected syscall exit");
+  K.resume k task T.R_syscall ();
+  (match K.wait k with
+  | K.Stopped_task (_, T.Stop_syscall_entry ss) ->
+    Alcotest.(check int) "exit_group entry" Sysno.exit_group ss.T.nr
+  | _ -> Alcotest.fail "expected exit_group entry");
+  K.resume k task T.R_syscall ();
+  (match K.wait k with
+  | K.Stopped_task (_, T.Stop_exit 0) -> ()
+  | _ -> Alcotest.fail "expected exit event");
+  K.resume k task T.R_cont ();
+  match K.wait k with
+  | K.All_dead -> ()
+  | _ -> Alcotest.fail "expected all dead"
+
+let test_ptrace_cont_skips_stops () =
+  let k, task = spawn_traced_simple () in
+  (match K.wait k with
+  | K.Stopped_task (_, T.Stop_exec) -> ()
+  | _ -> Alcotest.fail "expected exec stop");
+  K.resume k task T.R_cont ();
+  (* With R_cont and no seccomp filter, the next stop is the exit event. *)
+  (match K.wait k with
+  | K.Stopped_task (_, T.Stop_exit 0) -> ()
+  | K.Stopped_task (_, s) -> Alcotest.failf "unexpected stop %a" T.pp_stop s
+  | _ -> Alcotest.fail "expected exit event");
+  K.resume k task T.R_cont ();
+  match K.wait k with
+  | K.All_dead -> ()
+  | _ -> Alcotest.fail "expected all dead"
+
+let test_ptrace_sysemu_suppresses () =
+  let k = K.create ~seed:7 () in
+  Vfs.mkdir_p (K.vfs k) "/bin";
+  let b = G.create () in
+  (* getpid's result would overwrite r0; under SYSEMU the kernel must not
+     run it, so the sentinel written beforehand survives. *)
+  G.emit b
+    ([ Asm.movi 0 Sysno.getpid; Asm.syscall ]
+    @. [ Asm.movr 7 0 ]
+    @. G.sys_exit_group 0);
+  K.install_image k ~path:"/bin/t" (G.build b ~name:"t" ());
+  let task = K.spawn k ~path:"/bin/t" ~traced:true () in
+  (match K.wait k with
+  | K.Stopped_task (_, T.Stop_exec) -> ()
+  | _ -> Alcotest.fail "expected exec stop");
+  K.resume k task T.R_sysemu ();
+  (match K.wait k with
+  | K.Stopped_task (_, T.Stop_syscall_entry _) ->
+    (* Emulate: pretend getpid returned 4242. *)
+    task.T.cpu.Cpu.regs.(0) <- 4242
+  | _ -> Alcotest.fail "expected entry stop");
+  K.resume k task T.R_syscall ();
+  (match K.wait k with
+  | K.Stopped_task (_, T.Stop_syscall_entry ss) ->
+    Alcotest.(check int) "next syscall is exit_group" Sysno.exit_group ss.T.nr;
+    Alcotest.(check int) "emulated result visible" 4242 task.T.cpu.Cpu.regs.(7)
+  | _ -> Alcotest.fail "expected exit_group entry")
+
+let test_traced_signal_stop_and_suppress () =
+  let k = K.create ~seed:7 () in
+  Vfs.mkdir_p (K.vfs k) "/bin";
+  let b = G.create () in
+  G.emit b
+    (G.sc Sysno.getpid []
+    @. [ Asm.movr 7 0 ]
+    @. G.sys_kill ~pid:(G.reg 7) ~signo:Signals.sigterm
+    @. G.sys_exit_group 3);
+  K.install_image k ~path:"/bin/t" (G.build b ~name:"t" ());
+  let task = K.spawn k ~path:"/bin/t" ~traced:true () in
+  (match K.wait k with
+  | K.Stopped_task (_, T.Stop_exec) -> ()
+  | _ -> Alcotest.fail "expected exec stop");
+  K.resume k task T.R_cont ();
+  (match K.wait k with
+  | K.Stopped_task (_, T.Stop_signal info) ->
+    Alcotest.(check int) "SIGTERM reported" Signals.sigterm info.Signals.signo
+  | K.Stopped_task (_, s) -> Alcotest.failf "unexpected stop %a" T.pp_stop s
+  | _ -> Alcotest.fail "expected signal stop");
+  (* Suppress the signal: the process survives and exits normally. *)
+  K.resume k task T.R_cont ();
+  (match K.wait k with
+  | K.Stopped_task (_, T.Stop_exit 3) -> ()
+  | K.Stopped_task (_, s) -> Alcotest.failf "unexpected stop %a" T.pp_stop s
+  | _ -> Alcotest.fail "expected exit");
+  K.resume k task T.R_cont ();
+  ignore (K.wait k)
+
+(* --- VFS ------------------------------------------------------------- *)
+
+let test_vfs_clone_shares_blocks () =
+  let v = Vfs.create () in
+  let src = Vfs.create_file v "/big" in
+  let data = Bytes.make (Vfs.block_size * 4) 'x' in
+  ignore (Vfs.write v src ~off:0 data);
+  let before = Vfs.disk_usage v in
+  let dst, shared = Vfs.clone_file v ~src ~dst_path:"/copy" in
+  Alcotest.(check int) "4 blocks shared" 4 shared;
+  Alcotest.(check int) "no new disk use" before (Vfs.disk_usage v);
+  Alcotest.(check string) "clone reads same" (Bytes.to_string data)
+    (Bytes.to_string (Vfs.read v dst ~off:0 ~len:(Bytes.length data)));
+  (* Writing to the clone COWs exactly one block. *)
+  ignore (Vfs.write v dst ~off:0 (Bytes.of_string "Y"));
+  Alcotest.(check int) "one block copied" (before + Vfs.block_size)
+    (Vfs.disk_usage v);
+  Alcotest.(check char) "original intact" 'x'
+    (Bytes.get (Vfs.read v src ~off:0 ~len:1) 0)
+
+let test_vfs_hardlink () =
+  let v = Vfs.create () in
+  let f = Vfs.create_file v "/orig" in
+  ignore (Vfs.write v f ~off:0 (Bytes.of_string "abc"));
+  Vfs.link v ~src_path:"/orig" ~dst_path:"/lnk";
+  (* Unlinking the original keeps the data alive through the link. *)
+  Vfs.unlink v "/orig";
+  let reg = Vfs.lookup_reg v "/lnk" in
+  Alcotest.(check string) "link preserves data" "abc"
+    (Bytes.to_string (Vfs.read v reg ~off:0 ~len:3));
+  Vfs.unlink v "/lnk";
+  Alcotest.(check int) "all blocks freed" 0 (Vfs.disk_usage v)
+
+let test_vfs_dirs () =
+  let v = Vfs.create () in
+  Vfs.mkdir_p v "/a/b/c";
+  ignore (Vfs.create_file v "/a/b/c/f");
+  Alcotest.(check (list string)) "readdir" [ "f" ] (Vfs.readdir v "/a/b/c");
+  Alcotest.check_raises "unlink non-empty" (Vfs.Error Errno.enotempty)
+    (fun () -> Vfs.unlink v "/a/b")
+
+(* clone_range is observationally a copy: reading the clone equals
+   reading the source range, at arbitrary (mis)alignments. *)
+let qcheck_vfs_clone_equals_copy =
+  QCheck.Test.make ~name:"vfs clone_range reads like a copy" ~count:150
+    QCheck.(
+      quad (int_bound 3) (int_bound 20000) (int_bound 20000)
+        (int_range 1 30000))
+    (fun (blocks_seed, src_off, dst_off, len) ->
+      let v = Vfs.create () in
+      let src = Vfs.create_file v "/src" in
+      let e = Entropy.create (blocks_seed + 1) in
+      let data =
+        Bytes.init (src_off + len + 100) (fun _ -> Char.chr (Entropy.byte e))
+      in
+      ignore (Vfs.write v src ~off:0 data);
+      let dst = Vfs.create_file v "/dst" in
+      ignore (Vfs.clone_range v ~src ~src_off ~dst ~dst_off ~len);
+      Vfs.read v dst ~off:dst_off ~len = Vfs.read v src ~off:src_off ~len)
+
+(* Writing to a clone never disturbs the source (COW). *)
+let qcheck_vfs_clone_cow =
+  QCheck.Test.make ~name:"vfs clone is copy-on-write" ~count:100
+    QCheck.(pair (int_bound 30000) (string_of_size Gen.(1 -- 200)))
+    (fun (off, scribble) ->
+      let v = Vfs.create () in
+      let src = Vfs.create_file v "/src" in
+      ignore (Vfs.write v src ~off:0 (Bytes.make 40960 'S'));
+      let dst, _ = Vfs.clone_file v ~src ~dst_path:"/dst" in
+      ignore (Vfs.write v dst ~off (Bytes.of_string scribble));
+      Vfs.read v src ~off:0 ~len:40960 = Bytes.make 40960 'S')
+
+(* Unlinking everything returns the disk to empty. *)
+let qcheck_vfs_no_leaks =
+  QCheck.Test.make ~name:"vfs frees all blocks on unlink" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 6) (int_range 1 30000))
+    (fun sizes ->
+      let v = Vfs.create () in
+      List.iteri
+        (fun i len ->
+          let f = Vfs.create_file v (Printf.sprintf "/f%d" i) in
+          ignore (Vfs.write v f ~off:0 (Bytes.make len 'x')))
+        sizes;
+      List.iteri (fun i _ -> Vfs.unlink v (Printf.sprintf "/f%d" i)) sizes;
+      Vfs.disk_usage v = 0)
+
+let qcheck_vfs_write_read =
+  QCheck.Test.make ~name:"vfs write/read roundtrip at offsets" ~count:200
+    QCheck.(pair (int_bound 20000) (string_of_size Gen.(1 -- 2000)))
+    (fun (off, s) ->
+      let v = Vfs.create () in
+      let f = Vfs.create_file v "/f" in
+      ignore (Vfs.write v f ~off (Bytes.of_string s));
+      Bytes.to_string (Vfs.read v f ~off ~len:(String.length s)) = s)
+
+(* --- BPF -------------------------------------------------------------- *)
+
+let test_bpf_rr_filter () =
+  let prog = Bpf.rr_filter ~untraced_ip:0x7000 in
+  let data ip = { Bpf.nr = 1; arch = 0; ip; args = Array.make 6 0 } in
+  Alcotest.(check int) "at untraced ip: allow" Bpf.ret_allow
+    (Bpf.run prog (data 0x7000));
+  Alcotest.(check int) "elsewhere: trace" Bpf.ret_trace
+    (Bpf.run prog (data 0x1234))
+
+let test_bpf_prologue_patch () =
+  let sandbox = Bpf.whitelist ~deny:(Bpf.ret_errno Errno.eperm) [ 1; 2 ] in
+  let patched = Bpf.patch_with_prologue ~privileged_ip:0x7000 sandbox in
+  let data ~nr ~ip = { Bpf.nr; arch = 0; ip; args = Array.make 6 0 } in
+  (* The privileged ip bypasses the sandbox entirely. *)
+  Alcotest.(check int) "privileged ip allowed" Bpf.ret_allow
+    (Bpf.run patched (data ~nr:99 ~ip:0x7000));
+  (* Original semantics preserved elsewhere. *)
+  Alcotest.(check int) "whitelisted nr allowed" Bpf.ret_allow
+    (Bpf.run patched (data ~nr:2 ~ip:0x1000));
+  Alcotest.(check int) "other nr denied"
+    (Bpf.ret_errno Errno.eperm)
+    (Bpf.run patched (data ~nr:99 ~ip:0x1000))
+
+let test_bpf_rejects_loops () =
+  Alcotest.check_raises "backward jump rejected" (Bpf.Bad_program "backward jump")
+    (fun () -> ignore (Bpf.run [| Bpf.Jmp (-2); Bpf.Ret 0 |]
+                         { Bpf.nr = 0; arch = 0; ip = 0; args = Array.make 6 0 }))
+
+let suites =
+  [ ( "kern.syscalls",
+      [ Alcotest.test_case "write file" `Quick test_hello_file;
+        Alcotest.test_case "read file" `Quick test_read_back;
+        Alcotest.test_case "bad fd" `Quick test_bad_fd;
+        Alcotest.test_case "gettimeofday monotone" `Quick
+          test_gettimeofday_monotone ] );
+    ( "kern.threads",
+      [ Alcotest.test_case "pipe blocking" `Quick test_pipe_between_threads;
+        Alcotest.test_case "futex wait/wake" `Quick test_futex_wait_wake ] );
+    ( "kern.process",
+      [ Alcotest.test_case "fork + wait4" `Quick test_fork_wait;
+        Alcotest.test_case "fork COW isolation" `Quick test_fork_cow_isolation;
+        Alcotest.test_case "execve" `Quick test_execve ] );
+    ( "kern.signals",
+      [ Alcotest.test_case "handler runs" `Quick test_signal_handler_runs;
+        Alcotest.test_case "default kills" `Quick test_signal_default_kills;
+        Alcotest.test_case "sigprocmask blocks" `Quick test_sigprocmask_blocks;
+        Alcotest.test_case "EINTR without SA_RESTART" `Quick
+          test_eintr_without_restart;
+        Alcotest.test_case "restart with SA_RESTART" `Quick
+          test_restart_with_sa_restart ] );
+    ( "kern.net",
+      [ Alcotest.test_case "udp echo" `Quick test_udp_echo ] );
+    ( "kern.seccomp",
+      [ Alcotest.test_case "whitelist" `Quick test_seccomp_whitelist ] );
+    ( "kern.nondet",
+      [ Alcotest.test_case "tsc trap fatal untraced" `Quick
+          test_tsc_trap_untraced_fatal;
+        Alcotest.test_case "rdtsc untrapped" `Quick test_rdtsc_untrapped ] );
+    ( "kern.ptrace",
+      [ Alcotest.test_case "syscall stops" `Quick test_ptrace_syscall_stops;
+        Alcotest.test_case "cont skips stops" `Quick
+          test_ptrace_cont_skips_stops;
+        Alcotest.test_case "sysemu suppresses" `Quick
+          test_ptrace_sysemu_suppresses;
+        Alcotest.test_case "signal stop + suppress" `Quick
+          test_traced_signal_stop_and_suppress ] );
+    ( "kern.vfs",
+      [ Alcotest.test_case "clone shares blocks" `Quick
+          test_vfs_clone_shares_blocks;
+        Alcotest.test_case "hardlink" `Quick test_vfs_hardlink;
+        Alcotest.test_case "directories" `Quick test_vfs_dirs;
+        QCheck_alcotest.to_alcotest qcheck_vfs_write_read;
+        QCheck_alcotest.to_alcotest qcheck_vfs_clone_equals_copy;
+        QCheck_alcotest.to_alcotest qcheck_vfs_clone_cow;
+        QCheck_alcotest.to_alcotest qcheck_vfs_no_leaks ] );
+    ( "kern.bpf",
+      [ Alcotest.test_case "rr filter" `Quick test_bpf_rr_filter;
+        Alcotest.test_case "prologue patch" `Quick test_bpf_prologue_patch;
+        Alcotest.test_case "rejects loops" `Quick test_bpf_rejects_loops ] ) ]

@@ -1,0 +1,489 @@
+(* Edge-case tests for the simulated kernel: fd semantics, errno paths,
+   pipe lifecycle, signal corner cases, mmap/munmap, vdso, and the
+   multicore scheduler's causality. *)
+
+module K = Kernel
+module T = Task
+module G = Guest
+
+let ( @. ) = List.append
+
+let run_guest ?(cores = 1) ?(setup = fun _ -> ()) build_fn =
+  let k = K.create ~seed:77 () in
+  Vfs.mkdir_p (K.vfs k) "/bin";
+  setup k;
+  let b = G.create () in
+  build_fn k b;
+  K.install_image k ~path:"/bin/t" (G.build b ~name:"t" ());
+  let task = K.spawn k ~path:"/bin/t" () in
+  let stats = K.run_baseline k ~cores () in
+  (k, task.T.proc, stats)
+
+let status proc = match proc.T.exit_code with Some s -> s | None -> -1
+
+(* exit code = -r0 (an errno) after the last syscall *)
+let exit_with_neg_r0 =
+  [ Asm.movi 7 0; Asm.I (Insn.Alu (Insn.Sub, 7, Insn.Reg 0)); Asm.movr 1 7 ]
+  @. G.sc Sysno.exit_group [ G.reg 1 ]
+
+let test_open_enoent () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        G.emit b (G.sys_open b ~path:"/nope" ~flags:Sysno.o_rdonly @. exit_with_neg_r0))
+  in
+  Alcotest.(check int) "ENOENT" Errno.enoent (status proc)
+
+let test_open_creat_on_missing_dir () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        G.emit b
+          (G.sys_open b ~path:"/no/dir/file" ~flags:(Sysno.o_creat lor Sysno.o_wronly)
+          @. exit_with_neg_r0))
+  in
+  Alcotest.(check int) "ENOENT for missing parent" Errno.enoent (status proc)
+
+let test_close_twice_ebadf () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        G.emit b
+          (G.sys_open b ~path:"/f" ~flags:(Sysno.o_creat lor Sysno.o_rdwr)
+          @. [ Asm.movr 7 0 ]
+          @. G.sys_close (G.reg 7)
+          @. G.sys_close (G.reg 7)
+          @. exit_with_neg_r0))
+  in
+  Alcotest.(check int) "EBADF" Errno.ebadf (status proc)
+
+let test_lowest_fd_reused () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        G.emit b
+          (G.sys_open b ~path:"/a" ~flags:(Sysno.o_creat lor Sysno.o_rdwr)
+          @. [ Asm.movr 7 0 ] (* fd 3 *)
+          @. G.sys_open b ~path:"/b" ~flags:(Sysno.o_creat lor Sysno.o_rdwr)
+          @. [ Asm.movr 8 0 ] (* fd 4 *)
+          @. G.sys_close (G.reg 7)
+          @. G.sys_open b ~path:"/c" ~flags:(Sysno.o_creat lor Sysno.o_rdwr)
+          (* the freed fd 3 must be reused: exit with the new fd *)
+          @. [ Asm.movr 1 0 ]
+          @. G.sc Sysno.exit_group [ G.reg 1 ]))
+  in
+  Alcotest.(check int) "lowest free fd" 3 (status proc)
+
+let test_dup_shares_offset () =
+  let k, proc, _ =
+    run_guest (fun _k b ->
+        let msg = G.str b "abcdef" in
+        G.emit b
+          (G.sys_open b ~path:"/f" ~flags:(Sysno.o_creat lor Sysno.o_rdwr)
+          @. [ Asm.movr 7 0 ]
+          @. G.sc Sysno.dup [ G.reg 7 ]
+          @. [ Asm.movr 8 0 ]
+          (* write 3 bytes through each fd: offsets must chain *)
+          @. G.sys_write ~fd:(G.reg 7) ~buf:(G.imm msg) ~len:(G.imm 3)
+          @. G.sys_write ~fd:(G.reg 8) ~buf:(G.imm (msg + 3)) ~len:(G.imm 3)
+          @. G.sys_exit_group 0))
+  in
+  Alcotest.(check int) "exit" 0 (status proc);
+  let reg = Vfs.lookup_reg (K.vfs k) "/f" in
+  Alcotest.(check string) "offsets shared through dup" "abcdef"
+    (Bytes.to_string (Vfs.read (K.vfs k) reg ~off:0 ~len:6))
+
+let test_lseek_seek_end () =
+  let _, proc, _ =
+    run_guest
+      ~setup:(fun k ->
+        let reg = Vfs.create_file (K.vfs k) "/d" in
+        ignore (Vfs.write (K.vfs k) reg ~off:0 (Bytes.make 100 'x')))
+      (fun _k b ->
+        G.emit b
+          (G.sys_open b ~path:"/d" ~flags:Sysno.o_rdonly
+          @. [ Asm.movr 7 0 ]
+          @. G.sc Sysno.lseek [ G.reg 7; G.imm (-10); G.imm Sysno.seek_end ]
+          @. [ Asm.movr 1 0 ]
+          @. G.sc Sysno.exit_group [ G.reg 1 ]))
+  in
+  Alcotest.(check int) "SEEK_END - 10" 90 (status proc)
+
+let test_write_closed_pipe_sigpipe () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        let fds = G.bss b 16 in
+        let msg = G.str b "x" in
+        G.emit b
+          (G.sys_pipe ~fds_addr:fds
+          @. [ Asm.movi 9 fds; Asm.load 7 9 0; Asm.load 8 9 8 ]
+          @. G.sys_close (G.reg 7) (* close the read end *)
+          @. G.sys_write ~fd:(G.reg 8) ~buf:(G.imm msg) ~len:(G.imm 1)
+          @. G.sys_exit_group 0))
+  in
+  Alcotest.(check int) "killed by SIGPIPE" (256 + Signals.sigpipe) (status proc)
+
+let test_pipe_eof_on_writer_close () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        let fds = G.bss b 16 in
+        let buf = G.bss b 8 in
+        G.emit b
+          (G.sys_pipe ~fds_addr:fds
+          @. [ Asm.movi 9 fds; Asm.load 7 9 0; Asm.load 8 9 8 ]
+          @. G.sys_close (G.reg 8)
+          @. G.sys_read ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 8)
+          (* read returns 0 at EOF *)
+          @. [ Asm.addi 0 55; Asm.movr 1 0 ]
+          @. G.sc Sysno.exit_group [ G.reg 1 ]))
+  in
+  Alcotest.(check int) "EOF read = 0" 55 (status proc)
+
+let test_bind_eaddrinuse () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        G.emit b
+          (G.sys_socket
+          @. [ Asm.movr 7 0 ]
+          @. G.sys_bind ~fd:(G.reg 7) ~port:(G.imm 99)
+          @. G.sys_socket
+          @. [ Asm.movr 8 0 ]
+          @. G.sys_bind ~fd:(G.reg 8) ~port:(G.imm 99)
+          @. exit_with_neg_r0))
+  in
+  Alcotest.(check int) "EADDRINUSE" Errno.eaddrinuse (status proc)
+
+let test_sendto_econnrefused () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        let msg = G.str b "x" in
+        G.emit b
+          (G.sys_socket
+          @. [ Asm.movr 7 0 ]
+          @. G.sys_sendto ~fd:(G.reg 7) ~buf:(G.imm msg) ~len:(G.imm 1)
+               ~port:(G.imm 4242)
+          @. exit_with_neg_r0))
+  in
+  Alcotest.(check int) "ECONNREFUSED" Errno.econnrefused (status proc)
+
+let test_wait4_echild () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        G.emit b
+          (G.sys_wait4 ~pid:(G.imm (-1)) ~status_addr:(G.imm 0)
+          @. exit_with_neg_r0))
+  in
+  Alcotest.(check int) "ECHILD with no children" Errno.echild (status proc)
+
+let test_futex_eagain_on_stale_value () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        let fvar = G.bss b 8 in
+        G.emit b
+          ([ Asm.movi 9 fvar; Asm.movi 10 7; Asm.store 10 9 0 ]
+          @. G.sys_futex ~addr:(G.imm fvar) ~op:Sysno.futex_wait ~v:(G.imm 1)
+          @. exit_with_neg_r0))
+  in
+  Alcotest.(check int) "EAGAIN when value differs" Errno.eagain (status proc)
+
+let test_nanosleep_advances_clock () =
+  let k, proc, _ =
+    run_guest (fun _k b ->
+        G.emit b (G.sys_nanosleep ~ns:(G.imm 5_000_000) @. G.sys_exit_group 0))
+  in
+  Alcotest.(check int) "exit" 0 (status proc);
+  Alcotest.(check bool) "clock advanced past the sleep" true
+    (K.now k >= 5_000_000)
+
+let test_mmap_grows_pss () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        G.emit b
+          (G.sys_mmap ~len:(G.imm (1 lsl 20)) ~prot:Mem.prot_rw ~flags:1
+          @. G.check_ok b
+          @. [ Asm.movr 7 0; Asm.movi 10 1; Asm.store 10 7 0 ]
+          @. G.sys_exit_group 0))
+  in
+  Alcotest.(check int) "exit" 0 (status proc)
+
+let test_mprotect_then_fault () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        G.emit b
+          (G.sys_mmap ~len:(G.imm 4096) ~prot:Mem.prot_rw ~flags:1
+          @. [ Asm.movr 7 0 ]
+          @. G.sc Sysno.mprotect [ G.reg 7; G.imm 4096; G.imm Mem.prot_r ]
+          (* the write must now fault: default SIGSEGV kills *)
+          @. [ Asm.movi 10 1; Asm.store 10 7 0 ]
+          @. G.sys_exit_group 0))
+  in
+  Alcotest.(check int) "SIGSEGV after mprotect" (256 + Signals.sigsegv)
+    (status proc)
+
+let test_sigprocmask_writes_old_set () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        let old_addr = G.bss b 8 in
+        (* sighup's mask bit (1) fits in the 8-bit exit status *)
+        let m1 = Signals.of_list [ Signals.sighup ] in
+        G.emit b
+          (G.sc Sysno.rt_sigprocmask
+             [ G.imm Signals.sig_block; G.imm m1; G.imm 0 ]
+          @. G.sc Sysno.rt_sigprocmask
+               [ G.imm Signals.sig_block; G.imm 0; G.imm old_addr ]
+          @. [ Asm.movi 9 old_addr; Asm.load 10 9 0; Asm.movr 1 10 ]
+          @. G.sc Sysno.exit_group [ G.reg 1 ]))
+  in
+  Alcotest.(check int) "old mask returned"
+    (Signals.of_list [ Signals.sighup ])
+    (status proc)
+
+let test_sigkill_unmaskable () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        let everything = (1 lsl 62) - 1 in
+        G.emit b
+          (G.sys_sigprocmask ~how:Signals.sig_setmask ~set:(G.imm everything)
+          @. G.sc Sysno.getpid []
+          @. [ Asm.movr 7 0 ]
+          @. G.sys_kill ~pid:(G.reg 7) ~signo:Signals.sigkill
+          @. G.sys_exit_group 0))
+  in
+  Alcotest.(check int) "SIGKILL cannot be masked" (256 + Signals.sigkill)
+    (status proc)
+
+let test_handler_mask_defers_nested () =
+  (* A handler registered with SIGUSR2 in its sa_mask must not be
+     interrupted by SIGUSR2; it runs after sigreturn. *)
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        let log_ = G.bss b 32 in
+        G.emit b
+          ([ Asm.jmp "main" ]
+          (* handler for USR1: raise USR2 at self, then mark "1 done";
+             USR2's handler marks its order. *)
+          @. [ Asm.label "h1" ]
+          @. G.sc Sysno.getpid []
+          @. [ Asm.movr 7 0 ]
+          @. G.sys_kill ~pid:(G.reg 7) ~signo:Signals.sigusr2
+          @. G.compute_loop b ~n:20
+          @. [ Asm.movi 9 log_; Asm.movi 10 1; Asm.store 10 9 0 ]
+          @. G.sys_sigreturn
+          @. [ Asm.label "h2" ]
+          (* if h1 already finished, log[0]=1 and we record order 2 *)
+          @. [ Asm.movi 9 log_; Asm.load 10 9 0; Asm.movi 11 2;
+               Asm.store 11 9 8; Asm.store 10 9 16 ]
+          @. G.sys_sigreturn
+          @. [ Asm.label "main" ]
+          @. [ Asm.lea 2 "h1" ]
+          @. G.sys_sigaction ~signo:Signals.sigusr1 ~handler:(G.reg 2)
+               ~mask:(Signals.of_list [ Signals.sigusr2 ])
+               ~flags:0
+          @. [ Asm.lea 2 "h2" ]
+          @. G.sys_sigaction ~signo:Signals.sigusr2 ~handler:(G.reg 2) ~mask:0
+               ~flags:0
+          @. G.sc Sysno.getpid []
+          @. [ Asm.movr 7 0 ]
+          @. G.sys_kill ~pid:(G.reg 7) ~signo:Signals.sigusr1
+          @. G.compute_loop b ~n:50
+          (* exit code: log[16] = value of log[0] when h2 ran: must be 1 *)
+          @. [ Asm.movi 9 log_; Asm.load 10 9 16; Asm.movr 1 10 ]
+          @. G.sc Sysno.exit_group [ G.reg 1 ]))
+  in
+  Alcotest.(check int) "USR2 deferred until after h1" 1 (status proc)
+
+let test_vdso_cheaper_than_syscall () =
+  let run vdso =
+    let k = K.create ~seed:7 () in
+    Vfs.mkdir_p (K.vfs k) "/bin";
+    let b = G.create () in
+    G.emit b
+      ([ Asm.movi 8 200; Asm.label "l" ]
+      @. G.sys_gettimeofday ~buf:0
+      @. [ Asm.subi 8 1; Asm.jnz 8 "l" ]
+      @. G.sys_exit_group 0);
+    K.install_image k ~path:"/bin/t" (G.build b ~name:"t" ());
+    let t = K.spawn k ~path:"/bin/t" () in
+    t.T.vdso_enabled <- vdso;
+    ignore (K.run_baseline k ~cores:1 ());
+    K.now k
+  in
+  let fast = run true and slow = run false in
+  Alcotest.(check bool)
+    (Printf.sprintf "vdso %d < real syscalls %d" fast slow)
+    true (fast < slow)
+
+let test_multicore_speedup () =
+  (* N independent compute processes: the 4-core wall clock must be
+     much smaller than single-core, but not less than work/4. *)
+  let build _k b =
+    G.emit b
+      (G.sys_fork @. [ Asm.jz 0 "w" ]
+      @. G.sys_fork @. [ Asm.jz 0 "w" ]
+      @. G.sys_fork @. [ Asm.jz 0 "w" ]
+      @. [ Asm.label "w" ]
+      @. G.compute_loop b ~n:50_000
+      @. G.sys_exit_group 0)
+  in
+  let time cores =
+    let k = K.create ~seed:7 () in
+    Vfs.mkdir_p (K.vfs k) "/bin";
+    let b = G.create () in
+    build k b;
+    K.install_image k ~path:"/bin/t" (G.build b ~name:"t" ());
+    ignore (K.spawn k ~path:"/bin/t" ());
+    (K.run_baseline k ~cores ()).K.wall_time
+  in
+  let t1 = time 1 and t4 = time 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 cores beat 1 (%d vs %d)" t4 t1)
+    true
+    (t4 * 2 < t1);
+  Alcotest.(check bool) "causality: no superlinear speedup" true (t4 * 5 > t1)
+
+let test_exec_resets_handlers () =
+  let _, proc, _ =
+    run_guest
+      ~setup:(fun k ->
+        let b2 = G.create () in
+        (* the exec'd image raises SIGUSR1 at itself: default action must
+           apply (handlers do not survive exec) *)
+        G.emit b2
+          (G.sc Sysno.getpid []
+          @. [ Asm.movr 7 0 ]
+          @. G.sys_kill ~pid:(G.reg 7) ~signo:Signals.sigusr1
+          @. G.sys_exit_group 0);
+        K.install_image k ~path:"/bin/two" (G.build b2 ~name:"two" ()))
+      (fun _k b ->
+        G.emit b
+          ([ Asm.jmp "main" ]
+          @. [ Asm.label "h" ]
+          @. G.sys_sigreturn
+          @. [ Asm.label "main"; Asm.lea 2 "h" ]
+          @. G.sys_sigaction ~signo:Signals.sigusr1 ~handler:(G.reg 2) ~mask:0
+               ~flags:0
+          @. G.sys_execve b ~path:"/bin/two"
+          @. G.sys_exit_group 1))
+  in
+  Alcotest.(check int) "default disposition after exec"
+    (256 + Signals.sigusr1) (status proc)
+
+(* poll(2): readiness without blocking, and blocking on several objects
+   at once. *)
+let test_poll_immediate_ready () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        let fds = G.bss b 16 in
+        let pfds = G.bss b 48 in
+        let msg = G.str b "z" in
+        G.emit b
+          (G.sys_pipe ~fds_addr:fds
+          @. [ Asm.movi 9 fds; Asm.load 7 9 0; Asm.load 8 9 8 ]
+          @. G.sys_write ~fd:(G.reg 8) ~buf:(G.imm msg) ~len:(G.imm 1)
+          (* pfds[0] = { read end, POLLIN, _ } *)
+          @. [ Asm.movi 9 pfds;
+               Asm.store 7 9 0;
+               Asm.movi 10 Sysno.pollin;
+               Asm.store 10 9 8 ]
+          @. G.sc Sysno.poll [ G.imm pfds; G.imm 1 ]
+          @. [ Asm.movr 11 0 ] (* ready count *)
+          @. [ Asm.movi 9 pfds; Asm.load 12 9 16 ] (* revents *)
+          @. [ Asm.muli 11 10; Asm.addr_ 11 12; Asm.movr 1 11 ]
+          @. G.sc Sysno.exit_group [ G.reg 1 ]))
+  in
+  (* 1 ready * 10 + POLLIN(1) = 11 *)
+  Alcotest.(check int) "ready with POLLIN" 11 (status proc)
+
+let test_poll_blocks_on_two_pipes () =
+  let _, proc, _ =
+    run_guest (fun _k b ->
+        let fds1 = G.bss b 16 and fds2 = G.bss b 16 in
+        let pfds = G.bss b 48 in
+        let child_stack = G.bss b 4096 + 4096 in
+        let msg = G.str b "q" in
+        G.emit b
+          (G.sys_pipe ~fds_addr:fds1
+          @. G.sys_pipe ~fds_addr:fds2
+          @. G.sys_clone_thread ~child_sp:(G.imm child_stack)
+          @. [ Asm.jz 0 "child" ]
+          (* parent: poll both read ends; the child feeds the SECOND *)
+          @. [ Asm.movi 9 fds1; Asm.load 7 9 0 ]
+          @. [ Asm.movi 9 fds2; Asm.load 8 9 0 ]
+          @. [ Asm.movi 9 pfds;
+               Asm.store 7 9 0;
+               Asm.movi 10 Sysno.pollin;
+               Asm.store 10 9 8;
+               Asm.store 8 9 24;
+               Asm.store 10 9 32 ]
+          @. G.sc Sysno.poll [ G.imm pfds; G.imm 2 ]
+          @. [ Asm.movr 11 0 ]
+          @. [ Asm.movi 9 pfds; Asm.load 12 9 16; Asm.load 13 9 40 ]
+          (* exit = ready*100 + revents0*10 + revents1 = 100 + 0 + 1 = 101 *)
+          @. [ Asm.muli 11 100; Asm.muli 12 10; Asm.addr_ 11 12;
+               Asm.addr_ 11 13; Asm.movr 1 11 ]
+          @. G.sc Sysno.exit_group [ G.reg 1 ]
+          @. [ Asm.label "child" ]
+          @. G.compute_loop b ~n:2000
+          @. [ Asm.movi 9 fds2; Asm.load 7 9 8 ]
+          @. G.sys_write ~fd:(G.reg 7) ~buf:(G.imm msg) ~len:(G.imm 1)
+          @. G.sys_exit 0))
+  in
+  Alcotest.(check int) "woken by the second pipe" 101 (status proc)
+
+let qcheck_getrandom_lengths =
+  QCheck.Test.make ~name:"getrandom fills exactly n bytes" ~count:20
+    QCheck.(int_range 0 512)
+    (fun n ->
+      let k = K.create ~seed:9 () in
+      Vfs.mkdir_p (K.vfs k) "/bin";
+      let b = G.create () in
+      let buf = G.bss b 1024 in
+      let ( @. ) = List.append in
+      G.emit b
+        (G.sc Sysno.getrandom [ G.imm buf; G.imm n ]
+        @. [ Asm.movr 1 0 ]
+        @. G.sc Sysno.exit_group [ G.reg 1 ]);
+      K.install_image k ~path:"/bin/t" (G.build b ~name:"t" ());
+      let t = K.spawn k ~path:"/bin/t" () in
+      ignore (K.run_baseline k ~cores:1 ());
+      t.T.proc.T.exit_code = Some (n land 0xff))
+
+let suites =
+  [ ( "kern.fds",
+      [ Alcotest.test_case "open ENOENT" `Quick test_open_enoent;
+        Alcotest.test_case "creat needs parent dir" `Quick
+          test_open_creat_on_missing_dir;
+        Alcotest.test_case "double close EBADF" `Quick test_close_twice_ebadf;
+        Alcotest.test_case "lowest fd reused" `Quick test_lowest_fd_reused;
+        Alcotest.test_case "dup shares offset" `Quick test_dup_shares_offset;
+        Alcotest.test_case "lseek SEEK_END" `Quick test_lseek_seek_end ] );
+    ( "kern.pipes",
+      [ Alcotest.test_case "SIGPIPE on closed reader" `Quick
+          test_write_closed_pipe_sigpipe;
+        Alcotest.test_case "EOF on closed writer" `Quick
+          test_pipe_eof_on_writer_close ] );
+    ( "kern.net2",
+      [ Alcotest.test_case "EADDRINUSE" `Quick test_bind_eaddrinuse;
+        Alcotest.test_case "ECONNREFUSED" `Quick test_sendto_econnrefused ] );
+    ( "kern.waits",
+      [ Alcotest.test_case "poll immediate" `Quick test_poll_immediate_ready;
+        Alcotest.test_case "poll blocks on two pipes" `Quick
+          test_poll_blocks_on_two_pipes;
+        Alcotest.test_case "ECHILD" `Quick test_wait4_echild;
+        Alcotest.test_case "futex EAGAIN" `Quick
+          test_futex_eagain_on_stale_value;
+        Alcotest.test_case "nanosleep advances clock" `Quick
+          test_nanosleep_advances_clock ] );
+    ( "kern.mm",
+      [ Alcotest.test_case "mmap + touch" `Quick test_mmap_grows_pss;
+        Alcotest.test_case "mprotect faults" `Quick test_mprotect_then_fault ]
+    );
+    ( "kern.signals2",
+      [ Alcotest.test_case "sigprocmask old set" `Quick
+          test_sigprocmask_writes_old_set;
+        Alcotest.test_case "SIGKILL unmaskable" `Quick test_sigkill_unmaskable;
+        Alcotest.test_case "sa_mask defers nested" `Quick
+          test_handler_mask_defers_nested;
+        Alcotest.test_case "exec resets handlers" `Quick
+          test_exec_resets_handlers ] );
+    ( "kern.perf2",
+      [ Alcotest.test_case "vdso cheaper" `Quick test_vdso_cheaper_than_syscall;
+        Alcotest.test_case "multicore speedup + causality" `Quick
+          test_multicore_speedup;
+        QCheck_alcotest.to_alcotest qcheck_getrandom_lengths ] ) ]

@@ -1,0 +1,113 @@
+(* Tests for the recorder's scheduler: strict priorities, round-robin
+   fairness, chaos-mode behavior (paper §2.2, §8). *)
+
+let always _ = true
+
+let test_round_robin_rotation () =
+  let s = Rec_sched.create ~seed:1 () in
+  List.iter (Rec_sched.add_task s) [ 1; 2; 3 ];
+  let picks =
+    List.init 6 (fun _ ->
+        match Rec_sched.pick s ~runnable:always ~priority:(fun _ -> 0) with
+        | Some t -> t
+        | None -> -1)
+  in
+  Alcotest.(check (list int)) "fair rotation" [ 1; 2; 3; 1; 2; 3 ] picks
+
+let test_priorities_strict () =
+  let s = Rec_sched.create ~seed:1 () in
+  List.iter (Rec_sched.add_task s) [ 1; 2; 3 ];
+  (* task 2 has the best (lowest) priority: it always wins. *)
+  let prio = function 2 -> -1 | _ -> 0 in
+  for _ = 1 to 5 do
+    Alcotest.(check (option int)) "highest priority wins" (Some 2)
+      (Rec_sched.pick s ~runnable:always ~priority:prio)
+  done
+
+let test_priority_class_round_robin () =
+  let s = Rec_sched.create ~seed:1 () in
+  List.iter (Rec_sched.add_task s) [ 1; 2; 3 ];
+  (* 1 and 3 share the best priority; 2 is worse and never runs. *)
+  let prio = function 2 -> 5 | _ -> 0 in
+  let picks =
+    List.init 4 (fun _ ->
+        Option.get (Rec_sched.pick s ~runnable:always ~priority:prio))
+  in
+  Alcotest.(check bool) "2 starved by betters" true
+    (not (List.mem 2 picks));
+  Alcotest.(check bool) "both 1 and 3 run" true
+    (List.mem 1 picks && List.mem 3 picks)
+
+let test_runnable_filter () =
+  let s = Rec_sched.create ~seed:1 () in
+  List.iter (Rec_sched.add_task s) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "only runnable considered" (Some 2)
+    (Rec_sched.pick s ~runnable:(fun t -> t = 2) ~priority:(fun _ -> 0));
+  Alcotest.(check (option int)) "none runnable" None
+    (Rec_sched.pick s ~runnable:(fun _ -> false) ~priority:(fun _ -> 0))
+
+let test_remove_task () =
+  let s = Rec_sched.create ~seed:1 () in
+  List.iter (Rec_sched.add_task s) [ 1; 2 ];
+  Rec_sched.remove_task s 1;
+  for _ = 1 to 3 do
+    Alcotest.(check (option int)) "removed task never picked" (Some 2)
+      (Rec_sched.pick s ~runnable:always ~priority:(fun _ -> 0))
+  done
+
+let test_default_timeslice_constant () =
+  let s = Rec_sched.create ~timeslice_rcbs:1234 ~seed:1 () in
+  for _ = 1 to 10 do
+    Alcotest.(check int) "non-chaos slices are fixed" 1234
+      (Rec_sched.timeslice s)
+  done
+
+let qcheck_chaos_timeslice_bounds =
+  QCheck.Test.make ~name:"chaos timeslices stay within bounds" ~count:200
+    QCheck.(pair (int_range 1 1000) (int_range 1000 100_000))
+    (fun (seed, base) ->
+      let s = Rec_sched.create ~timeslice_rcbs:base ~chaos:true ~seed () in
+      List.for_all
+        (fun _ ->
+          let ts = Rec_sched.timeslice s in
+          ts >= 500 && ts <= base)
+        (List.init 20 Fun.id))
+
+let qcheck_chaos_deterministic =
+  QCheck.Test.make ~name:"chaos decisions deterministic per seed" ~count:50
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let run () =
+        let s = Rec_sched.create ~chaos:true ~seed () in
+        List.iter (Rec_sched.add_task s) [ 1; 2; 3; 4 ];
+        List.init 30 (fun _ ->
+            ( Option.value ~default:(-1)
+                (Rec_sched.pick s ~runnable:always ~priority:(fun _ -> 0)),
+              Rec_sched.timeslice s ))
+      in
+      run () = run ())
+
+let qcheck_pick_total =
+  QCheck.Test.make ~name:"pick always returns a runnable task" ~count:200
+    QCheck.(pair small_int (list_of_size Gen.(1 -- 8) (int_bound 20)))
+    (fun (seed, tids) ->
+      let s = Rec_sched.create ~chaos:(seed mod 2 = 0) ~seed () in
+      List.iter (Rec_sched.add_task s) tids;
+      match Rec_sched.pick s ~runnable:always ~priority:(fun t -> t mod 3) with
+      | Some t -> List.mem t tids
+      | None -> tids = [])
+
+let suites =
+  [ ( "rr.sched",
+      [ Alcotest.test_case "round-robin rotation" `Quick
+          test_round_robin_rotation;
+        Alcotest.test_case "strict priorities" `Quick test_priorities_strict;
+        Alcotest.test_case "round-robin within class" `Quick
+          test_priority_class_round_robin;
+        Alcotest.test_case "runnable filter" `Quick test_runnable_filter;
+        Alcotest.test_case "remove task" `Quick test_remove_task;
+        Alcotest.test_case "fixed timeslice" `Quick
+          test_default_timeslice_constant;
+        QCheck_alcotest.to_alcotest qcheck_chaos_timeslice_bounds;
+        QCheck_alcotest.to_alcotest qcheck_chaos_deterministic;
+        QCheck_alcotest.to_alcotest qcheck_pick_total ] ) ]

@@ -1,0 +1,209 @@
+(* Workload-level integration tests: every paper workload must run in
+   every configuration, replay faithfully, and show the qualitative
+   effects the evaluation section reports. *)
+
+module W = Workload
+
+(* Smaller parameter sets keep the suite fast. *)
+let small_cp () = Wl_cp.make ~params:{ Wl_cp.files = 4; file_kb = 64 } ()
+
+let small_make () =
+  Wl_make.make
+    ~params:{ Wl_make.jobs = 4; compiles = 8; src_kb = 8; compile_work = 2_000 }
+    ()
+
+let small_octane () =
+  Wl_octane.make
+    ~params:{ Wl_octane.threads = 2; iters = 40; calls_per_emit = 40; crunch = 500 }
+    ()
+
+let small_htmltest () =
+  Wl_htmltest.make
+    ~params:
+      { Wl_htmltest.tests = 10; layout_work = 2_000; harness_work = 1_000;
+        jit_every = 2 }
+    ()
+
+let small_samba () =
+  Wl_samba.make
+    ~params:
+      { Wl_samba.echoes = 15; payload = 64; server_work = 1_500;
+        client_work = 800 }
+    ()
+
+let check_roundtrip ?(rec_opts = Recorder.default_opts) w =
+  let base = W.baseline w in
+  Alcotest.(check (option int))
+    (w.W.name ^ " baseline exits 0")
+    (Some 0) base.W.exit_status;
+  let recd, _ = W.record ~opts:rec_opts w in
+  Alcotest.(check (option int))
+    (w.W.name ^ " recorded exit matches")
+    base.W.exit_status recd.W.rec_stats.Recorder.exit_status;
+  let rep, _ = W.replay recd in
+  Alcotest.(check (option int))
+    (w.W.name ^ " replay exit matches")
+    base.W.exit_status rep.W.rep_stats.Replayer.exit_status;
+  (base, recd, rep)
+
+let test_cp_roundtrip () = ignore (check_roundtrip (small_cp ()))
+let test_make_roundtrip () = ignore (check_roundtrip (small_make ()))
+let test_octane_roundtrip () = ignore (check_roundtrip (small_octane ()))
+let test_htmltest_roundtrip () = ignore (check_roundtrip (small_htmltest ()))
+let test_samba_roundtrip () = ignore (check_roundtrip (small_samba ()))
+
+let test_cp_no_intercept_roundtrip () =
+  ignore
+    (check_roundtrip
+       ~rec_opts:{ Recorder.default_opts with intercept = false }
+       (small_cp ()))
+
+let test_samba_no_intercept_roundtrip () =
+  ignore
+    (check_roundtrip
+       ~rec_opts:{ Recorder.default_opts with intercept = false }
+       (small_samba ()))
+
+(* §6.2 checksums across a full workload with desched aborts, threads
+   and blocking syscalls: the strictest divergence check we have. *)
+let test_samba_with_checksums () =
+  ignore
+    (check_roundtrip
+       ~rec_opts:{ Recorder.default_opts with checksum_every = 3 }
+       (small_samba ()))
+
+let test_octane_with_checksums () =
+  ignore
+    (check_roundtrip
+       ~rec_opts:{ Recorder.default_opts with checksum_every = 2 }
+       (small_octane ()))
+
+let test_octane_chaos_roundtrip () =
+  ignore
+    (check_roundtrip
+       ~rec_opts:
+         { Recorder.default_opts with chaos = true; timeslice_rcbs = 5_000 }
+       (small_octane ()))
+
+(* §3.9: cp's trace must carry its data as cloned blocks, nearly free,
+   while disabling cloning copies the bytes instead. *)
+let test_cp_cloning_effect () =
+  let w = small_cp () in
+  let with_cloning, _ = W.record w in
+  let without, _ =
+    W.record ~opts:{ Recorder.default_opts with clone_blocks = false } w
+  in
+  let st_on = Trace.stats with_cloning.W.trace in
+  let st_off = Trace.stats without.W.trace in
+  Alcotest.(check bool)
+    (Printf.sprintf "cloned blocks present (%d)" st_on.Trace.cloned_blocks)
+    true
+    (st_on.Trace.cloned_blocks > 4 * 16);
+  (* 4 files x 64KB *)
+  Alcotest.(check bool)
+    (Printf.sprintf "no-cloning stores bytes in frames (%d vs %d raw)"
+       st_off.Trace.raw_bytes st_on.Trace.raw_bytes)
+    true
+    (st_off.Trace.raw_bytes > 4 * st_on.Trace.raw_bytes)
+
+(* §4.3: interception reduces recording time and ptrace stops. *)
+let test_intercept_effect_on_samba () =
+  let w = small_samba () in
+  let fast, _ = W.record w in
+  let slow, _ =
+    W.record ~opts:{ Recorder.default_opts with intercept = false } w
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "recording faster with interception (%d < %d)"
+       fast.W.rec_stats.Recorder.wall_time slow.W.rec_stats.Recorder.wall_time)
+    true
+    (fast.W.rec_stats.Recorder.wall_time < slow.W.rec_stats.Recorder.wall_time);
+  Alcotest.(check bool) "fewer stops with interception" true
+    (fast.W.rec_stats.Recorder.n_ptrace_stops
+    < slow.W.rec_stats.Recorder.n_ptrace_stops)
+
+(* Figure 6 shape: the DBI null tool crashes on the JIT-churning octane
+   but survives cp. *)
+let test_dbi_crashes_on_octane () =
+  let oct = Instrument.run (Wl_octane.make ()) in
+  Alcotest.(check bool) "octane crashes the DBI" true oct.Instrument.crashed;
+  let cp = Instrument.run (small_cp ()) in
+  Alcotest.(check bool) "cp survives the DBI" false cp.Instrument.crashed
+
+(* §4.5: htmltest's replay memory is much lower than recording because
+   the harness is not replayed. *)
+let test_htmltest_replay_memory () =
+  let w = small_htmltest () in
+  let recd, _ = W.record w in
+  let rep, _ = W.replay recd in
+  Alcotest.(check bool)
+    (Printf.sprintf "replay PSS (%.0f) < record PSS (%.0f)"
+       rep.W.rep_peak_pss recd.W.rec_peak_pss)
+    true
+    (rep.W.rep_peak_pss < recd.W.rec_peak_pss)
+
+(* The recorded trace decodes from its compressed chunks bit-exactly
+   (the on-"disk" representation is self-contained). *)
+let test_workload_trace_decodes () =
+  let recd, _ = W.record (small_samba ()) in
+  let decoded = Trace.decode_events recd.W.trace in
+  Alcotest.(check int) "chunk stream decodes to all events"
+    (Array.length (Trace.events recd.W.trace))
+    (Array.length decoded);
+  Array.iteri
+    (fun i e ->
+      if e <> (Trace.events recd.W.trace).(i) then
+        Alcotest.failf "event %d differs after decode" i)
+    decoded
+
+(* Determinism of recording itself: same seed, same trace. *)
+let test_recording_deterministic () =
+  let run () =
+    let recd, _ = W.record (small_cp ()) in
+    Array.map (Fmt.str "%a" Event.pp) (Trace.events recd.W.trace)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "event streams identical" true (a = b)
+
+(* Different recording seeds can change scheduling, but every recording
+   must still replay. *)
+let qcheck_any_seed_replays =
+  QCheck.Test.make ~name:"replay succeeds for arbitrary recording seeds"
+    ~count:8
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let w = small_samba () in
+      let opts =
+        { Recorder.default_opts with seed = seed + 1; timeslice_rcbs = 7_000 }
+      in
+      let recd, _ = W.record ~opts w in
+      let rep, _ = W.replay recd in
+      rep.W.rep_stats.Replayer.exit_status = Some 0)
+
+let suites =
+  [ ( "workloads.roundtrip",
+      [ Alcotest.test_case "cp" `Quick test_cp_roundtrip;
+        Alcotest.test_case "make" `Quick test_make_roundtrip;
+        Alcotest.test_case "octane" `Quick test_octane_roundtrip;
+        Alcotest.test_case "htmltest" `Quick test_htmltest_roundtrip;
+        Alcotest.test_case "sambatest" `Quick test_samba_roundtrip;
+        Alcotest.test_case "cp (no intercept)" `Quick
+          test_cp_no_intercept_roundtrip;
+        Alcotest.test_case "samba (no intercept)" `Quick
+          test_samba_no_intercept_roundtrip;
+        Alcotest.test_case "octane (chaos)" `Quick test_octane_chaos_roundtrip;
+        Alcotest.test_case "samba (checksums)" `Quick test_samba_with_checksums;
+        Alcotest.test_case "octane (checksums)" `Quick
+          test_octane_with_checksums ] );
+    ( "workloads.effects",
+      [ Alcotest.test_case "cp block cloning" `Quick test_cp_cloning_effect;
+        Alcotest.test_case "interception speeds samba" `Quick
+          test_intercept_effect_on_samba;
+        Alcotest.test_case "DBI crashes on octane" `Quick
+          test_dbi_crashes_on_octane;
+        Alcotest.test_case "htmltest replay memory" `Quick
+          test_htmltest_replay_memory;
+        Alcotest.test_case "trace decodes" `Quick test_workload_trace_decodes;
+        Alcotest.test_case "recording deterministic" `Quick
+          test_recording_deterministic;
+        QCheck_alcotest.to_alcotest qcheck_any_seed_replays ] ) ]
