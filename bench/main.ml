@@ -39,11 +39,11 @@ let measure w =
   let full, _ = Workload.record w in
   let full_rep, _ = Workload.replay full in
   let noi, _ =
-    Workload.record ~opts:{ Recorder.default_opts with intercept = false } w
+    Workload.record ~opts:(Recorder.make_opts ~intercept:false ()) w
   in
   let noi_rep, _ = Workload.replay noi in
   let noc, _ =
-    Workload.record ~opts:{ Recorder.default_opts with clone_blocks = false } w
+    Workload.record ~opts:(Recorder.make_opts ~clone_blocks:false ()) w
   in
   let dbi = Instrument.run w in
   { w; base; single; full; full_rep; noi; noi_rep; noc; dbi }
@@ -176,7 +176,7 @@ let checkpoint_bench () =
   let recd, _ = Workload.record w in
   let r = Replayer.start recd.Workload.trace in
   (* Advance halfway, then measure host time per snapshot. *)
-  let n = Array.length (Trace.events recd.Workload.trace) in
+  let n = Trace.n_events recd.Workload.trace in
   for _ = 1 to n / 2 do
     ignore (Replayer.step r)
   done;
@@ -187,7 +187,7 @@ let checkpoint_bench () =
           acc + Hashtbl.length p.Task.space.Addr_space.pages
         else acc)
       0
-      (Kernel.all_procs r.Replayer.k)
+      (Kernel.all_procs (Replayer.kernel r))
   in
   let t0 = Sys.time () in
   let snaps = Array.init 200 (fun _ -> Replayer.snapshot r) in
@@ -209,12 +209,12 @@ let sysemu_ablation () =
      §2.3.7) ==@.";
   let w = Wl_cp.make () in
   let recd, _ =
-    Workload.record ~opts:{ Recorder.default_opts with intercept = false } w
+    Workload.record ~opts:(Recorder.make_opts ~intercept:false ()) w
   in
   let bp, _ = Workload.replay recd in
   let se, _ =
     Workload.replay
-      ~opts:{ Replayer.default_opts with sysemu_all = true }
+      ~opts:(Replayer.make_opts ~sysemu_all:true ())
       recd
   in
   Fmt.pr "cp replay (no-intercept trace): breakpoint=%d  sysemu=%d  (%.2fx)@."
@@ -226,7 +226,7 @@ let compression_ablation () =
   let w = Wl_samba.make () in
   let on, _ = Workload.record w in
   let off, _ =
-    Workload.record ~opts:{ Recorder.default_opts with compress = false } w
+    Workload.record ~opts:(Recorder.make_opts ~compress:false ()) w
   in
   let son = Trace.stats on.Workload.trace in
   let soff = Trace.stats off.Workload.trace in
@@ -265,7 +265,7 @@ let chaos_ablation () =
       Kernel.install_image k ~path:"/bin/racy" (Guest.build b ~name:"racy" ())
     in
     let opts =
-      { Recorder.default_opts with chaos; seed; timeslice_rcbs = 2_000 }
+      (Recorder.make_opts ~chaos ~seed ~timeslice_rcbs:2_000 ())
     in
     let _, stats, _ = Recorder.record ~opts ~setup ~exe:"/bin/racy" () in
     stats.Recorder.exit_status
@@ -292,7 +292,7 @@ let scratch_ablation () =
   let w = Wl_samba.make () in
   let with_scratch, _ = Workload.record w in
   let without, _ =
-    Workload.record ~opts:{ Recorder.default_opts with scratch = false } w
+    Workload.record ~opts:(Recorder.make_opts ~scratch:false ()) w
   in
   let rep, _ = Workload.replay without in
   Fmt.pr

@@ -43,11 +43,8 @@ let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc)
 
 let opts_of ~no_intercept ~no_cloning ~chaos ~seed =
-  { Recorder.default_opts with
-    intercept = not no_intercept;
-    clone_blocks = not no_cloning;
-    chaos;
-    seed }
+  Recorder.make_opts ~intercept:(not no_intercept)
+    ~clone_blocks:(not no_cloning) ~chaos ~seed ()
 
 let do_record w opts =
   let recd, _k = Workload.record ~opts w in
@@ -113,13 +110,17 @@ let dump_cmd =
   let run name n =
     let w = workload_of_name name in
     let recd, _ = Workload.record w in
-    let events = Trace.events recd.Workload.trace in
-    Fmt.pr "trace of %s: %d frames@." w.Workload.name (Array.length events);
-    Array.iteri
-      (fun i e -> if i < n then Fmt.pr "%5d  %a@." i Event.pp e)
-      events;
-    if Array.length events > n then
-      Fmt.pr "... (%d more)@." (Array.length events - n)
+    let trace = recd.Workload.trace in
+    let total = Trace.n_events trace in
+    Fmt.pr "trace of %s: %d frames@." w.Workload.name total;
+    let c = Trace.Reader.open_ trace in
+    while Trace.Reader.pos c < min n total do
+      let i = Trace.Reader.pos c in
+      Fmt.pr "%5d  %a@." i Event.pp (Trace.Reader.next c)
+    done;
+    if total > n then Fmt.pr "... (%d more)@." (total - n);
+    Fmt.pr "(decoded %d of %d chunks)@." (Trace.decoded_chunks trace)
+      (Array.length (Trace.chunk_index trace))
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"Record a workload and print its trace frames.")
@@ -136,7 +137,7 @@ let debug_cmd =
   let run name watch =
     let w = workload_of_name name in
     let recd, _ =
-      Workload.record ~opts:{ Recorder.default_opts with intercept = false } w
+      Workload.record ~opts:(Recorder.make_opts ~intercept:false ()) w
     in
     let d = Debugger.create ~checkpoint_every:16 recd.Workload.trace in
     Debugger.seek d (Debugger.n_events d);
@@ -151,7 +152,7 @@ let debug_cmd =
           match Debugger.reverse_continue_to d is_sc with
           | Some i ->
             Fmt.pr "reverse-continue: stopped after frame %d (%a)@." i
-              Event.pp (Trace.events recd.Workload.trace).(i);
+              Event.pp (Trace.Reader.frame recd.Workload.trace i);
             back (n - 1)
           | None -> Fmt.pr "reached the beginning@."
       in
@@ -163,14 +164,14 @@ let debug_cmd =
         | tid :: _ -> tid
         | [] -> (
           (* everyone exited; use the root tid from the first exec frame *)
-          match (Trace.events recd.Workload.trace).(0) with
+          match Trace.Reader.frame recd.Workload.trace 0 with
           | Event.E_exec { tid; _ } -> tid
           | _ -> Fmt.failwith "no task to watch")
       in
       (match Debugger.last_change d ~tid ~addr ~len:8 with
       | Some i ->
         Fmt.pr "last write to %#x happened during frame %d: %a@." addr i
-          Event.pp (Trace.events recd.Workload.trace).(i);
+          Event.pp (Trace.Reader.frame recd.Workload.trace i);
         Debugger.seek d i;
         Fmt.pr "value before: %d@." (Debugger.read_word d tid addr);
         Debugger.seek d (i + 1);
@@ -184,11 +185,21 @@ let debug_cmd =
           debugger.")
     Term.(const run $ workload_arg $ watch_arg)
 
+(* Saved-trace commands get CLI-grade errors: a bad file is user error,
+   not a crash.  Format_error can also surface after open, when a lazily
+   decoded chunk turns out corrupt. *)
+let with_trace_errors f =
+  try f () with
+  | Trace.Format_error msg | Sys_error msg ->
+    Fmt.epr "rr_cli: %s@." msg;
+    exit 1
+
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"A saved trace file.")
 
 let replay_file_cmd =
   let run path =
+    with_trace_errors @@ fun () ->
     let trace = Trace.load path in
     let stats, _ = Replayer.replay trace in
     Fmt.pr "replayed %s: exit=%a, %d frames@." path
@@ -204,13 +215,19 @@ let dump_file_cmd =
     Arg.(value & opt int 40 & info [ "n" ] ~doc:"Number of frames to print.")
   in
   let run path n =
+    with_trace_errors @@ fun () ->
     let trace = Trace.load path in
-    let events = Trace.events trace in
-    Fmt.pr "%s: %d frames, %a@." path (Array.length events) Trace.pp_stats
+    let total = Trace.n_events trace in
+    Fmt.pr "%s: %d frames, %a@." path total Trace.pp_stats
       (Trace.stats trace);
-    Array.iteri
-      (fun i e -> if i < n then Fmt.pr "%5d  %a@." i Event.pp e)
-      events
+    (* Only the chunks covering the first [n] frames are inflated. *)
+    let c = Trace.Reader.open_ trace in
+    while Trace.Reader.pos c < min n total do
+      let i = Trace.Reader.pos c in
+      Fmt.pr "%5d  %a@." i Event.pp (Trace.Reader.next c)
+    done;
+    Fmt.pr "(decoded %d of %d chunks)@." (Trace.decoded_chunks trace)
+      (Array.length (Trace.chunk_index trace))
   in
   Cmd.v
     (Cmd.info "dump-file" ~doc:"Print the frames of a saved trace.")

@@ -41,11 +41,8 @@ let () =
   in
   Fmt.pr "recorded: exit status %a, %d trace frames@."
     Fmt.(option int)
-    rec_stats.Recorder.exit_status
-    (Array.length (Trace.events trace));
-  Array.iteri
-    (fun i e -> Fmt.pr "  frame %2d: %a@." i Event.pp e)
-    (Trace.events trace);
+    rec_stats.Recorder.exit_status (Trace.n_events trace);
+  Trace.Reader.iter (fun i e -> Fmt.pr "  frame %2d: %a@." i Event.pp e) trace;
 
   (* 3. Replay it on a fresh kernel seeded differently: if any input had
      escaped the recording, the replay would diverge (and raise). *)

@@ -38,7 +38,7 @@ let build k =
 let () =
   (* Record once (the bug reproduces deterministically from the trace,
      however hard it was to catch live). *)
-  let opts = { Recorder.default_opts with intercept = false } in
+  let opts = Recorder.make_opts ~intercept:false () in
   let trace, stats, _ = Recorder.record ~opts ~setup:build ~exe:"/bin/buggy" () in
   Fmt.pr "program exited with %a (expected 300 mod 256 = 44; 0xbad mod 256 = 173 means corruption)@."
     Fmt.(option int)
@@ -51,7 +51,7 @@ let () =
 
   (* Reverse watchpoint: when did [cell] last change? *)
   let root =
-    match (Trace.events trace).(0) with
+    match Trace.Reader.frame trace 0 with
     | Event.E_exec { tid; _ } -> tid
     | _ -> assert false
   in
@@ -59,7 +59,7 @@ let () =
   | None -> Fmt.pr "the cell never changed?!@."
   | Some frame ->
     Fmt.pr "the final write to %#x happened during frame %d: %a@." cell frame
-      Event.pp (Trace.events trace).(frame);
+      Event.pp (Trace.Reader.frame trace frame);
     (* Travel to just before and just after the culprit frame. *)
     Debugger.seek d frame;
     Fmt.pr "  value before frame %d: %#x@." frame

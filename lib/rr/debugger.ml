@@ -31,9 +31,9 @@ type t = {
   mutable checkpoints_restored : int;
 }
 
-let pos d = d.session.Replayer.idx
+let pos d = Replayer.cursor_index d.session
 
-let n_events d = Array.length (Trace.events d.trace)
+let n_events d = Trace.n_events d.trace
 
 let take_checkpoint d =
   let idx = pos d in
@@ -86,22 +86,13 @@ let seek d target =
 
 let reverse_step d = if pos d > 0 then seek d (pos d - 1)
 
-(* Static frame search (frames are data; no execution needed). *)
-let find_event d ~from p =
-  let events = Trace.events d.trace in
-  let rec go i =
-    if i >= Array.length events then None
-    else if p events.(i) then Some i
-    else go (i + 1)
-  in
-  go (max from 0)
+(* Static frame searches (frames are data; no execution needed).  Both
+   delegate to the chunk-indexed reader, which decodes lazily and can
+   skip whole chunks when given a kind mask. *)
+let find_event ?kind_mask d ~from p = Trace.Reader.find_from ?kind_mask d.trace from p
 
-let rfind_event d ~before p =
-  let events = Trace.events d.trace in
-  let rec go i =
-    if i < 0 then None else if p events.(i) then Some i else go (i - 1)
-  in
-  go (min (before - 1) (Array.length events - 1))
+let rfind_event ?kind_mask d ~before p =
+  Trace.Reader.rfind_before ?kind_mask d.trace before p
 
 (* Run forward to the next frame satisfying [p]; position lands just
    after it.  Returns the frame index. *)
@@ -124,14 +115,14 @@ let reverse_continue_to d p =
 (* ---- state inspection ------------------------------------------------ *)
 
 let task d tid =
-  match Kernel.find_task d.session.Replayer.k tid with
+  match Kernel.find_task (Replayer.kernel d.session) tid with
   | Some t -> t
   | None -> fail "no task %d at event %d" tid (pos d)
 
 let live_tids d =
   List.filter_map
     (fun t -> if T.is_alive t then Some t.T.tid else None)
-    (Kernel.all_tasks d.session.Replayer.k)
+    (Kernel.all_tasks (Replayer.kernel d.session))
 
 let regs d tid =
   let t = task d tid in
@@ -154,7 +145,7 @@ let read_word d tid addr =
    accelerated by seek) sampling the region after every frame. *)
 
 let sample d tid addr len =
-  match Kernel.find_task d.session.Replayer.k tid with
+  match Kernel.find_task (Replayer.kernel d.session) tid with
   | None -> None
   | Some t when not (T.is_alive t) -> None
   | Some t -> (

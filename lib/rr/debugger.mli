@@ -35,9 +35,12 @@ val seek : t -> int -> unit
 
 val reverse_step : t -> unit
 
-val find_event : t -> from:int -> (Event.t -> bool) -> int option
-val rfind_event : t -> before:int -> (Event.t -> bool) -> int option
-(** Static frame searches (frames are data; nothing executes). *)
+val find_event : ?kind_mask:int -> t -> from:int -> (Event.t -> bool) -> int option
+val rfind_event : ?kind_mask:int -> t -> before:int -> (Event.t -> bool) -> int option
+(** Static frame searches (frames are data; nothing executes).  These
+    scan through the chunk-indexed reader; [kind_mask] (an OR of
+    {!Event.kind_bit}) skips chunks with no matching frame kinds without
+    inflating them. *)
 
 val continue_to : t -> (Event.t -> bool) -> int option
 (** Run forward to the next matching frame; lands just after it. *)

@@ -46,6 +46,16 @@ let default_opts =
     max_events = 5_000_000;
     checksum_every = 0 }
 
+let make_opts ?(intercept = default_opts.intercept)
+    ?(scratch = default_opts.scratch)
+    ?(clone_blocks = default_opts.clone_blocks)
+    ?(compress = default_opts.compress) ?(chaos = default_opts.chaos)
+    ?(timeslice_rcbs = default_opts.timeslice_rcbs) ?(seed = default_opts.seed)
+    ?(max_events = default_opts.max_events)
+    ?(checksum_every = default_opts.checksum_every) () =
+  { intercept; scratch; clone_blocks; compress; chaos; timeslice_rcbs; seed;
+    max_events; checksum_every }
+
 type per_task = {
   mutable slot : int;
   mutable saved_locals : bytes;

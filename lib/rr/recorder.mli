@@ -34,6 +34,20 @@ type opts = {
 
 val default_opts : opts
 
+val make_opts :
+  ?intercept:bool ->
+  ?scratch:bool ->
+  ?clone_blocks:bool ->
+  ?compress:bool ->
+  ?chaos:bool ->
+  ?timeslice_rcbs:int ->
+  ?seed:int ->
+  ?max_events:int ->
+  ?checksum_every:int ->
+  unit ->
+  opts
+(** [default_opts] with the given fields overridden. *)
+
 type stats = {
   wall_time : int; (* virtual ns *)
   trace_stats : Trace.stats;

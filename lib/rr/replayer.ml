@@ -39,6 +39,10 @@ type opts = {
 
 let default_opts = { seed = 424242; check_regs = true; sysemu_all = false }
 
+let make_opts ?(seed = default_opts.seed) ?(check_regs = default_opts.check_regs)
+    ?(sysemu_all = default_opts.sysemu_all) () =
+  { seed; check_regs; sysemu_all }
+
 type per_task = {
   batches : E.buf_record list Queue.t;
   mutable saved_locals : bytes;
@@ -50,14 +54,18 @@ type per_task = {
 type t = {
   mutable k : K.t;
   trace : Trace.t;
+  cursor : Trace.Reader.cursor; (* position in the chunk-indexed trace *)
   opts : opts;
   mutable rts : (int, per_task) Hashtbl.t;
   mutable locals_owner : (int, int) Hashtbl.t;
-  mutable idx : int;
   mutable events_applied : int;
   mutable root_tid : int;
   mutable installed : (string * Image.t) list; (* exe path -> image *)
 }
+
+let cursor_index r = Trace.Reader.pos r.cursor
+let kernel r = r.k
+let trace r = r.trace
 
 type stats = {
   wall_time : int;
@@ -106,7 +114,7 @@ let apply_writes task writes =
 let check_pc r task expected what =
   if r.opts.check_regs && task.T.cpu.Cpu.pc <> expected then
     diverged "%s: pc %#x, recorded %#x (task %d, event %d)" what
-      task.T.cpu.Cpu.pc expected task.T.tid r.idx
+      task.T.cpu.Cpu.pc expected task.T.tid (cursor_index r)
 
 (* ---- locals swapping (mirrors the recorder, §3.6) ------------------- *)
 
@@ -178,7 +186,7 @@ let run_to_syscall r t ~nr ~site ~writable_site =
     | T.Stop_seccomp ss | T.Stop_syscall_entry ss ->
       if ss.T.nr <> nr then
         diverged "expected syscall %s, tracee did %s (event %d)"
-          (Sysno.name nr) (Sysno.name ss.T.nr) r.idx;
+          (Sysno.name nr) (Sysno.name ss.T.nr) (cursor_index r);
       if ss.T.site <> site then
         diverged "syscall site %#x, recorded %#x" ss.T.site site;
       (* Suppress the syscall on the way out. *)
@@ -222,7 +230,7 @@ let run_to_point r t (point : E.exec_point) =
   let cur = t.T.cpu.Cpu.pmu.Pmu.rcb in
   if cur > target then
     diverged "rcb overshoot: at %d, target %d (task %d, event %d)" cur target
-      t.T.tid r.idx;
+      t.T.tid (cursor_index r);
   (* Phase 1: coarse approach on the PMU interrupt, programmed early
      because it fires late (§2.4.3). *)
   if cur < target - interrupt_slack then begin
@@ -262,7 +270,7 @@ let run_to_point r t (point : E.exec_point) =
       if t.T.cpu.Cpu.pmu.Pmu.rcb > target then
         diverged
           "ran past execution point (rcb %d > %d, pc %#x, task %d, event %d)"
-          t.T.cpu.Cpu.pmu.Pmu.rcb target t.T.cpu.Cpu.pc t.T.tid r.idx;
+          t.T.cpu.Cpu.pmu.Pmu.rcb target t.T.cpu.Cpu.pc t.T.tid (cursor_index r);
       if point_matches t point then arrived := true
     done;
     if not stepping then A.bp_clear t.T.cpu.Cpu.space pc_target
@@ -358,13 +366,13 @@ let verify_arrival r t (regs_after : E.regs) ~pc_delta =
     for i = 1 to 15 do
       if t.T.cpu.Cpu.regs.(i) <> regs_after.(i) then
         diverged "register r%d = %d, recorded %d (task %d, event %d)" i
-          t.T.cpu.Cpu.regs.(i) regs_after.(i) t.T.tid r.idx
+          t.T.cpu.Cpu.regs.(i) regs_after.(i) t.T.tid (cursor_index r)
     done;
     if t.T.cpu.Cpu.pc + pc_delta <> regs_after.(E.pc_slot) then
       diverged "pc %#x(+%d), recorded %#x (task %d, event %d)"
         t.T.cpu.Cpu.pc pc_delta
         regs_after.(E.pc_slot)
-        t.T.tid r.idx
+        t.T.tid (cursor_index r)
   end
 
 (* The entry half of a blocking syscall (see E_syscall_enter): run the
@@ -549,7 +557,7 @@ let apply_frame r e =
         diverged
           "memory checksum mismatch for task %d at event %d (%#x vs \
            recorded %#x)"
-          tid r.idx now value
+          tid (cursor_index r) now value
     | Some _ | None -> ()));
   r.events_applied <- r.events_applied + 1
 
@@ -587,7 +595,7 @@ let start ?(opts = default_opts) trace =
       opts;
       rts = Hashtbl.create 16;
       locals_owner = Hashtbl.create 8;
-      idx = 0;
+      cursor = Trace.Reader.open_ trace;
       events_applied = 0;
       root_tid = 0;
       installed = [] }
@@ -596,15 +604,17 @@ let start ?(opts = default_opts) trace =
   install_rdrand_hooks k;
   r
 
-let at_end r = r.idx >= Array.length (Trace.events r.trace)
+let at_end r = Trace.Reader.at_end r.cursor
 
-(* Apply the next frame; returns it. *)
+(* Apply the next frame; returns it.  The cursor advances only after the
+   frame applies cleanly, so divergence reports carry its index. *)
 let step r =
-  if at_end r then invalid_arg "Replayer.step: at end of trace";
-  let e = (Trace.events r.trace).(r.idx) in
-  apply_frame r e;
-  r.idx <- r.idx + 1;
-  e
+  match Trace.Reader.peek r.cursor with
+  | None -> invalid_arg "Replayer.step: at end of trace"
+  | Some e ->
+    apply_frame r e;
+    Trace.Reader.seek r.cursor (cursor_index r + 1);
+    e
 
 let stats_of r =
   let exit_status =
@@ -628,7 +638,7 @@ let replay ?(opts = default_opts) ?(on_frame = fun (_ : K.t) -> ()) trace =
      (* The emergency debugger (§6.2): dump the replay state next to the
         divergence report. *)
      Log.err (fun m ->
-         m "replay diverged at frame %d:@,%a" r.idx Diagnostics.pp r.k);
+         m "replay diverged at frame %d:@,%a" (cursor_index r) Diagnostics.pp r.k);
      raise exn);
   (stats_of r, r.k)
 
@@ -730,7 +740,7 @@ let snapshot r =
             sn_in_blocked = st.in_blocked_syscall })
       (K.all_tasks r.k)
   in
-  { snap_idx = r.idx;
+  { snap_idx = (cursor_index r);
     snap_events_applied = r.events_applied;
     snap_root = r.root_tid;
     snap_procs = procs;
@@ -741,13 +751,17 @@ let snapshot r =
 (* Rebuild a live replayer from a snapshot. *)
 let restore ?(opts = default_opts) trace snap =
   let k = K.create ~seed:opts.seed () in
+  (* Reposition by stored frame index: a fresh cursor seeks through the
+     chunk index, no frames re-applied. *)
+  let cursor = Trace.Reader.open_ trace in
+  Trace.Reader.seek cursor snap.snap_idx;
   let r =
     { k;
       trace;
+      cursor;
       opts;
       rts = Hashtbl.create 16;
       locals_owner = Hashtbl.create 8;
-      idx = snap.snap_idx;
       events_applied = snap.snap_events_applied;
       root_tid = snap.snap_root;
       installed = snap.snap_installed }

@@ -7,6 +7,9 @@
     reproduced exactly; every applied frame cross-checks tracee state and
     raises {!Divergence} on any mismatch.
 
+    Frames are pulled through a {!Trace.Reader} cursor, never a decoded
+    array — replay memory stays bounded by one trace chunk.
+
     Per frame kind:
     - syscalls: software breakpoint at the recorded site, one ptrace stop,
       apply recorded registers and memory effects, skip the instruction
@@ -28,24 +31,12 @@ type opts = {
 
 val default_opts : opts
 
-type per_task = {
-  batches : Event.buf_record list Queue.t;
-  mutable saved_locals : bytes;
-  mutable next_resume : Task.resume_how;
-  mutable in_blocked_syscall : bool;
-}
+val make_opts :
+  ?seed:int -> ?check_regs:bool -> ?sysemu_all:bool -> unit -> opts
+(** [default_opts] with the given fields overridden. *)
 
-type t = {
-  mutable k : Kernel.t;
-  trace : Trace.t;
-  opts : opts;
-  mutable rts : (int, per_task) Hashtbl.t;
-  mutable locals_owner : (int, int) Hashtbl.t;
-  mutable idx : int; (* index of the next frame to apply *)
-  mutable events_applied : int;
-  mutable root_tid : int;
-  mutable installed : (string * Image.t) list;
-}
+type t
+(** A live incremental replay session. *)
 
 type stats = {
   wall_time : int;
@@ -67,13 +58,22 @@ val step : t -> Event.t
 
 val stats_of : t -> stats
 
+val cursor_index : t -> int
+(** Index of the next frame to apply (the session's trace cursor). *)
+
+val kernel : t -> Kernel.t
+(** The simulated kernel the session replays into. *)
+
+val trace : t -> Trace.t
+
 (** {2 Checkpoints (paper §6.1)}
 
     A checkpoint is a COW snapshot of the whole replay: address spaces
     are forked (copy-on-write page sharing — creating one is cheap no
     matter the tracee size), task registers/counters and the replayer's
-    cursor are copied.  "Most checkpoints are never resumed", so creation
-    cost is what matters. *)
+    frame index are copied; restore re-seeks the trace cursor through the
+    chunk index.  "Most checkpoints are never resumed", so creation cost
+    is what matters. *)
 
 type snapshot
 

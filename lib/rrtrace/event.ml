@@ -398,6 +398,28 @@ let decode s =
     E_checksum { tid; value }
   | n -> raise (Codec.Corrupt (Printf.sprintf "event tag %d" n))
 
+(* Stable small integers naming each frame kind — the encode tags.  The
+   trace's chunk index summarizes each chunk as a bitmask of these, so a
+   frame search can skip whole chunks without inflating them. *)
+let num_kinds = 13
+
+let kind_id = function
+  | E_syscall _ -> 0
+  | E_clone _ -> 1
+  | E_exec _ -> 2
+  | E_mmap _ -> 3
+  | E_signal _ -> 4
+  | E_sched _ -> 5
+  | E_insn_trap _ -> 6
+  | E_patch _ -> 7
+  | E_buf_flush _ -> 8
+  | E_exit _ -> 9
+  | E_rr_setup _ -> 10
+  | E_syscall_enter _ -> 11
+  | E_checksum _ -> 12
+
+let kind_bit e = 1 lsl kind_id e
+
 let kind_name = function
   | E_syscall { nr; _ } -> "syscall:" ^ Sysno.name nr
   | E_syscall_enter { nr; _ } -> "syscall-enter:" ^ Sysno.name nr

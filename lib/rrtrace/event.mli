@@ -118,5 +118,14 @@ val tid_of : t -> int
 val encode : Codec.sink -> t -> unit
 val decode : Codec.source -> t
 
+val num_kinds : int
+
+val kind_id : t -> int
+(** Stable id (0..[num_kinds]-1) of a frame's constructor — the same tag
+    the chunk encoding uses. *)
+
+val kind_bit : t -> int
+(** [1 lsl kind_id e]; chunk-index kind summaries are ORs of these. *)
+
 val kind_name : t -> string
 val pp : t Fmt.t

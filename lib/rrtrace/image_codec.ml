@@ -1,0 +1,258 @@
+(* Codec serialization for executable images.
+
+   Trace files must be self-describing and independent of the OCaml
+   runtime's Marshal layout (the deployability concern of the paper's
+   tech report), so the images cloned into a trace are written with the
+   same varint codec as the frame stream: a tag per instruction
+   constructor, zigzag varints for operands and addresses. *)
+
+module C = Codec
+
+let corrupt fmt = Fmt.kstr (fun s -> raise (C.Corrupt s)) fmt
+
+(* ---- operands, conditions, ALU ops ---------------------------------- *)
+
+let put_operand b = function
+  | Insn.Imm v ->
+    C.put_uvarint b 0;
+    C.put_int b v
+  | Insn.Reg r ->
+    C.put_uvarint b 1;
+    C.put_int b r
+
+let get_operand s =
+  match C.get_uvarint s with
+  | 0 -> Insn.Imm (C.get_int s)
+  | 1 -> Insn.Reg (C.get_int s)
+  | n -> corrupt "operand tag %d" n
+
+let cond_id = function
+  | Insn.Eq -> 0
+  | Insn.Ne -> 1
+  | Insn.Lt -> 2
+  | Insn.Le -> 3
+  | Insn.Gt -> 4
+  | Insn.Ge -> 5
+
+let cond_of = function
+  | 0 -> Insn.Eq
+  | 1 -> Insn.Ne
+  | 2 -> Insn.Lt
+  | 3 -> Insn.Le
+  | 4 -> Insn.Gt
+  | 5 -> Insn.Ge
+  | n -> corrupt "cond tag %d" n
+
+let alu_id = function
+  | Insn.Add -> 0
+  | Insn.Sub -> 1
+  | Insn.Mul -> 2
+  | Insn.Div -> 3
+  | Insn.Rem -> 4
+  | Insn.And -> 5
+  | Insn.Or -> 6
+  | Insn.Xor -> 7
+  | Insn.Shl -> 8
+  | Insn.Shr -> 9
+
+let alu_of = function
+  | 0 -> Insn.Add
+  | 1 -> Insn.Sub
+  | 2 -> Insn.Mul
+  | 3 -> Insn.Div
+  | 4 -> Insn.Rem
+  | 5 -> Insn.And
+  | 6 -> Insn.Or
+  | 7 -> Insn.Xor
+  | 8 -> Insn.Shl
+  | 9 -> Insn.Shr
+  | n -> corrupt "alu tag %d" n
+
+(* ---- instructions ---------------------------------------------------- *)
+
+let put_insn b = function
+  | Insn.Nop -> C.put_uvarint b 0
+  | Insn.Mov (r, o) ->
+    C.put_uvarint b 1;
+    C.put_int b r;
+    put_operand b o
+  | Insn.Alu (op, r, o) ->
+    C.put_uvarint b 2;
+    C.put_uvarint b (alu_id op);
+    C.put_int b r;
+    put_operand b o
+  | Insn.Load (d, a, off) ->
+    C.put_uvarint b 3;
+    C.put_int b d;
+    C.put_int b a;
+    C.put_int b off
+  | Insn.Store (v, a, off) ->
+    C.put_uvarint b 4;
+    C.put_int b v;
+    C.put_int b a;
+    C.put_int b off
+  | Insn.Load8 (d, a, off) ->
+    C.put_uvarint b 5;
+    C.put_int b d;
+    C.put_int b a;
+    C.put_int b off
+  | Insn.Store8 (v, a, off) ->
+    C.put_uvarint b 6;
+    C.put_int b v;
+    C.put_int b a;
+    C.put_int b off
+  | Insn.Jmp a ->
+    C.put_uvarint b 7;
+    C.put_int b a
+  | Insn.Jcc (c, r, o, a) ->
+    C.put_uvarint b 8;
+    C.put_uvarint b (cond_id c);
+    C.put_int b r;
+    put_operand b o;
+    C.put_int b a
+  | Insn.Call a ->
+    C.put_uvarint b 9;
+    C.put_int b a
+  | Insn.Callr r ->
+    C.put_uvarint b 10;
+    C.put_int b r
+  | Insn.Ret -> C.put_uvarint b 11
+  | Insn.Push o ->
+    C.put_uvarint b 12;
+    put_operand b o
+  | Insn.Pop r ->
+    C.put_uvarint b 13;
+    C.put_int b r
+  | Insn.Syscall -> C.put_uvarint b 14
+  | Insn.Rdtsc r ->
+    C.put_uvarint b 15;
+    C.put_int b r
+  | Insn.Rdrand r ->
+    C.put_uvarint b 16;
+    C.put_int b r
+  | Insn.Cpuid_core r ->
+    C.put_uvarint b 17;
+    C.put_int b r
+  | Insn.Cas (a, expect, new_, out) ->
+    C.put_uvarint b 18;
+    C.put_int b a;
+    C.put_int b expect;
+    C.put_int b new_;
+    C.put_int b out
+  | Insn.Pause -> C.put_uvarint b 19
+  | Insn.Emit (a, v) ->
+    C.put_uvarint b 20;
+    C.put_int b a;
+    C.put_int b v
+  | Insn.Hook n ->
+    C.put_uvarint b 21;
+    C.put_int b n
+  | Insn.Halt -> C.put_uvarint b 22
+
+let get_insn s =
+  match C.get_uvarint s with
+  | 0 -> Insn.Nop
+  | 1 ->
+    let r = C.get_int s in
+    Insn.Mov (r, get_operand s)
+  | 2 ->
+    let op = alu_of (C.get_uvarint s) in
+    let r = C.get_int s in
+    Insn.Alu (op, r, get_operand s)
+  | 3 ->
+    let d = C.get_int s in
+    let a = C.get_int s in
+    Insn.Load (d, a, C.get_int s)
+  | 4 ->
+    let v = C.get_int s in
+    let a = C.get_int s in
+    Insn.Store (v, a, C.get_int s)
+  | 5 ->
+    let d = C.get_int s in
+    let a = C.get_int s in
+    Insn.Load8 (d, a, C.get_int s)
+  | 6 ->
+    let v = C.get_int s in
+    let a = C.get_int s in
+    Insn.Store8 (v, a, C.get_int s)
+  | 7 -> Insn.Jmp (C.get_int s)
+  | 8 ->
+    let c = cond_of (C.get_uvarint s) in
+    let r = C.get_int s in
+    let o = get_operand s in
+    Insn.Jcc (c, r, o, C.get_int s)
+  | 9 -> Insn.Call (C.get_int s)
+  | 10 -> Insn.Callr (C.get_int s)
+  | 11 -> Insn.Ret
+  | 12 -> Insn.Push (get_operand s)
+  | 13 -> Insn.Pop (C.get_int s)
+  | 14 -> Insn.Syscall
+  | 15 -> Insn.Rdtsc (C.get_int s)
+  | 16 -> Insn.Rdrand (C.get_int s)
+  | 17 -> Insn.Cpuid_core (C.get_int s)
+  | 18 ->
+    let a = C.get_int s in
+    let expect = C.get_int s in
+    let new_ = C.get_int s in
+    Insn.Cas (a, expect, new_, C.get_int s)
+  | 19 -> Insn.Pause
+  | 20 ->
+    let a = C.get_int s in
+    Insn.Emit (a, C.get_int s)
+  | 21 -> Insn.Hook (C.get_int s)
+  | 22 -> Insn.Halt
+  | n -> corrupt "insn tag %d" n
+
+(* ---- programs and images --------------------------------------------- *)
+
+let put_program b (p : Asm.program) =
+  C.put_int b p.Asm.base;
+  C.put_array b put_insn p.Asm.code;
+  C.put_list b
+    (fun b (name, addr) ->
+      C.put_string b name;
+      C.put_int b addr)
+    p.Asm.symbols
+
+let get_program s : Asm.program =
+  let base = C.get_int s in
+  let code = C.get_array s get_insn in
+  let symbols =
+    C.get_list s (fun s ->
+        let name = C.get_string s in
+        (name, C.get_int s))
+  in
+  { Asm.base; code; symbols }
+
+let put_image b (img : Image.t) =
+  C.put_string b img.Image.name;
+  put_program b img.Image.prog;
+  C.put_int b img.Image.entry;
+  C.put_list b
+    (fun b (addr, len) ->
+      C.put_int b addr;
+      C.put_int b len)
+    img.Image.data_maps;
+  C.put_list b
+    (fun b (addr, data) ->
+      C.put_int b addr;
+      C.put_string b data)
+    img.Image.data_init;
+  C.put_int b img.Image.stack_size
+
+let get_image s : Image.t =
+  let name = C.get_string s in
+  let prog = get_program s in
+  let entry = C.get_int s in
+  let data_maps =
+    C.get_list s (fun s ->
+        let addr = C.get_int s in
+        (addr, C.get_int s))
+  in
+  let data_init =
+    C.get_list s (fun s ->
+        let addr = C.get_int s in
+        (addr, C.get_string s))
+  in
+  let stack_size = C.get_int s in
+  { Image.name; prog; entry; data_maps; data_init; stack_size }

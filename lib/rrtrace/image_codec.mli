@@ -1,0 +1,15 @@
+(** Codec serialization for executable images cloned into a trace.
+
+    Keeps trace files self-describing and independent of the OCaml
+    runtime's Marshal layout: every instruction is a tagged varint
+    record, so a trace written by one build loads in any other. *)
+
+val put_insn : Codec.sink -> Insn.t -> unit
+val get_insn : Codec.source -> Insn.t
+(** Raises {!Codec.Corrupt} on unknown tags. *)
+
+val put_program : Codec.sink -> Asm.program -> unit
+val get_program : Codec.source -> Asm.program
+
+val put_image : Codec.sink -> Image.t -> unit
+val get_image : Codec.source -> Image.t

@@ -1,10 +1,18 @@
-(* Trace container, writer and reader.
+(* Chunk-indexed trace store: writer, cursor reader, persistence.
 
    General frame data is serialized ({!Event}) and deflate-compressed in
    chunks — the "all other trace data" stream of paper §2.7/Table 2.
    Memory-mapped executables and block-cloned file data are *not* run
    through the compressor: they are cloned (hard-link/FICLONE style) and
-   accounted separately, which is exactly what makes rr traces cheap. *)
+   accounted separately, which is exactly what makes rr traces cheap.
+
+   Unlike a decoded event array, the store keeps only the compressed
+   chunks plus a per-chunk index {first_frame; n_frames; byte_offset;
+   kinds}.  Frames are decoded one chunk at a time on demand through
+   {!Reader}, with a small LRU of decoded chunks, so memory stays
+   proportional to one chunk and a seek costs O(log n_chunks) — the
+   property the debugger's checkpoint/reverse-execution substrate
+   (paper §6.1) leans on. *)
 
 type stats = {
   mutable n_events : int;
@@ -29,22 +37,46 @@ let new_stats () =
     n_buffered_syscalls = 0;
     n_traced_syscalls = 0 }
 
-type t = {
-  events : Event.t array;
-  images : (string, Image.t) Hashtbl.t; (* trace path -> executable image *)
-  files : (string, string) Hashtbl.t; (* trace path -> snapshotted bytes *)
-  chunks : string list; (* compressed frame chunks, in order *)
-  stats : stats;
-  initial_exe : string;
+type chunk_info = {
+  first_frame : int;
+  n_frames : int;
+  byte_offset : int; (* into the concatenated stored-chunk stream *)
+  stored_len : int;
+  kinds : int; (* OR of Event.kind_bit for every frame in the chunk *)
 }
 
-let chunk_limit = 1 lsl 16
+type t = {
+  index : chunk_info array;
+  chunks : string array; (* stored (possibly deflated) chunk bytes *)
+  compressed : bool;
+  images : (string, Image.t) Hashtbl.t; (* trace path -> executable image *)
+  files : (string, string) Hashtbl.t; (* trace path -> snapshotted bytes *)
+  stats : stats;
+  initial_exe : string;
+  (* LRU of decoded chunks, shared by every cursor over this trace; MRU
+     first.  [chunk_decodes] counts cache misses — the number of chunks
+     actually inflated+decoded, which tests use to prove laziness. *)
+  mutable cache : (int * Event.t array) list;
+  mutable chunk_decodes : int;
+}
+
+let default_chunk_limit = 1 lsl 16
+let cache_slots = 8
+
+exception Format_error of string
+
+let format_fail fmt = Fmt.kstr (fun s -> raise (Format_error s)) fmt
 
 module Writer = struct
   type w = {
-    mutable rev_events : Event.t list;
     mutable rev_chunks : string list;
+    mutable rev_index : chunk_info list;
     mutable pending : Codec.sink;
+    mutable pending_frames : int;
+    mutable pending_kinds : int;
+    mutable frames_flushed : int; (* first_frame of the pending chunk *)
+    mutable byte_offset : int;
+    chunk_limit : int;
     images : (string, Image.t) Hashtbl.t;
     files : (string, string) Hashtbl.t;
     stats : stats;
@@ -52,31 +84,52 @@ module Writer = struct
     compress : bool;
   }
 
-  let create ?(compress = true) ~initial_exe () =
-    { rev_events = [];
-      rev_chunks = [];
+  let create ?(compress = true) ?(chunk_limit = default_chunk_limit)
+      ~initial_exe () =
+    { rev_chunks = [];
+      rev_index = [];
       pending = Codec.sink ();
+      pending_frames = 0;
+      pending_kinds = 0;
+      frames_flushed = 0;
+      byte_offset = 0;
+      chunk_limit;
       images = Hashtbl.create 8;
       files = Hashtbl.create 8;
       stats = new_stats ();
       exe = initial_exe;
       compress }
 
+  (* Flush the pending frames as one stored chunk, emitting its index
+     entry as we go — the index is built incrementally, never by a
+     post-hoc scan. *)
   let flush_chunk w =
-    if Buffer.length w.pending > 0 then begin
+    if w.pending_frames > 0 then begin
       let raw = Buffer.contents w.pending in
       Buffer.clear w.pending;
       let stored = if w.compress then Compress.deflate raw else raw in
       w.stats.compressed_bytes <-
         w.stats.compressed_bytes + String.length stored;
       w.stats.n_chunks <- w.stats.n_chunks + 1;
-      w.rev_chunks <- stored :: w.rev_chunks
+      w.rev_chunks <- stored :: w.rev_chunks;
+      w.rev_index <-
+        { first_frame = w.frames_flushed;
+          n_frames = w.pending_frames;
+          byte_offset = w.byte_offset;
+          stored_len = String.length stored;
+          kinds = w.pending_kinds }
+        :: w.rev_index;
+      w.byte_offset <- w.byte_offset + String.length stored;
+      w.frames_flushed <- w.frames_flushed + w.pending_frames;
+      w.pending_frames <- 0;
+      w.pending_kinds <- 0
     end
 
   (* Append one frame; returns the serialized size (for cost charging). *)
   let event w e =
-    w.rev_events <- e :: w.rev_events;
     w.stats.n_events <- w.stats.n_events + 1;
+    w.pending_frames <- w.pending_frames + 1;
+    w.pending_kinds <- w.pending_kinds lor Event.kind_bit e;
     let before = Buffer.length w.pending in
     Event.encode w.pending e;
     let sz = Buffer.length w.pending - before in
@@ -92,7 +145,7 @@ module Writer = struct
     | Event.E_exit _ | Event.E_rr_setup _ | Event.E_syscall_enter _
     | Event.E_checksum _ ->
       ());
-    if Buffer.length w.pending >= chunk_limit then flush_chunk w;
+    if Buffer.length w.pending >= w.chunk_limit then flush_chunk w;
     sz
 
   (* Snapshot an executable image into the trace (hard link / clone):
@@ -128,17 +181,24 @@ module Writer = struct
 
   let finish w =
     flush_chunk w;
-    { events = Array.of_list (List.rev w.rev_events);
+    { index = Array.of_list (List.rev w.rev_index);
+      chunks = Array.of_list (List.rev w.rev_chunks);
+      compressed = w.compress;
       images = w.images;
       files = w.files;
-      chunks = List.rev w.rev_chunks;
       stats = w.stats;
-      initial_exe = w.exe }
+      initial_exe = w.exe;
+      cache = [];
+      chunk_decodes = 0 }
 end
 
-let events t = t.events
+let n_events t = t.stats.n_events
 
 let stats t = t.stats
+
+let chunk_index t = t.index
+
+let decoded_chunks t = t.chunk_decodes
 
 let image t path =
   match Hashtbl.find_opt t.images path with
@@ -150,46 +210,371 @@ let file t path =
   | Some d -> d
   | None -> Fmt.invalid_arg "trace: no file %s" path
 
-(* Decode the compressed chunk stream back into events — proves the trace
-   on disk is self-contained (used by tests and `rr dump`). *)
-let decode_events t =
-  let out = ref [] in
-  List.iter
-    (fun chunk ->
-      let raw = Compress.inflate chunk in
-      let s = Codec.source raw in
-      while not (Codec.eof s) do
-        out := Event.decode s :: !out
-      done)
-    t.chunks;
-  Array.of_list (List.rev !out)
+(* ---- chunk decoding (the only path from stored bytes to frames) ----- *)
 
-(* Host-filesystem persistence.  Frames are stored in the compressed
-   chunk encoding; images and snapshotted files ride along via Marshal
-   (they are plain data).  The header guards against version skew. *)
-let magic = "RRTRACE1"
+let decode_chunk_raw t ci stored =
+  try
+    let raw = if t.compressed then Compress.inflate stored else stored in
+    let s = Codec.source raw in
+    let out = Array.make ci.n_frames Event.(E_exit { tid = 0; status = 0 }) in
+    for i = 0 to ci.n_frames - 1 do
+      out.(i) <- Event.decode s
+    done;
+    if not (Codec.eof s) then
+      raise (Codec.Corrupt "trailing bytes after last frame");
+    out
+  with
+  | Compress.Corrupt msg | Codec.Corrupt msg ->
+    format_fail "corrupt chunk at frame %d: %s" ci.first_frame msg
+
+(* Fetch chunk [ci_idx] decoded, through the LRU. *)
+let chunk_frames t ci_idx =
+  match List.assoc_opt ci_idx t.cache with
+  | Some frames ->
+    (* move to front *)
+    t.cache <-
+      (ci_idx, frames) :: List.remove_assoc ci_idx t.cache;
+    frames
+  | None ->
+    let frames = decode_chunk_raw t t.index.(ci_idx) t.chunks.(ci_idx) in
+    t.chunk_decodes <- t.chunk_decodes + 1;
+    t.cache <- (ci_idx, frames) :: t.cache;
+    (if List.length t.cache > cache_slots then
+       t.cache <- List.filteri (fun i _ -> i < cache_slots) t.cache);
+    frames
+
+(* Binary search: the chunk containing frame [i]. *)
+let chunk_of_frame t i =
+  let lo = ref 0 and hi = ref (Array.length t.index - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.index.(mid).first_frame <= i then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+module Reader = struct
+  type cursor = { t : t; mutable pos : int }
+
+  let open_ t = { t; pos = 0 }
+
+  let pos c = c.pos
+  let length c = n_events c.t
+  let at_end c = c.pos >= n_events c.t
+
+  let seek c i =
+    if i < 0 || i > n_events c.t then
+      Fmt.invalid_arg "Trace.Reader.seek: %d out of range [0,%d]" i
+        (n_events c.t);
+    c.pos <- i
+
+  let frame t i =
+    if i < 0 || i >= n_events t then
+      Fmt.invalid_arg "Trace.Reader.frame: %d out of range [0,%d)" i
+        (n_events t);
+    let ci_idx = chunk_of_frame t i in
+    (chunk_frames t ci_idx).(i - t.index.(ci_idx).first_frame)
+
+  let peek c = if at_end c then None else Some (frame c.t c.pos)
+
+  let next c =
+    match peek c with
+    | None -> invalid_arg "Trace.Reader.next: at end of trace"
+    | Some e ->
+      c.pos <- c.pos + 1;
+      e
+
+  (* Fold over every frame of the trace, one chunk at a time.  Chunks
+     pass through the LRU, so a whole-trace fold costs one decode per
+     chunk and holds at most [cache_slots] of them. *)
+  let fold f t acc =
+    let acc = ref acc in
+    Array.iteri
+      (fun ci_idx ci ->
+        let frames = chunk_frames t ci_idx in
+        Array.iteri (fun j e -> acc := f (ci.first_frame + j) e !acc) frames)
+      t.index;
+    !acc
+
+  let iter f t = fold (fun i e () -> f i e) t ()
+
+  let to_array t =
+    Array.init (n_events t) (fun i -> frame t i)
+
+  (* Frame searches.  [kind_mask], when given, lets the index skip whole
+     chunks containing no frame of the wanted kinds — those chunks are
+     never inflated. *)
+  let chunk_may_match ci = function
+    | None -> true
+    | Some mask -> ci.kinds land mask <> 0
+
+  let find_from ?kind_mask t from p =
+    let n = n_events t in
+    let from = max from 0 in
+    if from >= n then None
+    else begin
+      let result = ref None in
+      let ci_idx = ref (chunk_of_frame t from) in
+      while !result = None && !ci_idx < Array.length t.index do
+        let ci = t.index.(!ci_idx) in
+        if chunk_may_match ci kind_mask then begin
+          let frames = chunk_frames t !ci_idx in
+          let j = ref (max 0 (from - ci.first_frame)) in
+          while !result = None && !j < ci.n_frames do
+            if p frames.(!j) then result := Some (ci.first_frame + !j);
+            incr j
+          done
+        end;
+        incr ci_idx
+      done;
+      !result
+    end
+
+  let rfind_before ?kind_mask t before p =
+    let n = n_events t in
+    let start = min (before - 1) (n - 1) in
+    if start < 0 then None
+    else begin
+      let result = ref None in
+      let ci_idx = ref (chunk_of_frame t start) in
+      while !result = None && !ci_idx >= 0 do
+        let ci = t.index.(!ci_idx) in
+        if chunk_may_match ci kind_mask then begin
+          let frames = chunk_frames t !ci_idx in
+          let j = ref (min (ci.n_frames - 1) (start - ci.first_frame)) in
+          while !result = None && !j >= 0 do
+            if p frames.(!j) then result := Some (ci.first_frame + !j);
+            decr j
+          done
+        end;
+        decr ci_idx
+      done;
+      !result
+    end
+end
+
+(* Rebuild the chunk stream with every frame rewritten by [f], keeping
+   chunk boundaries.  A testing/tooling device (trace surgery, tamper
+   injection); stats carry over with the frame-stream byte counts
+   recomputed. *)
+let map_frames f t =
+  let stats =
+    { t.stats with raw_bytes = 0; compressed_bytes = 0 }
+  in
+  let n_chunks = Array.length t.index in
+  if n_chunks = 0 then { t with stats; cache = []; chunk_decodes = 0 }
+  else begin
+  let chunks = Array.make n_chunks "" in
+  let index = Array.make n_chunks t.index.(0) in
+  let byte_offset = ref 0 in
+  Array.iteri
+    (fun ci_idx ci ->
+      let frames = decode_chunk_raw t ci t.chunks.(ci_idx) in
+      let kinds = ref 0 in
+      let b = Codec.sink () in
+      Array.iteri
+        (fun j e ->
+          let e' = f (ci.first_frame + j) e in
+          kinds := !kinds lor Event.kind_bit e';
+          Event.encode b e')
+        frames;
+      let raw = Buffer.contents b in
+      stats.raw_bytes <- stats.raw_bytes + String.length raw;
+      let stored = if t.compressed then Compress.deflate raw else raw in
+      stats.compressed_bytes <- stats.compressed_bytes + String.length stored;
+      chunks.(ci_idx) <- stored;
+      index.(ci_idx) <-
+        { ci with
+          byte_offset = !byte_offset;
+          stored_len = String.length stored;
+          kinds = !kinds };
+      byte_offset := !byte_offset + String.length stored)
+    t.index;
+  { t with index; chunks; stats; cache = []; chunk_decodes = 0 }
+  end
+
+(* ---- host-filesystem persistence -------------------------------------
+
+   A self-describing versioned binary format, written and read entirely
+   with {!Codec} — no Marshal, so the file layout does not depend on the
+   OCaml runtime:
+
+     magic "RRTRACE2"          8 bytes
+     payload length            8 bytes, little-endian
+     payload:
+       format version          uvarint
+       compressed flag         bool
+       initial exe             string
+       stats                   9 uvarints
+       chunk index             list of {first_frame; n_frames;
+                                        byte_offset; stored_len; kinds}
+       chunk stream            length-prefixed concatenated chunks
+       files section           list of (path, bytes)
+       images section          list of (path, image)
+
+   Truncation is caught by the declared payload length, version skew by
+   the magic/version fields, and index corruption by the bounds checks —
+   all at open, without inflating a single chunk. *)
+
+let magic = "RRTRACE2"
+let magic_v1 = "RRTRACE1"
+let format_version = 2
+
+let put_chunk_info b ci =
+  Codec.put_uvarint b ci.first_frame;
+  Codec.put_uvarint b ci.n_frames;
+  Codec.put_uvarint b ci.byte_offset;
+  Codec.put_uvarint b ci.stored_len;
+  Codec.put_uvarint b ci.kinds
+
+let get_chunk_info s =
+  let first_frame = Codec.get_uvarint s in
+  let n_frames = Codec.get_uvarint s in
+  let byte_offset = Codec.get_uvarint s in
+  let stored_len = Codec.get_uvarint s in
+  let kinds = Codec.get_uvarint s in
+  { first_frame; n_frames; byte_offset; stored_len; kinds }
+
+let put_stats b s =
+  List.iter (Codec.put_uvarint b)
+    [ s.n_events; s.raw_bytes; s.compressed_bytes; s.cloned_blocks;
+      s.cloned_bytes; s.copied_file_bytes; s.n_chunks;
+      s.n_buffered_syscalls; s.n_traced_syscalls ]
+
+let get_stats s =
+  let g () = Codec.get_uvarint s in
+  let n_events = g () in
+  let raw_bytes = g () in
+  let compressed_bytes = g () in
+  let cloned_blocks = g () in
+  let cloned_bytes = g () in
+  let copied_file_bytes = g () in
+  let n_chunks = g () in
+  let n_buffered_syscalls = g () in
+  let n_traced_syscalls = g () in
+  { n_events; raw_bytes; compressed_bytes; cloned_blocks; cloned_bytes;
+    copied_file_bytes; n_chunks; n_buffered_syscalls; n_traced_syscalls }
 
 let save t path =
+  let b = Codec.sink () in
+  Codec.put_uvarint b format_version;
+  Codec.put_bool b t.compressed;
+  Codec.put_string b t.initial_exe;
+  put_stats b t.stats;
+  Codec.put_list b put_chunk_info (Array.to_list t.index);
+  let stream_len =
+    Array.fold_left (fun acc c -> acc + String.length c) 0 t.chunks
+  in
+  Codec.put_uvarint b stream_len;
+  Array.iter (Buffer.add_string b) t.chunks;
+  let assoc tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  let by_path (a, _) (b, _) = compare (a : string) b in
+  Codec.put_list b
+    (fun b (p, data) ->
+      Codec.put_string b p;
+      Codec.put_string b data)
+    (List.sort by_path (assoc t.files));
+  Codec.put_list b
+    (fun b (p, img) ->
+      Codec.put_string b p;
+      Image_codec.put_image b img)
+    (List.sort by_path (assoc t.images));
+  let payload = Buffer.contents b in
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc magic;
-      Marshal.to_channel oc t [])
+      let len = Bytes.create 8 in
+      Bytes.set_int64_le len 0 (Int64.of_int (String.length payload));
+      output_bytes oc len;
+      output_string oc payload)
 
 let load path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let m = really_input_string ic (String.length magic) in
-      if m <> magic then failwith (path ^ ": not a trace file");
-      let t : t = Marshal.from_channel ic in
-      (* cross-check the self-contained chunk stream *)
-      let decoded = decode_events t in
-      if Array.length decoded <> Array.length t.events then
-        failwith (path ^ ": corrupt trace (chunk stream mismatch)");
-      t)
+      let read_exactly n what =
+        try really_input_string ic n
+        with End_of_file ->
+          format_fail "%s: truncated trace file (while reading %s)" path what
+      in
+      let m = read_exactly (String.length magic) "magic" in
+      if m = magic_v1 then
+        format_fail
+          "%s: trace format version 1 (Marshal-based) is no longer \
+           supported; re-record"
+          path;
+      if m <> magic then format_fail "%s: not an rr trace file (bad magic)" path;
+      let declared =
+        Int64.to_int (Bytes.get_int64_le (Bytes.of_string (read_exactly 8 "length")) 0)
+      in
+      let remaining = in_channel_length ic - pos_in ic in
+      if declared < 0 || remaining < declared then
+        format_fail
+          "%s: truncated trace file (payload declares %d bytes, file has %d)"
+          path declared remaining;
+      let payload = read_exactly declared "payload" in
+      let s = Codec.source payload in
+      try
+        let version = Codec.get_uvarint s in
+        if version <> format_version then
+          format_fail "%s: trace format version %d, this build reads %d" path
+            version format_version;
+        let compressed = Codec.get_bool s in
+        let initial_exe = Codec.get_string s in
+        let stats = get_stats s in
+        let index = Array.of_list (Codec.get_list s get_chunk_info) in
+        let stream = Codec.get_string s in
+        (* Index sanity — bounds, contiguity, frame accounting — checked
+           here at open, instead of inflating every chunk to count. *)
+        if Array.length index <> stats.n_chunks then
+          format_fail "%s: chunk index length %d, stats claim %d" path
+            (Array.length index) stats.n_chunks;
+        let expected_off = ref 0 and expected_frame = ref 0 in
+        Array.iter
+          (fun ci ->
+            if ci.byte_offset <> !expected_off then
+              format_fail "%s: chunk stream gap at byte %d" path !expected_off;
+            if ci.first_frame <> !expected_frame then
+              format_fail "%s: chunk index gap at frame %d" path
+                !expected_frame;
+            if ci.byte_offset + ci.stored_len > String.length stream then
+              format_fail "%s: chunk overruns the stored stream" path;
+            expected_off := !expected_off + ci.stored_len;
+            expected_frame := !expected_frame + ci.n_frames)
+          index;
+        if !expected_off <> String.length stream then
+          format_fail "%s: %d trailing bytes in the chunk stream" path
+            (String.length stream - !expected_off);
+        if !expected_frame <> stats.n_events then
+          format_fail "%s: index covers %d frames, stats claim %d" path
+            !expected_frame stats.n_events;
+        let chunks =
+          Array.map (fun ci -> String.sub stream ci.byte_offset ci.stored_len)
+            index
+        in
+        let files = Hashtbl.create 8 in
+        Codec.get_list s (fun s ->
+            let p = Codec.get_string s in
+            Hashtbl.replace files p (Codec.get_string s))
+        |> ignore;
+        let images = Hashtbl.create 8 in
+        Codec.get_list s (fun s ->
+            let p = Codec.get_string s in
+            Hashtbl.replace images p (Image_codec.get_image s))
+        |> ignore;
+        { index;
+          chunks;
+          compressed;
+          images;
+          files;
+          stats;
+          initial_exe;
+          cache = [];
+          chunk_decodes = 0 }
+      with Codec.Corrupt msg ->
+        format_fail "%s: corrupt trace file (%s)" path msg)
 
 let pp_stats ppf s =
   Fmt.pf ppf

@@ -1,10 +1,16 @@
-(** Trace container, writer and reader.
+(** Chunk-indexed trace store.
 
     General frame data is serialized and deflate-compressed in chunks —
     the "all other trace data" stream of paper §2.7/Table 2.  Memory-
     mapped executables and block-cloned file data bypass the compressor:
     they are snapshotted by hard-link/FICLONE-style cloning and accounted
-    separately. *)
+    separately.
+
+    A trace holds only the stored chunk stream plus a per-chunk index;
+    frames are never held decoded in bulk.  All frame access goes
+    through {!Reader}, which inflates one chunk at a time behind a small
+    LRU, so opening a trace is O(index) and a seek costs
+    O(log n_chunks + one chunk decode). *)
 
 type stats = {
   mutable n_events : int;
@@ -18,12 +24,25 @@ type stats = {
   mutable n_traced_syscalls : int;
 }
 
+type chunk_info = {
+  first_frame : int; (** trace index of the chunk's first frame *)
+  n_frames : int;
+  byte_offset : int; (** offset into the concatenated chunk stream *)
+  stored_len : int; (** stored (compressed) size in bytes *)
+  kinds : int; (** OR of {!Event.kind_bit} over the chunk's frames *)
+}
+
 type t
 
 module Writer : sig
   type w
 
-  val create : ?compress:bool -> initial_exe:string -> unit -> w
+  val create :
+    ?compress:bool -> ?chunk_limit:int -> initial_exe:string -> unit -> w
+  (** [chunk_limit] (default 64 KiB) is the pending-buffer size that
+      triggers a chunk flush — with its index entry — as frames stream
+      in; tests shrink it to force multi-chunk traces from small
+      workloads. *)
 
   val event : w -> Event.t -> int
   (** Append one frame; returns its serialized size (cost charging). *)
@@ -39,22 +58,86 @@ module Writer : sig
   val finish : w -> t
 end
 
-val events : t -> Event.t array
+(** Cursor-based frame access — the only way to read frames. *)
+module Reader : sig
+  type cursor
+  (** A position in a trace.  Cursors are cheap; all cursors over one
+      trace share its chunk LRU. *)
+
+  val open_ : t -> cursor
+  val pos : cursor -> int
+  val length : cursor -> int
+  val at_end : cursor -> bool
+
+  val peek : cursor -> Event.t option
+  (** The frame at the cursor, without advancing. *)
+
+  val next : cursor -> Event.t
+  (** The frame at the cursor, advancing past it.  Raises
+      [Invalid_argument] at end of trace. *)
+
+  val seek : cursor -> int -> unit
+  (** [seek c i] repositions to frame [i] (0 ≤ i ≤ length; positioning
+      at [length] leaves the cursor at end).  Decoding happens at the
+      next access, not here. *)
+
+  val frame : t -> int -> Event.t
+  (** Random access to one frame: binary-search the chunk index, decode
+      (or LRU-hit) the covering chunk. *)
+
+  val fold : (int -> Event.t -> 'a -> 'a) -> t -> 'a -> 'a
+  (** Fold over every frame in order, decoding one chunk at a time. *)
+
+  val iter : (int -> Event.t -> unit) -> t -> unit
+
+  val to_array : t -> Event.t array
+  (** Decode the whole trace into a fresh array — for tests and tools
+      that genuinely need bulk access; replay does not. *)
+
+  val find_from :
+    ?kind_mask:int -> t -> int -> (Event.t -> bool) -> int option
+  (** [find_from t i p] is the first frame index ≥ [i] satisfying [p].
+      With [kind_mask] (an OR of {!Event.kind_bit}), chunks whose kind
+      summary misses the mask are skipped without being inflated. *)
+
+  val rfind_before :
+    ?kind_mask:int -> t -> int -> (Event.t -> bool) -> int option
+  (** [rfind_before t i p] is the last frame index < [i] satisfying
+      [p]. *)
+end
+
+val n_events : t -> int
 val stats : t -> stats
+val chunk_index : t -> chunk_info array
+
+val decoded_chunks : t -> int
+(** Number of chunks inflated+decoded so far (LRU misses) — lets tests
+    verify that loading and partial reads stay lazy. *)
 
 val image : t -> string -> Image.t
 (** Raises [Invalid_argument] for unknown paths. *)
 
 val file : t -> string -> string
 
-val decode_events : t -> Event.t array
-(** Decode the compressed chunk stream back into frames — proves the
-    stored representation is self-contained. *)
+val map_frames : (int -> Event.t -> Event.t) -> t -> t
+(** Rewrite every frame through [f], preserving chunk boundaries and
+    rebuilding the index.  A trace-surgery device for tests and tools
+    (e.g. tamper injection for divergence checks). *)
+
+exception Format_error of string
+(** Raised by {!load} on bad magic, version skew, truncation, or a
+    corrupt index/payload — and by {!Reader} accessors when a lazily
+    decoded chunk turns out corrupt (laziness defers chunk validation
+    from open to first access). *)
 
 val save : t -> string -> unit
-(** Persist to a host file (compressed chunks + marshalled images). *)
+(** Persist the self-describing versioned binary format: magic
+    ["RRTRACE2"], declared payload length, then a Codec-encoded header,
+    chunk index, chunk stream, files and images sections.  No Marshal
+    anywhere in the layout. *)
 
 val load : string -> t
-(** Load and verify a saved trace; fails on corrupt or foreign files. *)
+(** Open a saved trace: parse header and index, slice the stored
+    chunks, validate structure — without inflating any chunk. *)
 
 val pp_stats : stats Fmt.t

@@ -35,6 +35,9 @@ let final_space k tid =
      file, or compare exit codes.  For live comparisons we use the VFS. *)
   ignore (k, tid)
 
+let count_frames p trace =
+  Trace.Reader.fold (fun _ e acc -> if p e then acc + 1 else acc) trace 0
+
 let check_same_exit rstats pstats =
   Alcotest.(check (option int))
     "exit status equal" rstats.Recorder.exit_status pstats.Replayer.exit_status
@@ -99,9 +102,7 @@ let test_preemption_points () =
   let trace, rstats, _rk, pstats, _pk = roundtrip ~rec_opts:opts build in
   check_same_exit rstats pstats;
   let scheds =
-    Array.to_list (Trace.events trace)
-    |> List.filter (function Event.E_sched _ -> true | _ -> false)
-    |> List.length
+    count_frames (function Event.E_sched _ -> true | _ -> false) trace
   in
   Alcotest.(check bool)
     (Printf.sprintf "preemptions recorded (%d)" scheds)
@@ -327,18 +328,22 @@ let test_divergence_detected () =
     roundtrip ~rec_opts:{ Recorder.default_opts with intercept = false }
       nondet_inputs_prog
   in
-  (* Tamper: flip a recorded register in some syscall frame. *)
-  let events = Trace.events trace in
+  (* Tamper: flip a recorded register in some syscall frame, rewriting
+     the trace through map_frames (frames are no longer shared mutable
+     state; the store re-encodes the surgically altered chunk). *)
   let tampered = ref false in
-  Array.iteri
-    (fun i e ->
-      match e with
-      | Event.E_syscall { regs_after; _ } when not !tampered ->
-        ignore i;
-        regs_after.(3) <- regs_after.(3) + 123456;
-        tampered := true
-      | _ -> ())
-    events;
+  let trace =
+    Trace.map_frames
+      (fun _ e ->
+        match e with
+        | Event.E_syscall ({ regs_after; _ } as sc) when not !tampered ->
+          tampered := true;
+          let regs_after = Array.copy regs_after in
+          regs_after.(3) <- regs_after.(3) + 123456;
+          Event.E_syscall { sc with regs_after }
+        | e -> e)
+      trace
+  in
   Alcotest.(check bool) "found a frame to tamper" true !tampered;
   match Replayer.replay trace with
   | exception Replayer.Divergence _ -> ()
@@ -360,9 +365,7 @@ let test_rdrand_patched () =
   check_same_exit rstats pstats;
   (* the patches must be in the trace *)
   let patches =
-    Array.to_list (Trace.events trace)
-    |> List.filter (function Event.E_patch _ -> true | _ -> false)
-    |> List.length
+    count_frames (function Event.E_patch _ -> true | _ -> false) trace
   in
   Alcotest.(check bool)
     (Printf.sprintf "rdrand sites patched (%d)" patches)
@@ -375,29 +378,29 @@ let test_checksums_pass () =
   let trace, rstats, _, pstats, _ = roundtrip ~rec_opts nondet_inputs_prog in
   check_same_exit rstats pstats;
   let checksums =
-    Array.to_list (Trace.events trace)
-    |> List.filter (function Event.E_checksum _ -> true | _ -> false)
-    |> List.length
+    count_frames (function Event.E_checksum _ -> true | _ -> false) trace
   in
   Alcotest.(check bool)
     (Printf.sprintf "checksum frames present (%d)" checksums)
     true (checksums >= 2)
 
+(* Corrupt the first syscall frame carrying output data; returns the
+   rewritten trace, or None if nothing was eligible. *)
 let tamper_first_write_data trace =
   let tampered = ref false in
-  Array.iter
-    (fun e ->
-      match e with
-      | Event.E_syscall { writes = { Event.data; addr = _ } :: _; _ }
-        when (not !tampered) && String.length data > 0 ->
-        (* mem_write.data is immutable; rebuild the event in place is not
-           possible, so corrupt through Bytes.unsafe_of_string — this is
-           a test deliberately violating the abstraction. *)
-        Bytes.set (Bytes.unsafe_of_string data) 0 '\xFF';
-        tampered := true
-      | _ -> ())
-    (Trace.events trace);
-  !tampered
+  let trace =
+    Trace.map_frames
+      (fun _ e ->
+        match e with
+        | Event.E_syscall ({ writes = { Event.data; addr } :: rest; _ } as sc)
+          when (not !tampered) && String.length data > 0 ->
+          tampered := true;
+          let data = "\xFF" ^ String.sub data 1 (String.length data - 1) in
+          Event.E_syscall { sc with writes = { Event.data; addr } :: rest }
+        | e -> e)
+      trace
+  in
+  if !tampered then Some trace else None
 
 let test_checksum_catches_silent_corruption () =
   (* Without checksums, corrupted syscall output data replays "fine" as
@@ -414,8 +417,11 @@ let test_checksum_catches_silent_corruption () =
     { Recorder.default_opts with checksum_every = 1; intercept = false }
   in
   let trace, _, _, _, _ = roundtrip ~rec_opts build in
-  Alcotest.(check bool) "found data to tamper" true
-    (tamper_first_write_data trace);
+  let trace =
+    match tamper_first_write_data trace with
+    | Some t -> t
+    | None -> Alcotest.fail "found no data to tamper"
+  in
   match Replayer.replay trace with
   | exception Replayer.Divergence msg ->
     Alcotest.(check bool)
@@ -474,9 +480,8 @@ let test_trace_save_load () =
     (fun () ->
       Trace.save trace path;
       let loaded = Trace.load path in
-      Alcotest.(check int) "frame count survives"
-        (Array.length (Trace.events trace))
-        (Array.length (Trace.events loaded));
+      Alcotest.(check int) "frame count survives" (Trace.n_events trace)
+        (Trace.n_events loaded);
       let pstats, _ = Replayer.replay loaded in
       Alcotest.(check (option int)) "loaded trace replays"
         rstats.Recorder.exit_status pstats.Replayer.exit_status)
@@ -524,9 +529,7 @@ let test_async_point_in_jitted_code () =
   let trace, rstats, _, pstats, _ = roundtrip ~rec_opts build in
   check_same_exit rstats pstats;
   let scheds =
-    Array.to_list (Trace.events trace)
-    |> List.filter (function Event.E_sched _ -> true | _ -> false)
-    |> List.length
+    count_frames (function Event.E_sched _ -> true | _ -> false) trace
   in
   Alcotest.(check bool)
     (Printf.sprintf "preemptions landed (%d)" scheds)

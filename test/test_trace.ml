@@ -175,10 +175,10 @@ let test_trace_writer_reader () =
   Trace.Writer.add_file w ~path:"files/0" ~cloned:true (String.make 8192 'z');
   let t = Trace.Writer.finish w in
   Alcotest.(check int) "event count" (List.length sample_events)
-    (Array.length (Trace.events t));
+    (Trace.n_events t);
   Alcotest.(check int) "cloned blocks" 2 (Trace.stats t).Trace.cloned_blocks;
   (* The compressed chunk stream must decode to the same events. *)
-  let decoded = Trace.decode_events t in
+  let decoded = Trace.Reader.to_array t in
   Alcotest.(check int) "decoded count" (List.length sample_events)
     (Array.length decoded);
   Array.iteri

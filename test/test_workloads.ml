@@ -142,25 +142,26 @@ let test_htmltest_replay_memory () =
     true
     (rep.W.rep_peak_pss < recd.W.rec_peak_pss)
 
-(* The recorded trace decodes from its compressed chunks bit-exactly
-   (the on-"disk" representation is self-contained). *)
+(* The recorded trace decodes from its compressed chunks bit-exactly:
+   a sequential cursor walk and per-frame random access must agree. *)
 let test_workload_trace_decodes () =
   let recd, _ = W.record (small_samba ()) in
-  let decoded = Trace.decode_events recd.W.trace in
+  let trace = recd.W.trace in
+  let decoded = Trace.Reader.to_array trace in
   Alcotest.(check int) "chunk stream decodes to all events"
-    (Array.length (Trace.events recd.W.trace))
-    (Array.length decoded);
+    (Trace.n_events trace) (Array.length decoded);
+  let c = Trace.Reader.open_ trace in
   Array.iteri
     (fun i e ->
-      if e <> (Trace.events recd.W.trace).(i) then
-        Alcotest.failf "event %d differs after decode" i)
+      if Trace.Reader.next c <> e then
+        Alcotest.failf "event %d differs between cursor and random access" i)
     decoded
 
 (* Determinism of recording itself: same seed, same trace. *)
 let test_recording_deterministic () =
   let run () =
     let recd, _ = W.record (small_cp ()) in
-    Array.map (Fmt.str "%a" Event.pp) (Trace.events recd.W.trace)
+    Array.map (Fmt.str "%a" Event.pp) (Trace.Reader.to_array recd.W.trace)
   in
   let a = run () and b = run () in
   Alcotest.(check bool) "event streams identical" true (a = b)
