@@ -31,9 +31,12 @@ type row = {
   noi_rep : Workload.replayed;
   noc : Workload.recorded;
   dbi : Instrument.result;
+  tm : Telemetry.snapshot; (* all configurations of this workload *)
 }
 
 let measure w =
+  (* Null sink, fresh registry: [tm] isolates this workload's counters. *)
+  Telemetry.reset ();
   let base = Workload.baseline w in
   let single = Workload.baseline ~cores:1 w in
   let full, _ = Workload.record w in
@@ -46,9 +49,27 @@ let measure w =
     Workload.record ~opts:(Recorder.make_opts ~clone_blocks:false ()) w
   in
   let dbi = Instrument.run w in
-  { w; base; single; full; full_rep; noi; noi_rep; noc; dbi }
+  let tm = Telemetry.snapshot () in
+  { w; base; single; full; full_rep; noi; noi_rep; noc; dbi; tm }
 
 let rows = lazy (List.map measure (workloads ()))
+
+(* Per-workload counter snapshots, machine-readable: the perf trajectory
+   of every later optimisation PR is diffed against this file. *)
+let emit_telemetry_json () =
+  let oc = open_out "BENCH_telemetry.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{";
+      List.iteri
+        (fun i r ->
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc "\"%s\":%s" r.w.Workload.name
+            (Telemetry.snapshot_to_json r.tm))
+        (Lazy.force rows);
+      output_string oc "}\n");
+  Fmt.pr "(wrote BENCH_telemetry.json: per-workload counter snapshots)@."
 
 let rec_time (r : Workload.recorded) = r.Workload.rec_stats.Recorder.wall_time
 
@@ -82,7 +103,8 @@ let table1 () =
     (Lazy.force rows);
   Fmt.pr
     "(octane rows are score-based as in the paper; baseline is virtual \
-     milliseconds)@."
+     milliseconds)@.";
+  emit_telemetry_json ()
 
 let bar width v vmax =
   let n = int_of_float (v /. vmax *. float_of_int width) in

@@ -1,0 +1,208 @@
+(* json_check FILE SPEC...
+
+   Smoke-test validator for `rr_cli stats --json` output: parses the
+   file with a minimal dependency-free JSON parser and checks each SPEC.
+
+     section:name    the object at top-level key [section] has [name]
+     +section:name   ... and its value is a number > 0, or an object
+                     whose "count" member is > 0
+     +events         the top-level "events" array is non-empty
+
+   Exits non-zero with a message on the first failure, so a broken
+   telemetry pipeline fails `dune runtest` loudly. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+        | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+        | Some '/' -> Buffer.add_char b '/'; advance (); go ()
+        | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+        | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+        | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
+        | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "bad \\u escape";
+          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+          pos := !pos + 4;
+          (* Non-ASCII code points are replaced; fine for validation. *)
+          Buffer.add_char b (if code < 128 then Char.chr code else '?');
+          go ()
+        | _ -> fail "bad escape")
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when numchar c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); List [] end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing bytes";
+  v
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("json_check: " ^ msg); exit 1) fmt
+
+let check_spec root spec =
+  let positive, spec =
+    if String.length spec > 0 && spec.[0] = '+' then
+      (true, String.sub spec 1 (String.length spec - 1))
+    else (false, spec)
+  in
+  let top =
+    match root with Obj m -> m | _ -> die "top level is not a JSON object"
+  in
+  match String.index_opt spec ':' with
+  | None -> (
+    (* bare name: a top-level key; with '+', a non-empty array *)
+    match List.assoc_opt spec top with
+    | None -> die "missing top-level key %S" spec
+    | Some (List []) when positive -> die "%S is empty" spec
+    | Some (List _) -> ()
+    | Some _ when not positive -> ()
+    | Some _ -> die "%S is not an array" spec)
+  | Some i -> (
+    let section = String.sub spec 0 i in
+    let name = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match List.assoc_opt section top with
+    | None -> die "missing section %S" section
+    | Some (Obj members) -> (
+      match List.assoc_opt name members with
+      | None -> die "missing %S in section %S" name section
+      | Some v when not positive -> ignore v
+      | Some (Num f) -> if f <= 0. then die "%s:%s = %g, want > 0" section name f
+      | Some (Obj m) -> (
+        match List.assoc_opt "count" m with
+        | Some (Num f) when f > 0. -> ()
+        | Some (Num f) -> die "%s:%s count = %g, want > 0" section name f
+        | _ -> die "%s:%s has no numeric \"count\"" section name)
+      | Some _ -> die "%s:%s is neither number nor object" section name)
+    | Some _ -> die "section %S is not an object" section)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: file :: specs ->
+    let data =
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let root =
+      try parse data with Parse_error msg -> die "%s: %s" file msg
+    in
+    List.iter (check_spec root) specs;
+    Printf.printf "json_check: %s ok (%d specs)\n" file (List.length specs)
+  | _ -> die "usage: json_check FILE SPEC..."

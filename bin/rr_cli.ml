@@ -119,8 +119,11 @@ let dump_cmd =
       Fmt.pr "%5d  %a@." i Event.pp (Trace.Reader.next c)
     done;
     if total > n then Fmt.pr "... (%d more)@." (total - n);
-    Fmt.pr "(decoded %d of %d chunks)@." (Trace.decoded_chunks trace)
+    let st = Trace.stats trace in
+    Fmt.pr "(decoded %d of %d chunks; lru %d hits / %d misses / %d evictions)@."
+      (Trace.decoded_chunks trace)
       (Array.length (Trace.chunk_index trace))
+      st.Trace.lru_hits st.Trace.lru_misses st.Trace.lru_evictions
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"Record a workload and print its trace frames.")
@@ -226,12 +229,44 @@ let dump_file_cmd =
       let i = Trace.Reader.pos c in
       Fmt.pr "%5d  %a@." i Event.pp (Trace.Reader.next c)
     done;
-    Fmt.pr "(decoded %d of %d chunks)@." (Trace.decoded_chunks trace)
+    let st = Trace.stats trace in
+    Fmt.pr "(decoded %d of %d chunks; lru %d hits / %d misses / %d evictions)@."
+      (Trace.decoded_chunks trace)
       (Array.length (Trace.chunk_index trace))
+      st.Trace.lru_hits st.Trace.lru_misses st.Trace.lru_evictions
   in
   Cmd.v
     (Cmd.info "dump-file" ~doc:"Print the frames of a saved trace.")
     Term.(const run $ file_arg $ n_arg)
+
+let stats_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the telemetry snapshot as a single JSON object.")
+  in
+  let run name no_intercept no_cloning chaos seed json =
+    let w = workload_of_name name in
+    (* One clean record+replay session; the snapshot covers both phases. *)
+    Telemetry.reset ();
+    let recd, _ = Workload.record ~opts:(opts_of ~no_intercept ~no_cloning ~chaos ~seed) w in
+    let _rep, _ = Workload.replay recd in
+    let snap = Telemetry.snapshot () in
+    if json then print_string (Telemetry.snapshot_to_json snap)
+    else begin
+      Fmt.pr "telemetry for record+replay of %s:@." w.Workload.name;
+      Fmt.pr "%a@." Telemetry.pp snap
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Record and replay a workload, then print the unified telemetry \
+          snapshot (counters, spans, histograms, event ring).")
+    Term.(
+      const run $ workload_arg $ intercept_arg $ cloning_arg $ chaos_arg
+      $ seed_arg $ json_arg)
 
 let list_cmd =
   let run () =
@@ -252,8 +287,8 @@ let main =
          "Record and replay simulated Linux processes (reproduction of \
           'Engineering Record and Replay for Deployability', USENIX ATC \
           2017).")
-    [ record_cmd; replay_cmd; dump_cmd; debug_cmd; list_cmd; replay_file_cmd;
-      dump_file_cmd ]
+    [ record_cmd; replay_cmd; dump_cmd; debug_cmd; stats_cmd; list_cmd;
+      replay_file_cmd; dump_file_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

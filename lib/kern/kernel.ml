@@ -74,6 +74,10 @@ let charge k units = k.clock <- k.clock + units
 
 let now k = k.clock
 
+let tm_ptrace_stop = Telemetry.counter "kern.ptrace_stop"
+let tm_syscall = Telemetry.counter "kern.syscall"
+let tm_sched_switch = Telemetry.counter "kern.sched_switch"
+
 let alloc_id k =
   let id = k.next_id in
   k.next_id <- id + 1;
@@ -152,6 +156,7 @@ let enter_stop k task stop =
   task.T.state <- T.Stopped;
   task.T.last_stop <- Some stop;
   k.trace_stop_count <- k.trace_stop_count + 1;
+  Telemetry.incr tm_ptrace_stop;
   charge k (Cost.ptrace_stop k.cost);
   k.stop_queue <- k.stop_queue @ [ task.T.tid ]
 
@@ -1161,6 +1166,7 @@ let sys_poll k task args =
 let do_syscall k task (ss : T.saved_syscall) =
   let args = ss.T.args in
   k.syscall_count <- k.syscall_count + 1;
+  Telemetry.incr tm_syscall;
   try
     let n = ss.T.nr in
     if n = Sysno.read then sys_read k task args
@@ -1699,6 +1705,7 @@ let run_baseline k ~cores ?(sample_every = 0) ?(on_sample = fun _ -> ()) () =
            up a different task. *)
         if last_on_core.(c) <> t.T.tid then begin
           charge k k.cost.Cost.sched_switch;
+          Telemetry.incr tm_sched_switch;
           last_on_core.(c) <- t.T.tid
         end;
         run_slice k t ~fuel:k.cost.Cost.timeslice_insns;
@@ -1721,7 +1728,17 @@ let run_baseline k ~cores ?(sample_every = 0) ?(on_sample = fun _ -> ()) () =
         in
         (match deadlines with
         | [] ->
+          (* Deadlock: every live task is blocked with no timeout.  Sync
+             the kernel clock (and hence wall_time) to the furthest core
+             *at detection time* — the cost model's answer for how long
+             the run took — rather than leaving whatever clock the last
+             slice happened to set. *)
+          let maxclock = Array.fold_left max k.clock core_clock in
+          k.clock <- maxclock;
+          stats.wall_time <- maxclock;
           stats.deadlocked <- true;
+          Telemetry.note ~kind:"kern.deadlock"
+            (Fmt.str "%d tasks blocked at t=%d" (List.length live) maxclock);
           finished := true
         | d :: rest ->
           let target = List.fold_left min d rest in

@@ -72,8 +72,11 @@ let nearest_checkpoint d idx =
   | Some c -> c
   | None -> fail "no checkpoint at or before %d" idx
 
+let tm_span_seek = Telemetry.span "replay.seek"
+
 let seek d target =
   if target < 0 || target > n_events d then fail "seek out of range";
+  Telemetry.timed tm_span_seek @@ fun () ->
   if target < pos d then begin
     (* Reverse execution: restore and re-execute (§6.1). *)
     let _, snap = nearest_checkpoint d target in

@@ -61,6 +61,12 @@ let pp ppf (k : K.t) =
     k.K.stop_queue;
   List.iter (pp_task ppf)
     (List.sort (fun a b -> compare a.T.tid b.T.tid) (K.all_tasks k));
+  (* What led up to the failure: the telemetry event ring's tail. *)
+  (match Telemetry.recent () with
+  | [] -> ()
+  | events ->
+    Fmt.pf ppf "--- telemetry: last %d events ---@," (List.length events);
+    List.iter (fun e -> Fmt.pf ppf "  %a@," Telemetry.pp_event e) events);
   Fmt.pf ppf "=== end dump ===@]"
 
 let dump ?(msg = "") k =

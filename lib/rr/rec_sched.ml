@@ -38,7 +38,11 @@ let effective_priority t tid base =
     | None -> base
   else base
 
+let tm_pick = Telemetry.counter "sched.pick"
+let tm_reshuffle = Telemetry.counter "sched.reshuffle"
+
 let reshuffle t =
+  Telemetry.incr tm_reshuffle;
   Hashtbl.reset t.chaos_prio;
   List.iter
     (fun tid ->
@@ -70,6 +74,7 @@ let pick t ~runnable ~priority =
     | None -> None
     | Some (tid, _) ->
       t.order <- List.filter (fun x -> x <> tid) t.order @ [ tid ];
+      Telemetry.incr tm_pick;
       Some tid)
 
 let timeslice t =

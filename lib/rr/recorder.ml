@@ -95,7 +95,19 @@ type stats = {
   n_sched_events : int;
   n_patched_sites : int;
   exit_status : int option; (* of the root process *)
+  telemetry : Telemetry.snapshot;
 }
+
+let tm_frames = Telemetry.counter "record.frames"
+let tm_scratch_bytes = Telemetry.counter "record.scratch_bytes"
+let tm_clone_blocks = Telemetry.counter "record.clone_blocks"
+let tm_clone_bytes = Telemetry.counter "record.clone_bytes"
+let tm_sb_flush = Telemetry.counter "syscallbuf.flush"
+let tm_sb_miss = Telemetry.counter "syscallbuf.miss"
+let tm_sb_desched = Telemetry.counter "syscallbuf.desched"
+let tm_preempt = Telemetry.counter "sched.preempt"
+let tm_span_syscall = Telemetry.span "record.syscall"
+let tm_span_flush = Telemetry.span "record.flush"
 
 (* ---- small helpers -------------------------------------------------- *)
 
@@ -140,6 +152,7 @@ let capture_point task =
     stack_extra = stack_extra task }
 
 let emit r e =
+  Telemetry.incr tm_frames;
   r.events <- r.events + 1;
   if r.events > r.opts.max_events then fail "event limit exceeded";
   let sz = Trace.Writer.event r.w e in
@@ -178,22 +191,23 @@ let has_locals task =
 
 (* Flush the task's trace buffer into the trace (at every stop, §3). *)
 let flush_buf r task =
-  if has_locals task && Syscallbuf.buffer_fill task > 0 then begin
-    let records =
-      Syscallbuf.parse_all task ~cloned_path:(cloned_path_of task)
-    in
-    Syscallbuf.reset task;
-    emit r (E.E_buf_flush { tid = task.T.tid; records });
-    let bytes =
-      List.fold_left
-        (fun acc br ->
+  if has_locals task && Syscallbuf.buffer_fill task > 0 then
+    Telemetry.timed tm_span_flush (fun () ->
+        Telemetry.incr tm_sb_flush;
+        let records =
+          Syscallbuf.parse_all task ~cloned_path:(cloned_path_of task)
+        in
+        Syscallbuf.reset task;
+        emit r (E.E_buf_flush { tid = task.T.tid; records });
+        let bytes =
           List.fold_left
-            (fun a w -> a + String.length w.E.data)
-            acc br.E.br_writes)
-        0 records
-    in
-    K.charge r.k (Cost.compress_bytes r.k.K.cost bytes)
-  end
+            (fun acc br ->
+              List.fold_left
+                (fun a w -> a + String.length w.E.data)
+                acc br.E.br_writes)
+            0 records
+        in
+        K.charge r.k (Cost.compress_bytes r.k.K.cost bytes))
 
 (* §3.9: snapshot a large aligned file read by cloning blocks into the
    per-task cloned-data trace file. *)
@@ -219,6 +233,8 @@ let clone_read r k task ~fd ~len =
             ~dst_off:st.cloned_off ~len
         in
         K.charge k (k.K.cost.Cost.clone_block * max shared 1);
+        Telemetry.add tm_clone_blocks ((len + Vfs.block_size - 1) / Vfs.block_size);
+        Telemetry.add tm_clone_bytes len;
         let cref =
           { E.cr_path = path;
             cr_off = st.cloned_off;
@@ -360,6 +376,10 @@ let snapshot_file r reg =
 let record_exit r task status =
   if not (Hashtbl.mem r.known_dead task.T.tid) then begin
     Hashtbl.replace r.known_dead task.T.tid ();
+    (* exit_group bypasses the buffer by definition. *)
+    Telemetry.incr tm_sb_miss;
+    Telemetry.note ~tid:task.T.tid ~frame:r.events ~kind:"task.exit"
+      (string_of_int status);
     emit r (E.E_exit { tid = task.T.tid; status });
     Rec_sched.remove_task r.sched task.T.tid;
     if r.current = Some task.T.tid then r.current <- None
@@ -381,6 +401,8 @@ let on_exec r task =
       p
     | None -> fail "exec stop without a pending execve path (task %d)" task.T.tid
   in
+  (* execve is always a traced (non-buffered) syscall. *)
+  Telemetry.incr tm_sb_miss;
   let image_ref = snapshot_image r path in
   emit r
     (E.E_exec { tid = task.T.tid; image_ref; regs_after = capture_regs task });
@@ -615,6 +637,9 @@ let fd_bitmap_writes r task ~nr ~args ~result =
 let on_syscall_exit r task (ss : T.saved_syscall) result =
   let st = get_rt r task in
   K.charge r.k r.k.K.cost.Cost.record_syscall_work;
+  (* Every syscall that reaches a ptrace exit stop bypassed the
+     syscallbuf fast path — by definition a miss. *)
+  Telemetry.incr tm_sb_miss;
   (* Copy scratch back while no other thread runs (§2.3.1). *)
   (match st.scratch_redirect with
   | Some (orig_addr, arg_idx) ->
@@ -623,6 +648,7 @@ let on_syscall_exit r task (ss : T.saved_syscall) result =
       let data = read_guest task ss.T.args.(arg_idx) result in
       A.write_bytes ~force:true task.T.cpu.Cpu.space orig_addr
         (Bytes.of_string data);
+      Telemetry.add tm_scratch_bytes result;
       K.charge r.k (Cost.bytes_cost r.k.K.cost result)
     end;
     ss.T.args.(arg_idx) <- orig_addr
@@ -700,6 +726,11 @@ let on_desched r task =
   in
   if locked <> 0 && task.T.restart <> None then begin
     let st = get_rt r task in
+    Telemetry.incr tm_sb_desched;
+    Telemetry.note ~tid:task.T.tid ~kind:"syscallbuf.desched"
+      (match task.T.restart with
+      | Some ss -> Sysno.name ss.T.nr
+      | None -> "");
     (match task.T.restart with
     | Some ss ->
       Syscallbuf.append_record task
@@ -754,6 +785,8 @@ let on_app_signal r task info =
   if T.is_alive task && r.current <> Some task.T.tid then K.park r.k task
 
 let on_preempt r task =
+  Telemetry.incr tm_preempt;
+  Telemetry.note ~tid:task.T.tid ~frame:r.events ~kind:"sched.preempt" "";
   emit r (E.E_sched { tid = task.T.tid; point = capture_point task });
   r.sched_events <- r.sched_events + 1;
   if r.current = Some task.T.tid then r.current <- None
@@ -860,7 +893,8 @@ let handle_stop r task stop =
   | T.Stop_exec -> on_exec r task
   | T.Stop_clone parent_tid -> on_clone r task parent_tid
   | T.Stop_seccomp ss | T.Stop_syscall_entry ss -> on_syscall_entry r task ss
-  | T.Stop_syscall_exit (ss, result) -> on_syscall_exit r task ss result
+  | T.Stop_syscall_exit (ss, result) ->
+    Telemetry.timed tm_span_syscall (fun () -> on_syscall_exit r task ss result)
   | T.Stop_exit status ->
     record_exit r task status;
     K.resume r.k task T.R_cont ()
@@ -876,6 +910,9 @@ let handle_stop r task stop =
 
 let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ~setup ~exe () =
   let k = K.create ~seed:opts.seed () in
+  (* Spans measure virtual ns against this recording's cost model. *)
+  Telemetry.set_clock (fun () -> K.now k);
+  let tm_base = Telemetry.snapshot () in
   Vfs.mkdir_p (K.vfs k) "/trace/images";
   Vfs.mkdir_p (K.vfs k) "/trace/files";
   Vfs.mkdir_p (K.vfs k) "/trace/cloned";
@@ -946,7 +983,9 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ~setup ~exe (
     (* The emergency debugger (§6.2): dump tracee state next to the
        failure so it can be diagnosed in the field. *)
     Log.err (fun m -> m "%s" (Diagnostics.dump ~msg:(Printexc.to_string exn) k));
+    Telemetry.clear_clock ();
     raise exn);
+  Telemetry.clear_clock ();
   let trace = Trace.Writer.finish w in
   let root_status =
     match Hashtbl.find_opt k.K.procs root.T.tid with
@@ -960,5 +999,6 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ~setup ~exe (
       n_syscalls = k.K.syscall_count;
       n_sched_events = r.sched_events;
       n_patched_sites = r.patched_sites;
-      exit_status = root_status },
+      exit_status = root_status;
+      telemetry = Telemetry.since tm_base },
     k )

@@ -56,6 +56,9 @@ type stats = {
   n_sched_events : int;
   n_patched_sites : int;
   exit_status : int option; (* of the root process *)
+  telemetry : Telemetry.snapshot;
+      (* metrics accumulated during this recording (diff against the
+         process-global registry at [record] entry) *)
 }
 
 val record :

@@ -61,7 +61,17 @@ type t = {
   mutable events_applied : int;
   mutable root_tid : int;
   mutable installed : (string * Image.t) list; (* exe path -> image *)
+  tm_base : Telemetry.snapshot; (* registry state at session start *)
 }
+
+let tm_bp_syscall = Telemetry.counter "replay.bp_syscall"
+let tm_sysemu_syscall = Telemetry.counter "replay.sysemu_syscall"
+let tm_singlestep = Telemetry.counter "replay.singlestep"
+let tm_pmu_interrupt = Telemetry.counter "replay.pmu_interrupt"
+let tm_ckpt_save = Telemetry.counter "replay.checkpoint_save"
+let tm_ckpt_restore = Telemetry.counter "replay.checkpoint_restore"
+let tm_span_frame = Telemetry.span "replay.frame"
+let tm_span_point = Telemetry.span "replay.point"
 
 let cursor_index r = Trace.Reader.pos r.cursor
 let kernel r = r.k
@@ -72,6 +82,7 @@ type stats = {
   events_applied : int;
   n_ptrace_stops : int;
   exit_status : int option;
+  telemetry : Telemetry.snapshot;
 }
 
 let get_rt r tid =
@@ -191,6 +202,7 @@ let run_to_syscall r t ~nr ~site ~writable_site =
         diverged "syscall site %#x, recorded %#x" ss.T.site site;
       (* Suppress the syscall on the way out. *)
       (get_rt r t.T.tid).next_resume <- T.R_sysemu;
+      Telemetry.incr tm_sysemu_syscall;
       (* Extra supervisor work for the slow path. *)
       K.charge r.k r.k.K.cost.Cost.supervisor_work
     | stop -> diverged "expected syscall entry, got %a" T.pp_stop stop
@@ -200,6 +212,7 @@ let run_to_syscall r t ~nr ~site ~writable_site =
     (match run_until_stop r t with
     | T.Stop_signal { Signals.origin = Signals.Bkpt; _ } ->
       A.bp_clear t.T.cpu.Cpu.space site;
+      Telemetry.incr tm_bp_syscall;
       check_pc r t site "syscall breakpoint"
     | stop ->
       A.bp_clear t.T.cpu.Cpu.space site;
@@ -224,7 +237,7 @@ let point_matches t (point : E.exec_point) =
   in
   extra = point.E.stack_extra
 
-let run_to_point r t (point : E.exec_point) =
+let run_to_point_inner r t (point : E.exec_point) =
   let target = point.E.rcb in
   let pc_target = point.E.point_regs.(E.pc_slot) in
   let cur = t.T.cpu.Cpu.pmu.Pmu.rcb in
@@ -240,6 +253,7 @@ let run_to_point r t (point : E.exec_point) =
     match run_until_stop r t with
     | T.Stop_signal { Signals.origin = Signals.Preempt | Signals.Fault; _ } ->
       Pmu.clear_interrupt t.T.cpu.Cpu.pmu;
+      Telemetry.incr tm_pmu_interrupt;
       if t.T.cpu.Cpu.pmu.Pmu.rcb > target then
         diverged "interrupt skidded past the target point (rcb %d > %d)"
           t.T.cpu.Cpu.pmu.Pmu.rcb target
@@ -255,6 +269,7 @@ let run_to_point r t (point : E.exec_point) =
     if not stepping then A.bp_set t.T.cpu.Cpu.space pc_target;
     let arrived = ref false in
     while not !arrived do
+      Telemetry.incr tm_singlestep;
       let at_bp = (not stepping) && t.T.cpu.Cpu.pc = pc_target in
       if at_bp then A.bp_clear t.T.cpu.Cpu.space pc_target;
       (get_rt r t.T.tid).next_resume <-
@@ -275,6 +290,9 @@ let run_to_point r t (point : E.exec_point) =
     done;
     if not stepping then A.bp_clear t.T.cpu.Cpu.space pc_target
   end
+
+let run_to_point r t point =
+  Telemetry.timed tm_span_point (fun () -> run_to_point_inner r t point)
 
 (* ---- frame handlers --------------------------------------------------- *)
 
@@ -526,6 +544,11 @@ let on_exit r ~tid ~status =
 (* ---- the main loop ---------------------------------------------------- *)
 
 let apply_frame r e =
+  (* Every frame lands in the event ring: an emergency dump after a
+     divergence shows the last ring_capacity frames that led up to it. *)
+  Telemetry.note ~tid:(E.tid_of e) ~frame:(cursor_index r)
+    ~kind:(E.kind_name e) "";
+  Telemetry.timed tm_span_frame @@ fun () ->
   (match e with
   | E.E_exec { tid; image_ref; regs_after } -> on_exec r ~tid ~image_ref ~regs_after
   | E.E_rr_setup { tid; rr_page; locals; scratch; buf; buf_len = _ } ->
@@ -598,8 +621,10 @@ let start ?(opts = default_opts) trace =
       cursor = Trace.Reader.open_ trace;
       events_applied = 0;
       root_tid = 0;
-      installed = [] }
+      installed = [];
+      tm_base = Telemetry.snapshot () }
   in
+  Telemetry.set_clock (fun () -> K.now r.k);
   install_hook r k;
   install_rdrand_hooks k;
   r
@@ -625,7 +650,8 @@ let stats_of r =
   { wall_time = K.now r.k;
     events_applied = r.events_applied;
     n_ptrace_stops = r.k.K.trace_stop_count;
-    exit_status }
+    exit_status;
+    telemetry = Telemetry.since r.tm_base }
 
 let replay ?(opts = default_opts) ?(on_frame = fun (_ : K.t) -> ()) trace =
   let r = start ~opts trace in
@@ -639,8 +665,11 @@ let replay ?(opts = default_opts) ?(on_frame = fun (_ : K.t) -> ()) trace =
         divergence report. *)
      Log.err (fun m ->
          m "replay diverged at frame %d:@,%a" (cursor_index r) Diagnostics.pp r.k);
+     Telemetry.clear_clock ();
      raise exn);
-  (stats_of r, r.k)
+  let stats = stats_of r in
+  Telemetry.clear_clock ();
+  (stats, r.k)
 
 (* ---- checkpoints (paper §6.1) ----------------------------------------
 
@@ -695,6 +724,7 @@ type snapshot = {
 
 (* Every live task must be parked at an event boundary. *)
 let snapshot r =
+  Telemetry.incr tm_ckpt_save;
   let procs =
     List.filter_map
       (fun (p : T.process) ->
@@ -750,6 +780,8 @@ let snapshot r =
 
 (* Rebuild a live replayer from a snapshot. *)
 let restore ?(opts = default_opts) trace snap =
+  Telemetry.incr tm_ckpt_restore;
+  Telemetry.note ~frame:snap.snap_idx ~kind:"replay.checkpoint_restore" "";
   let k = K.create ~seed:opts.seed () in
   (* Reposition by stored frame index: a fresh cursor seeks through the
      chunk index, no frames re-applied. *)
@@ -764,8 +796,10 @@ let restore ?(opts = default_opts) trace snap =
       locals_owner = Hashtbl.create 8;
       events_applied = snap.snap_events_applied;
       root_tid = snap.snap_root;
-      installed = snap.snap_installed }
+      installed = snap.snap_installed;
+      tm_base = Telemetry.snapshot () }
   in
+  Telemetry.set_clock (fun () -> K.now r.k);
   install_hook r k;
   install_rdrand_hooks k;
   List.iter

@@ -43,6 +43,9 @@ type stats = {
   events_applied : int;
   n_ptrace_stops : int;
   exit_status : int option;
+  telemetry : Telemetry.snapshot;
+      (** metrics accumulated during this session (diff against the
+          process-global registry at {!start}/{!restore}) *)
 }
 
 val replay : ?opts:opts -> ?on_frame:(Kernel.t -> unit) -> Trace.t -> stats * Kernel.t

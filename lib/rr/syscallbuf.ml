@@ -201,7 +201,12 @@ let statically_may_block ~nr =
 (* Fall back to a traced syscall through the RR page's traced-fallback
    instruction: the seccomp filter will TRACE it and the recorder handles
    it like any other syscall. *)
+let tm_hit = Telemetry.counter "syscallbuf.hit"
+let tm_fallback = Telemetry.counter "syscallbuf.fallback"
+let tm_replay_hit = Telemetry.counter "syscallbuf.replay_hit"
+
 let traced_fallback k task =
+  Telemetry.incr tm_fallback;
   let regs = task.T.cpu.Cpu.regs in
   let ss =
     { T.nr = regs.(0);
@@ -280,6 +285,7 @@ let hook mode k task =
           (match task.T.desched with
           | Some ev -> Perf_event.disable ev
           | None -> ());
+          Telemetry.incr tm_hit;
           regs.(0) <- r;
           write_tl task Layout.tl_locked 0
         | `Blocked -> () (* file reads don't block; unreachable *)
@@ -325,6 +331,7 @@ let hook mode k task =
           (match task.T.desched with
           | Some ev -> Perf_event.disable ev
           | None -> ());
+          Telemetry.incr tm_hit;
           regs.(0) <- r;
           write_tl task Layout.tl_locked 0
         | `Blocked ->
@@ -382,6 +389,7 @@ let hook mode k task =
             (Bytes.of_string
                (String.sub data 0 (min (String.length data) cref.Event.cr_len)))
         | None -> ());
+        Telemetry.incr tm_replay_hit;
         regs.(0) <- br.Event.br_result;
         write_tl task Layout.tl_locked 0
       end

@@ -148,10 +148,19 @@ let deflate_huffman src =
   Huffman.write_symbol w lit_enc eob;
   Bitio.finish w
 
+let tm_deflate_in = Telemetry.counter "compress.deflate_bytes_in"
+let tm_deflate_out = Telemetry.counter "compress.deflate_bytes_out"
+let tm_inflate_out = Telemetry.counter "compress.inflate_bytes"
+
 let deflate src =
   let packed = deflate_huffman src in
-  if String.length packed + 1 <= String.length src then "\001" ^ packed
-  else "\000" ^ src
+  let stored =
+    if String.length packed + 1 <= String.length src then "\001" ^ packed
+    else "\000" ^ src
+  in
+  Telemetry.add tm_deflate_in (String.length src);
+  Telemetry.add tm_deflate_out (String.length stored);
+  stored
 
 exception Corrupt of string
 
@@ -195,10 +204,14 @@ let inflate data =
   if String.length data = 0 then raise (Corrupt "empty stream")
   else
     let body = String.sub data 1 (String.length data - 1) in
-    match data.[0] with
-    | '\000' -> body
-    | '\001' -> inflate_huffman body
-    | _ -> raise (Corrupt "bad mode byte")
+    let out =
+      match data.[0] with
+      | '\000' -> body
+      | '\001' -> inflate_huffman body
+      | _ -> raise (Corrupt "bad mode byte")
+    in
+    Telemetry.add tm_inflate_out (String.length out);
+    out
 
 let ratio ~original ~compressed =
   if compressed = 0 then 0. else float_of_int original /. float_of_int compressed

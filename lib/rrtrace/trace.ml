@@ -24,6 +24,11 @@ type stats = {
   mutable n_chunks : int;
   mutable n_buffered_syscalls : int; (* syscalls recorded via syscallbuf *)
   mutable n_traced_syscalls : int;
+  (* Reader-side chunk-LRU traffic.  Runtime-only: not persisted (the
+     RRTRACE2 stats section stays 9 uvarints) and reset on load. *)
+  mutable lru_hits : int;
+  mutable lru_misses : int;
+  mutable lru_evictions : int;
 }
 
 let new_stats () =
@@ -35,7 +40,17 @@ let new_stats () =
     copied_file_bytes = 0;
     n_chunks = 0;
     n_buffered_syscalls = 0;
-    n_traced_syscalls = 0 }
+    n_traced_syscalls = 0;
+    lru_hits = 0;
+    lru_misses = 0;
+    lru_evictions = 0 }
+
+let tm_chunk_hit = Telemetry.counter "trace.chunk.hit"
+let tm_chunk_miss = Telemetry.counter "trace.chunk.miss"
+let tm_chunk_evict = Telemetry.counter "trace.chunk.evict"
+let tm_chunk_flush = Telemetry.counter "trace.chunk.flush"
+let tm_deflate_ratio = Telemetry.histogram "trace.deflate.ratio_pct"
+let tm_inflate = Telemetry.span "trace.inflate"
 
 type chunk_info = {
   first_frame : int;
@@ -108,6 +123,10 @@ module Writer = struct
       let raw = Buffer.contents w.pending in
       Buffer.clear w.pending;
       let stored = if w.compress then Compress.deflate raw else raw in
+      Telemetry.incr tm_chunk_flush;
+      if String.length raw > 0 then
+        Telemetry.observe tm_deflate_ratio
+          (String.length stored * 100 / String.length raw);
       w.stats.compressed_bytes <-
         w.stats.compressed_bytes + String.length stored;
       w.stats.n_chunks <- w.stats.n_chunks + 1;
@@ -214,7 +233,11 @@ let file t path =
 
 let decode_chunk_raw t ci stored =
   try
-    let raw = if t.compressed then Compress.inflate stored else stored in
+    let raw =
+      if t.compressed then
+        Telemetry.timed tm_inflate (fun () -> Compress.inflate stored)
+      else stored
+    in
     let s = Codec.source raw in
     let out = Array.make ci.n_frames Event.(E_exit { tid = 0; status = 0 }) in
     for i = 0 to ci.n_frames - 1 do
@@ -232,15 +255,23 @@ let chunk_frames t ci_idx =
   match List.assoc_opt ci_idx t.cache with
   | Some frames ->
     (* move to front *)
+    t.stats.lru_hits <- t.stats.lru_hits + 1;
+    Telemetry.incr tm_chunk_hit;
     t.cache <-
       (ci_idx, frames) :: List.remove_assoc ci_idx t.cache;
     frames
   | None ->
     let frames = decode_chunk_raw t t.index.(ci_idx) t.chunks.(ci_idx) in
     t.chunk_decodes <- t.chunk_decodes + 1;
+    t.stats.lru_misses <- t.stats.lru_misses + 1;
+    Telemetry.incr tm_chunk_miss;
     t.cache <- (ci_idx, frames) :: t.cache;
-    (if List.length t.cache > cache_slots then
-       t.cache <- List.filteri (fun i _ -> i < cache_slots) t.cache);
+    (if List.length t.cache > cache_slots then begin
+       t.stats.lru_evictions <-
+         t.stats.lru_evictions + (List.length t.cache - cache_slots);
+       Telemetry.incr tm_chunk_evict;
+       t.cache <- List.filteri (fun i _ -> i < cache_slots) t.cache
+     end);
     frames
 
 (* Binary search: the chunk containing frame [i]. *)
@@ -358,7 +389,12 @@ end
    recomputed. *)
 let map_frames f t =
   let stats =
-    { t.stats with raw_bytes = 0; compressed_bytes = 0 }
+    { t.stats with
+      raw_bytes = 0;
+      compressed_bytes = 0;
+      lru_hits = 0;
+      lru_misses = 0;
+      lru_evictions = 0 }
   in
   let n_chunks = Array.length t.index in
   if n_chunks = 0 then { t with stats; cache = []; chunk_decodes = 0 }
@@ -452,7 +488,11 @@ let get_stats s =
   let n_buffered_syscalls = g () in
   let n_traced_syscalls = g () in
   { n_events; raw_bytes; compressed_bytes; cloned_blocks; cloned_bytes;
-    copied_file_bytes; n_chunks; n_buffered_syscalls; n_traced_syscalls }
+    copied_file_bytes; n_chunks; n_buffered_syscalls; n_traced_syscalls;
+    (* LRU traffic is runtime-only: a loaded trace starts cold. *)
+    lru_hits = 0;
+    lru_misses = 0;
+    lru_evictions = 0 }
 
 let save t path =
   let b = Codec.sink () in
@@ -579,8 +619,9 @@ let load path =
 let pp_stats ppf s =
   Fmt.pf ppf
     "events=%d raw=%dB compressed=%dB (%.2fx) cloned=%dB (%d blocks) \
-     copied=%dB buffered-syscalls=%d traced-syscalls=%d"
+     copied=%dB buffered-syscalls=%d traced-syscalls=%d lru=%d/%d \
+     hit/miss (%d evicted)"
     s.n_events s.raw_bytes s.compressed_bytes
     (Compress.ratio ~original:s.raw_bytes ~compressed:s.compressed_bytes)
     s.cloned_bytes s.cloned_blocks s.copied_file_bytes s.n_buffered_syscalls
-    s.n_traced_syscalls
+    s.n_traced_syscalls s.lru_hits s.lru_misses s.lru_evictions

@@ -22,6 +22,9 @@ type stats = {
   mutable n_chunks : int;
   mutable n_buffered_syscalls : int;
   mutable n_traced_syscalls : int;
+  mutable lru_hits : int; (* Reader chunk-LRU hits (runtime-only) *)
+  mutable lru_misses : int; (* chunks inflated+decoded on demand *)
+  mutable lru_evictions : int; (* decoded chunks dropped from the LRU *)
 }
 
 type chunk_info = {

@@ -426,6 +426,28 @@ let test_poll_blocks_on_two_pipes () =
   in
   Alcotest.(check int) "woken by the second pipe" 101 (status proc)
 
+(* Regression: a deadlocked run must report wall_time from the cost
+   model's clock at detection time, not a stale value.  The guest burns
+   virtual time in a compute loop, then blocks forever reading a pipe
+   whose write end is still open. *)
+let test_deadlock_wall_time_from_cost_model () =
+  let k, _proc, stats =
+    run_guest (fun _k b ->
+        let fds = G.bss b 16 in
+        let buf = G.bss b 8 in
+        G.emit b
+          (G.sys_pipe ~fds_addr:fds
+          @. [ Asm.movi 9 fds; Asm.load 7 9 0 ]
+          @. G.compute_loop b ~n:2000
+          @. G.sys_read ~fd:(G.reg 7) ~buf:(G.imm buf) ~len:(G.imm 8)
+          @. G.sys_exit_group 0))
+  in
+  Alcotest.(check bool) "deadlocked" true stats.K.deadlocked;
+  Alcotest.(check int) "wall_time synced to the kernel clock" (K.now k)
+    stats.K.wall_time;
+  Alcotest.(check bool) "wall_time covers the compute loop" true
+    (stats.K.wall_time > 0)
+
 let qcheck_getrandom_lengths =
   QCheck.Test.make ~name:"getrandom fills exactly n bytes" ~count:20
     QCheck.(int_range 0 512)
@@ -486,4 +508,6 @@ let suites =
       [ Alcotest.test_case "vdso cheaper" `Quick test_vdso_cheaper_than_syscall;
         Alcotest.test_case "multicore speedup + causality" `Quick
           test_multicore_speedup;
+        Alcotest.test_case "deadlock wall_time from cost model" `Quick
+          test_deadlock_wall_time_from_cost_model;
         QCheck_alcotest.to_alcotest qcheck_getrandom_lengths ] ) ]
