@@ -42,9 +42,24 @@ let seed_arg =
   let doc = "Recording seed (scheduling and entropy)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~doc)
 
-let opts_of ~no_intercept ~no_cloning ~chaos ~seed =
+let jobs_arg =
+  let doc =
+    "Worker domains that deflate trace chunks in the background while \
+     recording continues (1 = serial; output is byte-identical either \
+     way)."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let readahead_arg =
+  let doc =
+    "Chunks the replay reader prefetches and inflates in the background \
+     (0 = inflate on demand)."
+  in
+  Arg.(value & opt int 0 & info [ "readahead" ] ~docv:"N" ~doc)
+
+let opts_of ?(jobs = 1) ~no_intercept ~no_cloning ~chaos ~seed () =
   Recorder.make_opts ~intercept:(not no_intercept)
-    ~clone_blocks:(not no_cloning) ~chaos ~seed ()
+    ~clone_blocks:(not no_cloning) ~chaos ~seed ~jobs ()
 
 let do_record w opts =
   let recd, _k = Workload.record ~opts w in
@@ -67,9 +82,11 @@ let out_arg =
     & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Save the trace to FILE.")
 
 let record_cmd =
-  let run name no_intercept no_cloning chaos seed out =
+  let run name no_intercept no_cloning chaos seed jobs out =
     let w = workload_of_name name in
-    let recd = do_record w (opts_of ~no_intercept ~no_cloning ~chaos ~seed) in
+    let recd =
+      do_record w (opts_of ~jobs ~no_intercept ~no_cloning ~chaos ~seed ())
+    in
     match out with
     | Some path ->
       Trace.save recd.Workload.trace path;
@@ -80,12 +97,15 @@ let record_cmd =
     (Cmd.info "record" ~doc:"Record a workload and print trace statistics.")
     Term.(
       const run $ workload_arg $ intercept_arg $ cloning_arg $ chaos_arg
-      $ seed_arg $ out_arg)
+      $ seed_arg $ jobs_arg $ out_arg)
 
 let replay_cmd =
-  let run name no_intercept no_cloning chaos seed =
+  let run name no_intercept no_cloning chaos seed jobs readahead =
     let w = workload_of_name name in
-    let recd = do_record w (opts_of ~no_intercept ~no_cloning ~chaos ~seed) in
+    let recd =
+      do_record w (opts_of ~jobs ~no_intercept ~no_cloning ~chaos ~seed ())
+    in
+    Trace.set_opts recd.Workload.trace (Trace.make_opts ~jobs ~readahead ());
     let rep, _ = Workload.replay recd in
     let st = rep.Workload.rep_stats in
     Fmt.pr "replayed %s: exit=%a (events applied: %d, wall %d)@."
@@ -101,7 +121,7 @@ let replay_cmd =
        ~doc:"Record a workload, replay the trace, verify equivalence.")
     Term.(
       const run $ workload_arg $ intercept_arg $ cloning_arg $ chaos_arg
-      $ seed_arg)
+      $ seed_arg $ jobs_arg $ readahead_arg)
 
 let dump_cmd =
   let n_arg =
@@ -246,11 +266,16 @@ let stats_cmd =
       & info [ "json" ]
           ~doc:"Emit the telemetry snapshot as a single JSON object.")
   in
-  let run name no_intercept no_cloning chaos seed json =
+  let run name no_intercept no_cloning chaos seed jobs readahead json =
     let w = workload_of_name name in
     (* One clean record+replay session; the snapshot covers both phases. *)
     Telemetry.reset ();
-    let recd, _ = Workload.record ~opts:(opts_of ~no_intercept ~no_cloning ~chaos ~seed) w in
+    let recd, _ =
+      Workload.record
+        ~opts:(opts_of ~jobs ~no_intercept ~no_cloning ~chaos ~seed ())
+        w
+    in
+    Trace.set_opts recd.Workload.trace (Trace.make_opts ~jobs ~readahead ());
     let _rep, _ = Workload.replay recd in
     let snap = Telemetry.snapshot () in
     if json then print_string (Telemetry.snapshot_to_json snap)
@@ -266,7 +291,7 @@ let stats_cmd =
           snapshot (counters, spans, histograms, event ring).")
     Term.(
       const run $ workload_arg $ intercept_arg $ cloning_arg $ chaos_arg
-      $ seed_arg $ json_arg)
+      $ seed_arg $ jobs_arg $ readahead_arg $ json_arg)
 
 let list_cmd =
   let run () =

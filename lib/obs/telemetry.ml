@@ -4,12 +4,28 @@
    register their handles once at module initialization and pay only a
    field update per hit.  [reset] zeroes values in place — handles stay
    valid across runs, which is what lets the bench harness snapshot one
-   workload at a time. *)
+   workload at a time.
+
+   Domain safety: worker domains (the {!Pool} in lib/exec — trace
+   compression, replay readahead) report through the same registry as
+   the main thread.  Counters and gauges are single atomics, so the hot
+   increment path never takes a lock; histograms, spans, the event ring,
+   registration, [reset] and [snapshot] serialize on one registry mutex
+   ([reg_m]).  Internal [*_unlocked] helpers exist so compound
+   operations (a span feeding its histogram, [span] registering its
+   [.ns] histogram) take the mutex exactly once — the mutex is not
+   reentrant. *)
 
 (* ---- registry ------------------------------------------------------- *)
 
-type counter = { c_name : string; mutable c_v : int }
-type gauge = { g_name : string; mutable g_v : int }
+let reg_m = Mutex.create ()
+
+let with_reg f =
+  Mutex.lock reg_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_m) f
+
+type counter = { c_name : string; c_v : int Atomic.t }
+type gauge = { g_name : string; g_v : int Atomic.t }
 
 let n_buckets = 63
 
@@ -33,6 +49,7 @@ let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let hists_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
 let spans_tbl : (string, span) Hashtbl.t = Hashtbl.create 16
 
+(* Registration only under [reg_m]. *)
 let find_or_add tbl name make =
   match Hashtbl.find_opt tbl name with
   | Some x -> x
@@ -41,20 +58,28 @@ let find_or_add tbl name make =
     Hashtbl.replace tbl name x;
     x
 
-let counter name = find_or_add counters_tbl name (fun c_name -> { c_name; c_v = 0 })
+let counter name =
+  with_reg (fun () ->
+      find_or_add counters_tbl name (fun c_name ->
+          { c_name; c_v = Atomic.make 0 }))
 
-let incr c = c.c_v <- c.c_v + 1
-let add c n = c.c_v <- c.c_v + n
-let counter_value c = c.c_v
+let incr c = ignore (Atomic.fetch_and_add c.c_v 1)
+let add c n = ignore (Atomic.fetch_and_add c.c_v n)
+let counter_value c = Atomic.get c.c_v
 
-let gauge name = find_or_add gauges_tbl name (fun g_name -> { g_name; g_v = 0 })
+let gauge name =
+  with_reg (fun () ->
+      find_or_add gauges_tbl name (fun g_name ->
+          { g_name; g_v = Atomic.make 0 }))
 
-let set_gauge g v = g.g_v <- v
-let gauge_value g = g.g_v
+let set_gauge g v = Atomic.set g.g_v v
+let gauge_value g = Atomic.get g.g_v
+
+let make_histogram h_name =
+  { h_name; h_n = 0; h_sum = 0; h_counts = Array.make n_buckets 0 }
 
 let histogram name =
-  find_or_add hists_tbl name (fun h_name ->
-      { h_name; h_n = 0; h_sum = 0; h_counts = Array.make n_buckets 0 })
+  with_reg (fun () -> find_or_add hists_tbl name make_histogram)
 
 let bucket_of v =
   if v <= 0 then 0
@@ -67,29 +92,33 @@ let bucket_of v =
     min !i (n_buckets - 1)
   end
 
-let observe h v =
+let observe_unlocked h v =
   h.h_n <- h.h_n + 1;
   h.h_sum <- h.h_sum + max v 0;
   let b = h.h_counts in
   let i = bucket_of v in
   b.(i) <- b.(i) + 1
 
+let observe h v = with_reg (fun () -> observe_unlocked h v)
+
 let span name =
-  find_or_add spans_tbl name (fun sp_name ->
-      { sp_name;
-        sp_n = 0;
-        sp_total = 0;
-        sp_max = 0;
-        sp_hist = histogram (sp_name ^ ".ns") })
+  with_reg (fun () ->
+      find_or_add spans_tbl name (fun sp_name ->
+          { sp_name;
+            sp_n = 0;
+            sp_total = 0;
+            sp_max = 0;
+            sp_hist = find_or_add hists_tbl (sp_name ^ ".ns") make_histogram }))
 
 let span_add sp ns =
   let ns = max ns 0 in
-  sp.sp_n <- sp.sp_n + 1;
-  sp.sp_total <- sp.sp_total + ns;
-  if ns > sp.sp_max then sp.sp_max <- ns;
-  observe sp.sp_hist ns
+  with_reg (fun () ->
+      sp.sp_n <- sp.sp_n + 1;
+      sp.sp_total <- sp.sp_total + ns;
+      if ns > sp.sp_max then sp.sp_max <- ns;
+      observe_unlocked sp.sp_hist ns)
 
-let span_count sp = sp.sp_n
+let span_count sp = with_reg (fun () -> sp.sp_n)
 
 (* ---- the virtual clock ---------------------------------------------- *)
 
@@ -152,51 +181,58 @@ let event_to_json e =
     e.seq e.tid e.frame (json_escape e.kind) (json_escape e.detail)
 
 let set_sink s =
-  close_jsonl ();
-  mem_events := [];
-  (match s with Jsonl path -> jsonl_oc := Some (open_out path) | Null | Memory -> ());
-  current_sink := s
+  with_reg (fun () ->
+      close_jsonl ();
+      mem_events := [];
+      (match s with
+      | Jsonl path -> jsonl_oc := Some (open_out path)
+      | Null | Memory -> ());
+      current_sink := s)
 
 let note ?(tid = -1) ?(frame = -1) ~kind detail =
-  let e = { seq = !next_seq; tid; frame; kind; detail } in
-  ring.(!next_seq mod ring_capacity) <- e;
-  Stdlib.incr next_seq;
-  match !current_sink with
-  | Null -> ()
-  | Memory -> mem_events := e :: !mem_events
-  | Jsonl _ -> (
-    match !jsonl_oc with
-    | Some oc ->
-      output_string oc (event_to_json e);
-      output_char oc '\n'
-    | None -> ())
+  with_reg (fun () ->
+      let e = { seq = !next_seq; tid; frame; kind; detail } in
+      ring.(!next_seq mod ring_capacity) <- e;
+      Stdlib.incr next_seq;
+      match !current_sink with
+      | Null -> ()
+      | Memory -> mem_events := e :: !mem_events
+      | Jsonl _ -> (
+        match !jsonl_oc with
+        | Some oc ->
+          output_string oc (event_to_json e);
+          output_char oc '\n'
+        | None -> ()))
 
-let recent () =
+let recent_unlocked () =
   let n = min !next_seq ring_capacity in
   List.init n (fun i -> ring.((!next_seq - n + i) mod ring_capacity))
 
-let memory_events () = List.rev !mem_events
+let recent () = with_reg recent_unlocked
+
+let memory_events () = with_reg (fun () -> List.rev !mem_events)
 
 (* ---- reset ----------------------------------------------------------- *)
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_v <- 0) counters_tbl;
-  Hashtbl.iter (fun _ g -> g.g_v <- 0) gauges_tbl;
-  Hashtbl.iter
-    (fun _ h ->
-      h.h_n <- 0;
-      h.h_sum <- 0;
-      Array.fill h.h_counts 0 n_buckets 0)
-    hists_tbl;
-  Hashtbl.iter
-    (fun _ sp ->
-      sp.sp_n <- 0;
-      sp.sp_total <- 0;
-      sp.sp_max <- 0)
-    spans_tbl;
-  Array.fill ring 0 ring_capacity dummy_event;
-  next_seq := 0;
-  mem_events := []
+  with_reg (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_v 0) counters_tbl;
+      Hashtbl.iter (fun _ g -> Atomic.set g.g_v 0) gauges_tbl;
+      Hashtbl.iter
+        (fun _ h ->
+          h.h_n <- 0;
+          h.h_sum <- 0;
+          Array.fill h.h_counts 0 n_buckets 0)
+        hists_tbl;
+      Hashtbl.iter
+        (fun _ sp ->
+          sp.sp_n <- 0;
+          sp.sp_total <- 0;
+          sp.sp_max <- 0)
+        spans_tbl;
+      Array.fill ring 0 ring_capacity dummy_event;
+      next_seq := 0;
+      mem_events := [])
 
 (* ---- snapshots -------------------------------------------------------- *)
 
@@ -230,13 +266,17 @@ let hist_stat h =
   { h_count = h.h_n; h_sum = h.h_sum; h_buckets = !buckets }
 
 let snapshot () =
-  { snap_counters = sorted_bindings counters_tbl (fun c -> c.c_v);
-    snap_gauges = sorted_bindings gauges_tbl (fun g -> g.g_v);
-    snap_histograms = sorted_bindings hists_tbl hist_stat;
-    snap_spans =
-      sorted_bindings spans_tbl (fun sp ->
-          { s_count = sp.sp_n; s_total_ns = sp.sp_total; s_max_ns = sp.sp_max });
-    snap_events = recent () }
+  with_reg (fun () ->
+      { snap_counters =
+          sorted_bindings counters_tbl (fun c -> Atomic.get c.c_v);
+        snap_gauges = sorted_bindings gauges_tbl (fun g -> Atomic.get g.g_v);
+        snap_histograms = sorted_bindings hists_tbl hist_stat;
+        snap_spans =
+          sorted_bindings spans_tbl (fun sp ->
+              { s_count = sp.sp_n;
+                s_total_ns = sp.sp_total;
+                s_max_ns = sp.sp_max });
+        snap_events = recent_unlocked () })
 
 let since base =
   let now = snapshot () in

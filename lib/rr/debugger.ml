@@ -26,7 +26,13 @@ type t = {
   opts : Replayer.opts;
   checkpoint_every : int;
   mutable session : Replayer.t;
-  mutable checkpoints : (int * Replayer.snapshot) list; (* ascending idx *)
+  (* Checkpoints as a sorted dynamic array (ascending frame index,
+     first [n_checkpoints] slots live).  A long session takes thousands
+     of them, and every backward seek looks one up: membership and
+     nearest-≤ queries are O(log n) binary searches, insertion is an
+     ordered shift (almost always an append — execution moves forward). *)
+  mutable checkpoints : (int * Replayer.snapshot) array;
+  mutable n_checkpoints : int;
   mutable checkpoints_taken : int;
   mutable checkpoints_restored : int;
 }
@@ -35,11 +41,37 @@ let pos d = Replayer.cursor_index d.session
 
 let n_events d = Trace.n_events d.trace
 
+(* Greatest live slot with frame index ≤ [target], or -1. *)
+let cp_search d target =
+  let lo = ref 0 and hi = ref (d.n_checkpoints - 1) and best = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst d.checkpoints.(mid) <= target then begin
+      best := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !best
+
+let cp_insert d idx snap =
+  let at = cp_search d idx + 1 in
+  let cap = Array.length d.checkpoints in
+  if d.n_checkpoints = cap then begin
+    let grown = Array.make (max 8 (2 * cap)) (idx, snap) in
+    Array.blit d.checkpoints 0 grown 0 d.n_checkpoints;
+    d.checkpoints <- grown
+  end;
+  Array.blit d.checkpoints at d.checkpoints (at + 1) (d.n_checkpoints - at);
+  d.checkpoints.(at) <- (idx, snap);
+  d.n_checkpoints <- d.n_checkpoints + 1
+
 let take_checkpoint d =
   let idx = pos d in
-  if not (List.mem_assoc idx d.checkpoints) then begin
+  let i = cp_search d idx in
+  if i < 0 || fst d.checkpoints.(i) <> idx then begin
     let snap = Replayer.snapshot d.session in
-    d.checkpoints <- d.checkpoints @ [ (idx, snap) ];
+    cp_insert d idx snap;
     d.checkpoints_taken <- d.checkpoints_taken + 1
   end
 
@@ -49,7 +81,8 @@ let create ?(opts = Replayer.default_opts) ?(checkpoint_every = 32) trace =
       opts;
       checkpoint_every;
       session = Replayer.start ~opts trace;
-      checkpoints = [];
+      checkpoints = [||];
+      n_checkpoints = 0;
       checkpoints_taken = 0;
       checkpoints_restored = 0 }
   in
@@ -62,15 +95,11 @@ let step d =
   if pos d mod d.checkpoint_every = 0 then take_checkpoint d;
   e
 
-(* The nearest checkpoint at or before [idx]. *)
+(* The nearest checkpoint at or before [idx]: one binary search. *)
 let nearest_checkpoint d idx =
-  let rec best acc = function
-    | [] -> acc
-    | (i, snap) :: rest -> if i <= idx then best (Some (i, snap)) rest else acc
-  in
-  match best None d.checkpoints with
-  | Some c -> c
-  | None -> fail "no checkpoint at or before %d" idx
+  let i = cp_search d idx in
+  if i < 0 then fail "no checkpoint at or before %d" idx
+  else d.checkpoints.(i)
 
 let tm_span_seek = Telemetry.span "replay.seek"
 

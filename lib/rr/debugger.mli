@@ -12,7 +12,11 @@ type t = {
   opts : Replayer.opts;
   checkpoint_every : int;
   mutable session : Replayer.t;
-  mutable checkpoints : (int * Replayer.snapshot) list;
+  mutable checkpoints : (int * Replayer.snapshot) array;
+      (** sorted by frame index; first [n_checkpoints] slots are live.
+          Lookups ([seek]'s nearest-checkpoint query, dedup on take)
+          are O(log n) binary searches. *)
+  mutable n_checkpoints : int;
   mutable checkpoints_taken : int;
   mutable checkpoints_restored : int;
 }

@@ -33,6 +33,7 @@ type opts = {
   seed : int;
   max_events : int; (* runaway-recording guard *)
   checksum_every : int; (* emit memory checksums every N frames; 0 = off *)
+  jobs : int; (* worker domains deflating trace chunks in the background *)
 }
 
 let default_opts =
@@ -44,7 +45,8 @@ let default_opts =
     timeslice_rcbs = 50_000;
     seed = 1;
     max_events = 5_000_000;
-    checksum_every = 0 }
+    checksum_every = 0;
+    jobs = 1 }
 
 let make_opts ?(intercept = default_opts.intercept)
     ?(scratch = default_opts.scratch)
@@ -52,9 +54,10 @@ let make_opts ?(intercept = default_opts.intercept)
     ?(compress = default_opts.compress) ?(chaos = default_opts.chaos)
     ?(timeslice_rcbs = default_opts.timeslice_rcbs) ?(seed = default_opts.seed)
     ?(max_events = default_opts.max_events)
-    ?(checksum_every = default_opts.checksum_every) () =
+    ?(checksum_every = default_opts.checksum_every)
+    ?(jobs = default_opts.jobs) () =
   { intercept; scratch; clone_blocks; compress; chaos; timeslice_rcbs; seed;
-    max_events; checksum_every }
+    max_events; checksum_every; jobs }
 
 type per_task = {
   mutable slot : int;
@@ -917,7 +920,11 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ~setup ~exe (
   Vfs.mkdir_p (K.vfs k) "/trace/files";
   Vfs.mkdir_p (K.vfs k) "/trace/cloned";
   setup k;
-  let w = Trace.Writer.create ~compress:opts.compress ~initial_exe:exe () in
+  let w =
+    Trace.Writer.create ~compress:opts.compress
+      ~opts:(Trace.make_opts ~jobs:opts.jobs ())
+      ~initial_exe:exe ()
+  in
   let r =
     { k;
       w;

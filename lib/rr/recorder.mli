@@ -30,6 +30,7 @@ type opts = {
   seed : int; (* recording-side entropy *)
   max_events : int; (* runaway-recording guard *)
   checksum_every : int; (* memory digests every N frames (§6.2); 0 = off *)
+  jobs : int; (* worker domains deflating trace chunks in the background *)
 }
 
 val default_opts : opts
@@ -44,6 +45,7 @@ val make_opts :
   ?seed:int ->
   ?max_events:int ->
   ?checksum_every:int ->
+  ?jobs:int ->
   unit ->
   opts
 (** [default_opts] with the given fields overridden. *)

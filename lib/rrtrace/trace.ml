@@ -12,7 +12,17 @@
    {!Reader}, with a small LRU of decoded chunks, so memory stays
    proportional to one chunk and a seek costs O(log n_chunks) — the
    property the debugger's checkpoint/reverse-execution substrate
-   (paper §6.1) leans on. *)
+   (paper §6.1) leans on.
+
+   Multicore pipeline ({!opts}): with [jobs > 1] the writer hands each
+   sealed chunk to a {!Pool} of worker domains and collects the
+   deflated bytes in submission order at {!Writer.finish} — compression
+   runs on spare cores while recording continues, the way real rr hides
+   its deflate cost (§2.7).  With [readahead > 0] the reader prefetches
+   and inflates the next chunks in the background, so sequential
+   replay's [next]/[seek] almost never inflate on the critical path.
+   Deflate is per-chunk deterministic, so the parallel and serial
+   writers produce byte-identical traces. *)
 
 type stats = {
   mutable n_events : int;
@@ -50,7 +60,23 @@ let tm_chunk_miss = Telemetry.counter "trace.chunk.miss"
 let tm_chunk_evict = Telemetry.counter "trace.chunk.evict"
 let tm_chunk_flush = Telemetry.counter "trace.chunk.flush"
 let tm_deflate_ratio = Telemetry.histogram "trace.deflate.ratio_pct"
+let tm_deflate = Telemetry.span "trace.deflate"
 let tm_inflate = Telemetry.span "trace.inflate"
+let tm_prefetch_hit = Telemetry.counter "reader.prefetch_hit"
+let tm_prefetch_miss = Telemetry.counter "reader.prefetch_miss"
+
+(* ---- pipeline options ------------------------------------------------ *)
+
+type opts = {
+  jobs : int; (* worker domains for chunk deflate / readahead inflate *)
+  readahead : int; (* chunks the reader prefetches past the last access *)
+}
+
+let default_opts = { jobs = 1; readahead = 0 }
+
+let make_opts ?(jobs = default_opts.jobs)
+    ?(readahead = default_opts.readahead) () =
+  { jobs = max 1 jobs; readahead = max 0 readahead }
 
 type chunk_info = {
   first_frame : int;
@@ -70,10 +96,36 @@ type t = {
   initial_exe : string;
   (* LRU of decoded chunks, shared by every cursor over this trace; MRU
      first.  [chunk_decodes] counts cache misses — the number of chunks
-     actually inflated+decoded, which tests use to prove laziness. *)
+     actually inflated+decoded, which tests use to prove laziness.
+     All of the fields below are guarded by [lock]: readahead workers
+     insert decoded chunks concurrently with the main thread. *)
   mutable cache : (int * Event.t array) list;
   mutable chunk_decodes : int;
+  mutable opts : opts;
+  lock : Mutex.t;
+  cv : Condition.t; (* signaled when a prefetch lands or fails *)
+  inflight : (int, unit) Hashtbl.t; (* chunk idx -> being prefetched *)
+  prefetched : (int, unit) Hashtbl.t; (* inserted by a worker, untouched *)
+  mutable rpool : Pool.t option; (* lazily created readahead pool *)
 }
+
+let make_t ~index ~chunks ~compressed ~images ~files ~stats ~initial_exe
+    ~opts =
+  { index;
+    chunks;
+    compressed;
+    images;
+    files;
+    stats;
+    initial_exe;
+    cache = [];
+    chunk_decodes = 0;
+    opts;
+    lock = Mutex.create ();
+    cv = Condition.create ();
+    inflight = Hashtbl.create 8;
+    prefetched = Hashtbl.create 8;
+    rpool = None }
 
 let default_chunk_limit = 1 lsl 16
 let cache_slots = 8
@@ -83,62 +135,75 @@ exception Format_error of string
 let format_fail fmt = Fmt.kstr (fun s -> raise (Format_error s)) fmt
 
 module Writer = struct
+  (* A sealed chunk: its frames are fixed, its stored bytes may still be
+     in flight on a worker domain.  The index entry (which needs the
+     stored length and byte offset) is built at [finish], in submission
+     order, so the parallel and serial paths emit identical files. *)
+  type sealed = {
+    s_first_frame : int;
+    s_n_frames : int;
+    s_kinds : int;
+    s_raw_len : int;
+    s_stored : string Pool.future;
+  }
+
   type w = {
-    mutable rev_chunks : string list;
-    mutable rev_index : chunk_info list;
+    mutable rev_sealed : sealed list;
     mutable pending : Codec.sink;
     mutable pending_frames : int;
     mutable pending_kinds : int;
     mutable frames_flushed : int; (* first_frame of the pending chunk *)
-    mutable byte_offset : int;
     chunk_limit : int;
     images : (string, Image.t) Hashtbl.t;
     files : (string, string) Hashtbl.t;
     stats : stats;
     mutable exe : string;
     compress : bool;
+    opts : opts;
+    pool : Pool.t; (* inline when opts.jobs = 1: the serial path *)
   }
 
   let create ?(compress = true) ?(chunk_limit = default_chunk_limit)
-      ~initial_exe () =
-    { rev_chunks = [];
-      rev_index = [];
+      ?(opts = default_opts) ~initial_exe () =
+    { rev_sealed = [];
       pending = Codec.sink ();
       pending_frames = 0;
       pending_kinds = 0;
       frames_flushed = 0;
-      byte_offset = 0;
       chunk_limit;
       images = Hashtbl.create 8;
       files = Hashtbl.create 8;
       stats = new_stats ();
       exe = initial_exe;
-      compress }
+      compress;
+      opts;
+      pool = Pool.create ~jobs:opts.jobs () }
 
-  (* Flush the pending frames as one stored chunk, emitting its index
-     entry as we go — the index is built incrementally, never by a
-     post-hoc scan. *)
+  (* Seal the pending frames as one chunk and hand the deflate to the
+     pool.  With one job the submit runs inline — byte-for-byte the old
+     synchronous path; with more, the bounded pool queue provides
+     backpressure so recording can never outrun the compressors by more
+     than a few chunks. *)
   let flush_chunk w =
     if w.pending_frames > 0 then begin
       let raw = Buffer.contents w.pending in
       Buffer.clear w.pending;
-      let stored = if w.compress then Compress.deflate raw else raw in
       Telemetry.incr tm_chunk_flush;
-      if String.length raw > 0 then
-        Telemetry.observe tm_deflate_ratio
-          (String.length stored * 100 / String.length raw);
-      w.stats.compressed_bytes <-
-        w.stats.compressed_bytes + String.length stored;
+      let compress = w.compress in
+      let stored =
+        Pool.submit w.pool (fun () ->
+            if compress then
+              Telemetry.timed tm_deflate (fun () -> Compress.deflate raw)
+            else raw)
+      in
       w.stats.n_chunks <- w.stats.n_chunks + 1;
-      w.rev_chunks <- stored :: w.rev_chunks;
-      w.rev_index <-
-        { first_frame = w.frames_flushed;
-          n_frames = w.pending_frames;
-          byte_offset = w.byte_offset;
-          stored_len = String.length stored;
-          kinds = w.pending_kinds }
-        :: w.rev_index;
-      w.byte_offset <- w.byte_offset + String.length stored;
+      w.rev_sealed <-
+        { s_first_frame = w.frames_flushed;
+          s_n_frames = w.pending_frames;
+          s_kinds = w.pending_kinds;
+          s_raw_len = String.length raw;
+          s_stored = stored }
+        :: w.rev_sealed;
       w.frames_flushed <- w.frames_flushed + w.pending_frames;
       w.pending_frames <- 0;
       w.pending_kinds <- 0
@@ -198,17 +263,37 @@ module Writer = struct
 
   let find_file w path = Hashtbl.find_opt w.files path
 
+  (* Await every in-flight deflate in chunk order and assemble the
+     index.  The ordering guarantee is structural: [rev_sealed] is in
+     submission order and futures are awaited positionally, so worker
+     completion order cannot reorder the stream. *)
   let finish w =
     flush_chunk w;
-    { index = Array.of_list (List.rev w.rev_index);
-      chunks = Array.of_list (List.rev w.rev_chunks);
-      compressed = w.compress;
-      images = w.images;
-      files = w.files;
-      stats = w.stats;
-      initial_exe = w.exe;
-      cache = [];
-      chunk_decodes = 0 }
+    let sealed = Array.of_list (List.rev w.rev_sealed) in
+    let chunks = Array.map (fun s -> Pool.await s.s_stored) sealed in
+    Pool.shutdown w.pool;
+    let byte_offset = ref 0 in
+    let index =
+      Array.mapi
+        (fun i s ->
+          let stored_len = String.length chunks.(i) in
+          w.stats.compressed_bytes <- w.stats.compressed_bytes + stored_len;
+          if s.s_raw_len > 0 then
+            Telemetry.observe tm_deflate_ratio
+              (stored_len * 100 / s.s_raw_len);
+          let ci =
+            { first_frame = s.s_first_frame;
+              n_frames = s.s_n_frames;
+              byte_offset = !byte_offset;
+              stored_len;
+              kinds = s.s_kinds }
+          in
+          byte_offset := !byte_offset + stored_len;
+          ci)
+        sealed
+    in
+    make_t ~index ~chunks ~compressed:w.compress ~images:w.images
+      ~files:w.files ~stats:w.stats ~initial_exe:w.exe ~opts:w.opts
 end
 
 let n_events t = t.stats.n_events
@@ -218,6 +303,19 @@ let stats t = t.stats
 let chunk_index t = t.index
 
 let decoded_chunks t = t.chunk_decodes
+
+let get_opts t = t.opts
+
+(* Reconfigure the pipeline of an already-built trace (e.g. enable
+   readahead on a loaded trace before replaying it).  A live readahead
+   pool with the wrong worker count is retired first. *)
+let set_opts t opts =
+  (match t.rpool with
+  | Some p when Pool.jobs p <> opts.jobs ->
+    Pool.shutdown p;
+    t.rpool <- None
+  | Some _ | None -> ());
+  t.opts <- opts
 
 let image t path =
   match Hashtbl.find_opt t.images path with
@@ -250,29 +348,121 @@ let decode_chunk_raw t ci stored =
   | Compress.Corrupt msg | Codec.Corrupt msg ->
     format_fail "corrupt chunk at frame %d: %s" ci.first_frame msg
 
-(* Fetch chunk [ci_idx] decoded, through the LRU. *)
-let chunk_frames t ci_idx =
-  match List.assoc_opt ci_idx t.cache with
-  | Some frames ->
-    (* move to front *)
-    t.stats.lru_hits <- t.stats.lru_hits + 1;
-    Telemetry.incr tm_chunk_hit;
-    t.cache <-
-      (ci_idx, frames) :: List.remove_assoc ci_idx t.cache;
-    frames
-  | None ->
-    let frames = decode_chunk_raw t t.index.(ci_idx) t.chunks.(ci_idx) in
+(* Effective LRU capacity: a deep readahead must not evict the chunks
+   it just prefetched. *)
+let lru_slots t = max cache_slots (t.opts.readahead + 2)
+
+(* Insert a freshly decoded chunk; caller holds [t.lock].  No-op if a
+   racing decode beat us to it. *)
+let cache_insert t ci_idx frames =
+  if not (List.mem_assoc ci_idx t.cache) then begin
     t.chunk_decodes <- t.chunk_decodes + 1;
     t.stats.lru_misses <- t.stats.lru_misses + 1;
     Telemetry.incr tm_chunk_miss;
     t.cache <- (ci_idx, frames) :: t.cache;
-    (if List.length t.cache > cache_slots then begin
-       t.stats.lru_evictions <-
-         t.stats.lru_evictions + (List.length t.cache - cache_slots);
-       Telemetry.incr tm_chunk_evict;
-       t.cache <- List.filteri (fun i _ -> i < cache_slots) t.cache
-     end);
-    frames
+    let slots = lru_slots t in
+    if List.length t.cache > slots then begin
+      t.stats.lru_evictions <-
+        t.stats.lru_evictions + (List.length t.cache - slots);
+      Telemetry.incr tm_chunk_evict;
+      t.cache <- List.filteri (fun i _ -> i < slots) t.cache
+    end
+  end
+
+(* Background inflate of chunk [j].  A corrupt chunk is left alone: the
+   on-demand path will decode it again and raise {!Format_error} with
+   frame context on the thread that actually asked for it, keeping
+   error behavior identical to readahead = 0. *)
+let prefetch_task t j () =
+  match decode_chunk_raw t t.index.(j) t.chunks.(j) with
+  | frames ->
+    Mutex.lock t.lock;
+    Hashtbl.remove t.inflight j;
+    cache_insert t j frames;
+    Hashtbl.replace t.prefetched j ();
+    Condition.broadcast t.cv;
+    Mutex.unlock t.lock
+  | exception Format_error _ ->
+    Mutex.lock t.lock;
+    Hashtbl.remove t.inflight j;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.lock
+
+let reader_pool_unlocked t =
+  match t.rpool with
+  | Some p -> p
+  | None ->
+    let p =
+      Pool.create ~jobs:t.opts.jobs
+        ~queue_limit:(max 2 (2 * t.opts.readahead)) ()
+    in
+    t.rpool <- Some p;
+    p
+
+(* Queue background inflates for the [readahead] chunks after
+   [served_idx].  Submission happens outside [t.lock]: with an inline
+   (one-job) pool the task runs immediately and takes the lock itself. *)
+let maybe_prefetch t served_idx =
+  if t.opts.readahead > 0 then begin
+    Mutex.lock t.lock;
+    let n = Array.length t.index in
+    let want = ref [] in
+    for j = min (n - 1) (served_idx + t.opts.readahead) downto served_idx + 1
+    do
+      if (not (List.mem_assoc j t.cache)) && not (Hashtbl.mem t.inflight j)
+      then begin
+        Hashtbl.replace t.inflight j ();
+        want := j :: !want
+      end
+    done;
+    let pool = reader_pool_unlocked t in
+    Mutex.unlock t.lock;
+    List.iter (fun j -> ignore (Pool.submit pool (prefetch_task t j))) !want
+  end
+
+(* Fetch chunk [ci_idx] decoded, through the LRU.  If a readahead
+   worker already has the chunk in flight, wait for it instead of
+   inflating the same bytes twice. *)
+let chunk_frames t ci_idx =
+  let ra_on = t.opts.readahead > 0 in
+  Mutex.lock t.lock;
+  let rec get () =
+    match List.assoc_opt ci_idx t.cache with
+    | Some frames ->
+      (* move to front *)
+      t.stats.lru_hits <- t.stats.lru_hits + 1;
+      Telemetry.incr tm_chunk_hit;
+      if Hashtbl.mem t.prefetched ci_idx then begin
+        Hashtbl.remove t.prefetched ci_idx;
+        Telemetry.incr tm_prefetch_hit
+      end;
+      t.cache <- (ci_idx, frames) :: List.remove_assoc ci_idx t.cache;
+      Mutex.unlock t.lock;
+      frames
+    | None when Hashtbl.mem t.inflight ci_idx ->
+      Condition.wait t.cv t.lock;
+      get ()
+    | None ->
+      (* Inflate on the critical path (a prefetch miss when readahead
+         is on).  Decode outside the lock so concurrent prefetches keep
+         landing. *)
+      Mutex.unlock t.lock;
+      let frames = decode_chunk_raw t t.index.(ci_idx) t.chunks.(ci_idx) in
+      Mutex.lock t.lock;
+      Hashtbl.remove t.prefetched ci_idx;
+      if ra_on then Telemetry.incr tm_prefetch_miss;
+      cache_insert t ci_idx frames;
+      let frames =
+        match List.assoc_opt ci_idx t.cache with
+        | Some f -> f
+        | None -> frames
+      in
+      Mutex.unlock t.lock;
+      frames
+  in
+  let frames = get () in
+  maybe_prefetch t ci_idx;
+  frames
 
 (* Binary search: the chunk containing frame [i]. *)
 let chunk_of_frame t i =
@@ -396,8 +586,12 @@ let map_frames f t =
       lru_misses = 0;
       lru_evictions = 0 }
   in
+  let remake ~index ~chunks =
+    make_t ~index ~chunks ~compressed:t.compressed ~images:t.images
+      ~files:t.files ~stats ~initial_exe:t.initial_exe ~opts:t.opts
+  in
   let n_chunks = Array.length t.index in
-  if n_chunks = 0 then { t with stats; cache = []; chunk_decodes = 0 }
+  if n_chunks = 0 then remake ~index:t.index ~chunks:t.chunks
   else begin
   let chunks = Array.make n_chunks "" in
   let index = Array.make n_chunks t.index.(0) in
@@ -425,7 +619,7 @@ let map_frames f t =
           kinds = !kinds };
       byte_offset := !byte_offset + String.length stored)
     t.index;
-  { t with index; chunks; stats; cache = []; chunk_decodes = 0 }
+  remake ~index ~chunks
   end
 
 (* ---- host-filesystem persistence -------------------------------------
@@ -529,7 +723,7 @@ let save t path =
       output_bytes oc len;
       output_string oc payload)
 
-let load path =
+let load ?(opts = default_opts) path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -604,15 +798,8 @@ let load path =
             let p = Codec.get_string s in
             Hashtbl.replace images p (Image_codec.get_image s))
         |> ignore;
-        { index;
-          chunks;
-          compressed;
-          images;
-          files;
-          stats;
-          initial_exe;
-          cache = [];
-          chunk_decodes = 0 }
+        make_t ~index ~chunks ~compressed ~images ~files ~stats ~initial_exe
+          ~opts
       with Codec.Corrupt msg ->
         format_fail "%s: corrupt trace file (%s)" path msg)
 

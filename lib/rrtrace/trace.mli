@@ -10,7 +10,16 @@
     frames are never held decoded in bulk.  All frame access goes
     through {!Reader}, which inflates one chunk at a time behind a small
     LRU, so opening a trace is O(index) and a seek costs
-    O(log n_chunks + one chunk decode). *)
+    O(log n_chunks + one chunk decode).
+
+    The multicore pipeline is selected per trace via {!opts}: [jobs]
+    worker domains deflate sealed chunks in the background while the
+    writer keeps recording (output is byte-identical to the serial
+    path), and [readahead] chunks are prefetched+inflated ahead of the
+    reader so sequential replay rarely inflates on the critical path.
+    The decoded-chunk LRU is domain-safe (a per-trace mutex).  The
+    defaults ([jobs = 1], [readahead = 0]) are the fully serial,
+    domain-free paths. *)
 
 type stats = {
   mutable n_events : int;
@@ -27,6 +36,19 @@ type stats = {
   mutable lru_evictions : int; (* decoded chunks dropped from the LRU *)
 }
 
+(** Pipeline options (see the module preamble). *)
+type opts = {
+  jobs : int; (** worker domains for chunk deflate / readahead (≥ 1) *)
+  readahead : int; (** chunks prefetched past the last read (0 = off) *)
+}
+
+val default_opts : opts
+(** [{jobs = 1; readahead = 0}]: the serial paths, no domains. *)
+
+val make_opts : ?jobs:int -> ?readahead:int -> unit -> opts
+(** [default_opts] with the given fields overridden (clamped to
+    [jobs ≥ 1], [readahead ≥ 0]). *)
+
 type chunk_info = {
   first_frame : int; (** trace index of the chunk's first frame *)
   n_frames : int;
@@ -41,11 +63,19 @@ module Writer : sig
   type w
 
   val create :
-    ?compress:bool -> ?chunk_limit:int -> initial_exe:string -> unit -> w
+    ?compress:bool ->
+    ?chunk_limit:int ->
+    ?opts:opts ->
+    initial_exe:string ->
+    unit ->
+    w
   (** [chunk_limit] (default 64 KiB) is the pending-buffer size that
       triggers a chunk flush — with its index entry — as frames stream
       in; tests shrink it to force multi-chunk traces from small
-      workloads. *)
+      workloads.  With [opts.jobs > 1] each sealed chunk is deflated on
+      a worker domain (bounded queue: the writer blocks rather than
+      outrun the compressors); chunks are collected in submission order
+      at {!finish}, so the file is byte-identical to the serial one. *)
 
   val event : w -> Event.t -> int
   (** Append one frame; returns its serialized size (cost charging). *)
@@ -114,8 +144,17 @@ val stats : t -> stats
 val chunk_index : t -> chunk_info array
 
 val decoded_chunks : t -> int
-(** Number of chunks inflated+decoded so far (LRU misses) — lets tests
-    verify that loading and partial reads stay lazy. *)
+(** Number of chunks inflated+decoded so far (LRU misses, including
+    background readahead decodes) — lets tests verify that loading and
+    partial reads stay lazy. *)
+
+val get_opts : t -> opts
+
+val set_opts : t -> opts -> unit
+(** Reconfigure the pipeline of a built trace (e.g. turn on readahead
+    before replaying a loaded trace).  Frame contents are unaffected:
+    readahead only changes {e when} chunks are inflated, never what the
+    reader returns. *)
 
 val image : t -> string -> Image.t
 (** Raises [Invalid_argument] for unknown paths. *)
@@ -139,8 +178,9 @@ val save : t -> string -> unit
     chunk index, chunk stream, files and images sections.  No Marshal
     anywhere in the layout. *)
 
-val load : string -> t
+val load : ?opts:opts -> string -> t
 (** Open a saved trace: parse header and index, slice the stored
-    chunks, validate structure — without inflating any chunk. *)
+    chunks, validate structure — without inflating any chunk.  [opts]
+    configures the reader pipeline of the returned trace. *)
 
 val pp_stats : stats Fmt.t

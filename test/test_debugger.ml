@@ -187,6 +187,26 @@ let test_debugger_on_workload () =
   Debugger.seek d end_pos;
   Alcotest.(check int) "back at the end" end_pos (Debugger.pos d)
 
+(* The checkpoint array invariants behind the O(log n) lookups: sorted,
+   duplicate-free, and dense out-of-order seeks keep it that way. *)
+let test_checkpoint_array_sorted () =
+  let trace = record_counter () in
+  let d = Debugger.create ~checkpoint_every:2 trace in
+  let n = Debugger.n_events d in
+  let rng = Random.State.make [| 99 |] in
+  for _ = 1 to 60 do
+    Debugger.seek d (Random.State.int rng (n + 1))
+  done;
+  Alcotest.(check bool) "several checkpoints live" true
+    (d.Debugger.n_checkpoints > 2);
+  for i = 1 to d.Debugger.n_checkpoints - 1 do
+    if fst d.Debugger.checkpoints.(i - 1) >= fst d.Debugger.checkpoints.(i)
+    then
+      Alcotest.failf "checkpoint array not strictly sorted at slot %d" i
+  done;
+  Alcotest.(check int) "taken = live (dedup on take)"
+    d.Debugger.checkpoints_taken d.Debugger.n_checkpoints
+
 let suites =
   [ ( "rr.debugger",
       [ Alcotest.test_case "seek + inspect" `Quick test_seek_and_inspect;
@@ -199,4 +219,6 @@ let suites =
         Alcotest.test_case "checkpoints are cheap" `Quick test_checkpoints_cheap;
         Alcotest.test_case "debugger on a workload trace" `Quick
           test_debugger_on_workload;
+        Alcotest.test_case "checkpoint array stays sorted" `Quick
+          test_checkpoint_array_sorted;
         QCheck_alcotest.to_alcotest qcheck_random_seeks ] ) ]

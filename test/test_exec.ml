@@ -1,0 +1,99 @@
+(* The domain pool (lib/exec): inline execution at jobs=1, real worker
+   domains at jobs>1, submission-order results, exception propagation
+   through futures, backpressure under a tiny queue bound, and the
+   shutdown contract. *)
+
+let test_inline_pool () =
+  let p = Pool.create ~jobs:1 () in
+  Alcotest.(check int) "clamped to one worker" 1 (Pool.jobs p);
+  (* Inline: the task has already run when submit returns. *)
+  let ran = ref false in
+  let f = Pool.submit p (fun () -> ran := true; 7) in
+  Alcotest.(check bool) "ran inline" true !ran;
+  Alcotest.(check int) "result" 7 (Pool.await f);
+  Alcotest.(check int) "await is repeatable" 7 (Pool.await f);
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *)
+
+let test_parallel_results_in_order () =
+  let p = Pool.create ~jobs:2 () in
+  let hits = Atomic.make 0 in
+  let futures =
+    List.init 50 (fun i ->
+        Pool.submit p (fun () ->
+            Atomic.incr hits;
+            i * i))
+  in
+  (* Futures are awaited positionally: results line up with submission
+     order no matter which worker ran which task. *)
+  List.iteri
+    (fun i f -> Alcotest.(check int) "positional result" (i * i) (Pool.await f))
+    futures;
+  Alcotest.(check int) "every task ran once" 50 (Atomic.get hits);
+  Pool.shutdown p
+
+let test_exception_propagation () =
+  let p = Pool.create ~jobs:2 () in
+  let ok = Pool.submit p (fun () -> "fine") in
+  let bad = Pool.submit p (fun () -> failwith "task blew up") in
+  Alcotest.(check string) "healthy task unaffected" "fine" (Pool.await ok);
+  Alcotest.check_raises "await re-raises" (Failure "task blew up") (fun () ->
+      ignore (Pool.await bad));
+  (* A failed task does not poison the pool. *)
+  Alcotest.(check int) "pool still works" 3
+    (Pool.await (Pool.submit p (fun () -> 3)));
+  Pool.shutdown p
+
+let test_backpressure () =
+  (* queue_limit 1: submission must block rather than buffer unboundedly,
+     yet all tasks complete.  Completion of this test is the assertion —
+     a lost wakeup would hang it. *)
+  let p = Pool.create ~queue_limit:1 ~jobs:2 () in
+  let sum = Atomic.make 0 in
+  let futures =
+    List.init 40 (fun i ->
+        Pool.submit p (fun () ->
+            Atomic.incr sum;
+            i))
+  in
+  let total = List.fold_left (fun acc f -> acc + Pool.await f) 0 futures in
+  Alcotest.(check int) "all results collected" (39 * 40 / 2) total;
+  Alcotest.(check int) "all tasks ran" 40 (Atomic.get sum);
+  Pool.shutdown p
+
+let test_shutdown_contract () =
+  let p = Pool.create ~jobs:2 () in
+  let f = Pool.submit p (fun () -> 11) in
+  Pool.shutdown p;
+  (* Pending work was drained, futures stay valid... *)
+  Alcotest.(check int) "future valid after shutdown" 11 (Pool.await f);
+  (* ...but new submissions are refused. *)
+  Alcotest.(check bool) "submit after shutdown raises" true
+    (try
+       ignore (Pool.submit p (fun () -> 0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_telemetry () =
+  Telemetry.reset ();
+  let p = Pool.create ~jobs:1 () in
+  for i = 1 to 5 do
+    ignore (Pool.submit p (fun () -> i))
+  done;
+  Pool.shutdown p;
+  let snap = Telemetry.snapshot () in
+  Alcotest.(check int) "pool.tasks counts inline submissions" 5
+    (List.assoc "pool.tasks" snap.Telemetry.snap_counters)
+
+let suites =
+  [ ( "exec",
+      [ Alcotest.test_case "inline pool (jobs=1)" `Quick test_inline_pool;
+        Alcotest.test_case "parallel results in submission order" `Quick
+          test_parallel_results_in_order;
+        Alcotest.test_case "exception propagation" `Quick
+          test_exception_propagation;
+        Alcotest.test_case "backpressure with queue_limit=1" `Quick
+          test_backpressure;
+        Alcotest.test_case "shutdown contract" `Quick test_shutdown_contract;
+        Alcotest.test_case "pool.tasks telemetry" `Quick test_pool_telemetry
+      ] ) ]

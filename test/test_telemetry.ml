@@ -173,6 +173,36 @@ let test_record_replay_populates () =
   Alcotest.(check bool) "lru counts populated" true
     (ts.Trace.lru_hits + ts.Trace.lru_misses > 0)
 
+(* Two domains hammering one registry: counters, histograms and the
+   event ring must neither lose updates nor crash.  Uses a Pool — the
+   only sanctioned way to get extra domains (check_format.sh). *)
+let test_domain_hammer () =
+  Tm.reset ();
+  let c = Tm.counter "hammer.c" in
+  let h = Tm.histogram "hammer.h" in
+  let iters = 10_000 in
+  let p = Pool.create ~jobs:2 () in
+  let work () =
+    for i = 1 to iters do
+      Tm.incr c;
+      Tm.observe h i;
+      if i mod 1000 = 0 then Tm.note ~kind:"hammer" "tick"
+    done
+  in
+  let a = Pool.submit p work and b = Pool.submit p work in
+  Pool.await a;
+  Pool.await b;
+  Pool.shutdown p;
+  Alcotest.(check int) "no lost counter increments" (2 * iters)
+    (Tm.counter_value c);
+  let snap = Tm.snapshot () in
+  let hs = List.assoc "hammer.h" snap.Tm.snap_histograms in
+  Alcotest.(check int) "no lost observations" (2 * iters) hs.Tm.h_count;
+  Alcotest.(check int) "histogram sum exact" (2 * (iters * (iters + 1) / 2))
+    hs.Tm.h_sum;
+  Alcotest.(check bool) "ring survived concurrent notes" true
+    (List.length (Tm.recent ()) > 0)
+
 let suites =
   [ ( "telemetry",
       [ Alcotest.test_case "counter registry + reset" `Quick
@@ -185,4 +215,5 @@ let suites =
         Alcotest.test_case "since diff" `Quick test_since_diff;
         Alcotest.test_case "json shape" `Quick test_json_shape;
         Alcotest.test_case "record+replay populates" `Quick
-          test_record_replay_populates ] ) ]
+          test_record_replay_populates;
+        Alcotest.test_case "two-domain hammer" `Quick test_domain_hammer ] ) ]
