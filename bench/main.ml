@@ -219,7 +219,7 @@ let checkpoint_bench () =
      (COW: no page copies)@."
     live_pages (live_pages * 4) (dt *. 1000.);
   (* Restoring must reproduce identical state. *)
-  let r2 = Replayer.restore recd.Workload.trace snaps.(0) in
+  let r2 = Replayer.restore_exn recd.Workload.trace snaps.(0) in
   while not (Replayer.at_end r2) do
     ignore (Replayer.step r2)
   done;
@@ -373,11 +373,11 @@ let wc_run w ~jobs ~readahead =
   in
   let path = Filename.temp_file "rr_wallclock" ".trace" in
   let (), save_s =
-    host_time (fun () -> Trace.save recd.Workload.trace path)
+    host_time (fun () -> Trace.save_exn recd.Workload.trace path)
   in
   let trace, open_s =
     host_time (fun () ->
-        Trace.load ~opts:(Trace.make_opts ~jobs ~readahead ()) path)
+        Trace.load_exn ~opts:(Trace.make_opts ~jobs ~readahead ()) path)
   in
   let _, replay_s = host_time (fun () -> ignore (Replayer.replay trace)) in
   { wc_jobs = jobs;

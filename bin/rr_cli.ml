@@ -88,9 +88,12 @@ let record_cmd =
       do_record w (opts_of ~jobs ~no_intercept ~no_cloning ~chaos ~seed ())
     in
     match out with
-    | Some path ->
-      Trace.save recd.Workload.trace path;
-      Fmt.pr "trace saved to %s@." path
+    | Some path -> (
+      match Trace.save recd.Workload.trace path with
+      | Ok () -> Fmt.pr "trace saved to %s@." path
+      | Error e ->
+        Fmt.epr "rr_cli: %a@." Trace.pp_error e;
+        exit 1)
     | None -> ()
   in
   Cmd.v
@@ -213,7 +216,13 @@ let debug_cmd =
    decoded chunk turns out corrupt. *)
 let with_trace_errors f =
   try f () with
-  | Trace.Format_error msg | Sys_error msg ->
+  | Trace.Format_error e ->
+    Fmt.epr "rr_cli: %a@." Trace.pp_error e;
+    exit 1
+  | Io.Io_error e ->
+    Fmt.epr "rr_cli: %a@." Io.pp_error e;
+    exit 1
+  | Sys_error msg ->
     Fmt.epr "rr_cli: %s@." msg;
     exit 1
 
@@ -223,7 +232,7 @@ let file_arg =
 let replay_file_cmd =
   let run path =
     with_trace_errors @@ fun () ->
-    let trace = Trace.load path in
+    let trace = Trace.load_exn path in
     let stats, _ = Replayer.replay trace in
     Fmt.pr "replayed %s: exit=%a, %d frames@." path
       Fmt.(option ~none:(any "?") int)
@@ -239,10 +248,14 @@ let dump_file_cmd =
   in
   let run path n =
     with_trace_errors @@ fun () ->
-    let trace = Trace.load path in
+    let trace = Trace.load_exn path in
     let total = Trace.n_events trace in
     Fmt.pr "%s: %d frames, %a@." path total Trace.pp_stats
       (Trace.stats trace);
+    Fmt.pr "integrity: %s@."
+      (match Trace.integrity trace with
+      | `Crc_checked -> "crc-checked"
+      | `Trusted -> "trusted (pre-CRC v2 format)");
     (* Only the chunks covering the first [n] frames are inflated. *)
     let c = Trace.Reader.open_ trace in
     while Trace.Reader.pos c < min n total do
@@ -258,6 +271,127 @@ let dump_file_cmd =
   Cmd.v
     (Cmd.info "dump-file" ~doc:"Print the frames of a saved trace.")
     Term.(const run $ file_arg $ n_arg)
+
+(* Self-contained durability check: record sambatest, save it, guillotine
+   the file at several offsets inside the record stream, and require
+   every cut to salvage into a replayable prefix of the original.  Used
+   by `dune runtest` as an end-to-end crash-recovery gate. *)
+let repair_smoke () =
+  let w = workload_of_name "sambatest" in
+  let recd, _ = Workload.record w in
+  let trace = recd.Workload.trace in
+  let path = Filename.temp_file "rr_smoke" ".trace" in
+  Trace.save_exn trace path;
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  let len = String.length data in
+  (* Cut inside the body (before the footer), so every cut exercises
+     the record scanner rather than just the footer check. *)
+  let body = Int64.to_int (String.get_int64_le data (len - 16)) in
+  let orig = Trace.Reader.to_array trace in
+  let total = Array.length orig in
+  let failures = ref 0 in
+  (* Three cuts: early in the record stream (most data lost), one byte
+     into the last record's CRC (the final chunk is dropped), and at
+     the trailer offset (every record intact, commit footer gone — the
+     exact state a writer killed between flush and finish leaves). *)
+  List.iter
+    (fun cut ->
+      let tpath = Filename.temp_file "rr_smoke" ".cut" in
+      Out_channel.with_open_bin tpath (fun oc ->
+          Out_channel.output_string oc (String.sub data 0 cut));
+      (match Trace.salvage tpath with
+      | Ok (t, report) ->
+        let frames = Trace.Reader.to_array t in
+        let n = Array.length frames in
+        let prefix_ok =
+          n <= total
+          &&
+          let ok = ref true in
+          Array.iteri (fun i e -> if e <> orig.(i) then ok := false) frames;
+          !ok
+        in
+        let replay_ok =
+          n = 0
+          ||
+          match Replayer.replay t with
+          | _ -> true
+          | exception e ->
+            Fmt.epr "cut@%d: replay of salvaged prefix raised %s@." cut
+              (Printexc.to_string e);
+            false
+        in
+        Fmt.pr "cut@%d: recovered %d/%d frames, prefix %s, replay %s@." cut n
+          total
+          (if prefix_ok then "ok" else "MISMATCH")
+          (if replay_ok then "ok" else "FAILED");
+        Fmt.pr "  %a@." Trace.pp_salvage_report report;
+        if not (prefix_ok && replay_ok) then incr failures
+      | Error e ->
+        Fmt.pr "cut@%d: unsalvageable: %a@." cut Trace.pp_error e;
+        incr failures);
+      Sys.remove tpath)
+    [ max 9 (35 * body / 100); body - 1; body ];
+  if !failures > 0 then begin
+    Fmt.epr "repair --smoke: %d of 3 cuts failed@." !failures;
+    exit 1
+  end
+  else Fmt.pr "repair --smoke: all cuts salvaged into replayable prefixes@."
+
+let repair_cmd =
+  let smoke_arg =
+    let doc =
+      "Run the built-in crash-recovery check instead of repairing a file: \
+       record the sambatest workload, truncate its saved trace at three \
+       offsets, and verify each cut salvages into a replayable prefix."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let opt_file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"A (possibly damaged) saved trace file.")
+  in
+  let run path smoke out =
+    with_trace_errors @@ fun () ->
+    if smoke then repair_smoke ()
+    else begin
+      match path with
+      | None ->
+        Fmt.epr "rr_cli: repair needs a TRACE argument (or --smoke)@.";
+        exit 2
+      | Some path -> (
+        match Trace.salvage path with
+        | Ok (t, report) ->
+          Fmt.pr "%a@." Trace.pp_salvage_report report;
+          (match out with
+          | Some out_path ->
+            Trace.save_exn t out_path;
+            Fmt.pr "repaired trace (%d frames) saved to %s@."
+              (Trace.n_events t) out_path
+          | None -> ());
+          if report.Trace.sr_damage <> None then exit 3
+        | Error e ->
+          Fmt.epr "rr_cli: nothing recoverable: %a@." Trace.pp_error e;
+          exit 1)
+    end
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Save the salvaged trace to FILE (re-written, fully committed).")
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Salvage the longest verifiable prefix of a damaged trace and \
+          report what was lost.  Exits 0 if the file was intact, 3 if \
+          something was recovered but data was lost, 1 if nothing was \
+          recoverable.")
+    Term.(const run $ opt_file_arg $ smoke_arg $ out_arg)
 
 let stats_cmd =
   let json_arg =
@@ -313,7 +447,7 @@ let main =
           'Engineering Record and Replay for Deployability', USENIX ATC \
           2017).")
     [ record_cmd; replay_cmd; dump_cmd; debug_cmd; stats_cmd; list_cmd;
-      replay_file_cmd; dump_file_cmd ]
+      replay_file_cmd; dump_file_cmd; repair_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

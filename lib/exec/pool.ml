@@ -36,6 +36,12 @@ let resolve fut state =
   Condition.broadcast fut.fc;
   Mutex.unlock fut.fm
 
+let is_ready fut =
+  Mutex.lock fut.fm;
+  let r = fut.state <> Pending in
+  Mutex.unlock fut.fm;
+  r
+
 let await fut =
   Mutex.lock fut.fm;
   let rec wait () =

@@ -42,6 +42,12 @@ val submit : t -> (unit -> 'a) -> 'a future
     shut down.  With one job, the task runs inline before [submit]
     returns. *)
 
+val is_ready : 'a future -> bool
+(** Whether the task has completed (successfully or not) — a
+    non-blocking probe, so an opportunistic consumer (the trace
+    writer's journal drain) can collect finished work without stalling
+    behind a slow task. *)
+
 val await : 'a future -> 'a
 (** The task's result, blocking until it completes.  Re-raises the
     task's exception.  [await] may be called from any domain, any

@@ -109,7 +109,7 @@ let seek d target =
   if target < pos d then begin
     (* Reverse execution: restore and re-execute (§6.1). *)
     let _, snap = nearest_checkpoint d target in
-    d.session <- Replayer.restore ~opts:d.opts d.trace snap;
+    d.session <- Replayer.restore_exn ~opts:d.opts d.trace snap;
     d.checkpoints_restored <- d.checkpoints_restored + 1
   end;
   while pos d < target do

@@ -19,9 +19,26 @@ let src = Logs.Src.create "rr.record"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-exception Record_error of string
+type error =
+  | Rec_failure of string
+  | Rec_trace of Trace.error
 
-let fail fmt = Fmt.kstr (fun s -> raise (Record_error s)) fmt
+exception Record_error of error
+
+let pp_error ppf = function
+  | Rec_failure msg -> Fmt.string ppf msg
+  | Rec_trace e -> Trace.pp_error ppf e
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+let fail fmt = Fmt.kstr (fun s -> raise (Record_error (Rec_failure s))) fmt
+
+(* Trace-store and IO failures surface to callers through the same
+   typed channel as recording-model failures. *)
+let reraise_typed = function
+  | Trace.Format_error e -> Record_error (Rec_trace e)
+  | Io.Io_error e -> Record_error (Rec_trace (Trace.Io e))
+  | e -> e
 
 type opts = {
   intercept : bool; (* in-process syscall interception (§3) *)
@@ -56,8 +73,10 @@ let make_opts ?(intercept = default_opts.intercept)
     ?(max_events = default_opts.max_events)
     ?(checksum_every = default_opts.checksum_every)
     ?(jobs = default_opts.jobs) () =
-  { intercept; scratch; clone_blocks; compress; chaos; timeslice_rcbs; seed;
-    max_events; checksum_every; jobs }
+  { intercept; scratch; clone_blocks; compress; chaos;
+    timeslice_rcbs = max 1 timeslice_rcbs; seed;
+    max_events = max 1 max_events; checksum_every = max 0 checksum_every;
+    jobs = max 1 jobs }
 
 type per_task = {
   mutable slot : int;
@@ -911,7 +930,8 @@ let handle_stop r task stop =
       fail "unexpected trap signal while recording"
     | Signals.Fault | Signals.User _ -> on_app_signal r task info)
 
-let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ~setup ~exe () =
+let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ?journal
+    ~setup ~exe () =
   let k = K.create ~seed:opts.seed () in
   (* Spans measure virtual ns against this recording's cost model. *)
   Telemetry.set_clock (fun () -> K.now k);
@@ -921,9 +941,11 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ~setup ~exe (
   Vfs.mkdir_p (K.vfs k) "/trace/cloned";
   setup k;
   let w =
-    Trace.Writer.create ~compress:opts.compress
-      ~opts:(Trace.make_opts ~jobs:opts.jobs ())
-      ~initial_exe:exe ()
+    try
+      Trace.Writer.create ~compress:opts.compress
+        ~opts:(Trace.make_opts ~jobs:opts.jobs ())
+        ?journal ~initial_exe:exe ()
+    with e -> raise (reraise_typed e)
   in
   let r =
     { k;
@@ -991,9 +1013,11 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ~setup ~exe (
        failure so it can be diagnosed in the field. *)
     Log.err (fun m -> m "%s" (Diagnostics.dump ~msg:(Printexc.to_string exn) k));
     Telemetry.clear_clock ();
-    raise exn);
+    raise (reraise_typed exn));
   Telemetry.clear_clock ();
-  let trace = Trace.Writer.finish w in
+  let trace =
+    try Trace.Writer.finish w with e -> raise (reraise_typed e)
+  in
   let root_status =
     match Hashtbl.find_opt k.K.procs root.T.tid with
     | Some p -> p.T.exit_code
@@ -1009,3 +1033,8 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ~setup ~exe (
       exit_status = root_status;
       telemetry = Telemetry.since tm_base },
     k )
+
+let record_result ?opts ?on_stop ?journal ~setup ~exe () =
+  match record ?opts ?on_stop ?journal ~setup ~exe () with
+  | v -> Ok v
+  | exception Record_error e -> Error e

@@ -18,7 +18,19 @@
       blocked untraced syscalls (§3.3) and block-cloned large reads
       (§3.9). *)
 
-exception Record_error of string
+(** Why a recording failed: either the recording model itself gave up
+    (unsupported syscall, deadlock, event-count guard), or the trace
+    store / IO layer underneath it failed in a typed way — a journaling
+    recorder hitting ENOSPC surfaces here as
+    [Rec_trace (Trace.Io _)]. *)
+type error =
+  | Rec_failure of string
+  | Rec_trace of Trace.error
+
+exception Record_error of error
+
+val pp_error : error Fmt.t
+val error_to_string : error -> string
 
 type opts = {
   intercept : bool; (* in-process syscall interception (§3) *)
@@ -48,7 +60,9 @@ val make_opts :
   ?jobs:int ->
   unit ->
   opts
-(** [default_opts] with the given fields overridden. *)
+(** [default_opts] with the given fields overridden, clamped to sane
+    ranges ([timeslice_rcbs ≥ 1], [max_events ≥ 1], [checksum_every ≥
+    0], [jobs ≥ 1]).  The only supported way to build an {!opts}. *)
 
 type stats = {
   wall_time : int; (* virtual ns *)
@@ -66,6 +80,7 @@ type stats = {
 val record :
   ?opts:opts ->
   ?on_stop:(Kernel.t -> unit) ->
+  ?journal:Io.writer ->
   setup:(Kernel.t -> unit) ->
   exe:string ->
   unit ->
@@ -74,7 +89,21 @@ val record :
     filters, and optionally spawn {e untraced} helper processes), spawn
     [exe] under supervision, and record it to completion.  [on_stop] is
     invoked after every handled ptrace stop (used for PSS sampling).
-    Returns the trace, recording statistics, and the final kernel.
+    With [journal], the trace is streamed to that {!Io.writer} while
+    recording (see {!Trace.Writer.create}), so a recorder killed
+    mid-run leaves a salvageable file.  Returns the trace, recording
+    statistics, and the final kernel.
 
     Raises {!Record_error} on unsupported syscalls (§2.3.6 — the model
-    must be extended), recording deadlock, or the event-count guard. *)
+    must be extended), recording deadlock, the event-count guard
+    ([Rec_failure]), or a trace-store/journal failure ([Rec_trace]). *)
+
+val record_result :
+  ?opts:opts ->
+  ?on_stop:(Kernel.t -> unit) ->
+  ?journal:Io.writer ->
+  setup:(Kernel.t -> unit) ->
+  exe:string ->
+  unit ->
+  (Trace.t * stats * Kernel.t, error) result
+(** {!record} with the failure as a value instead of an exception. *)

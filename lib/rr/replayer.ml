@@ -720,6 +720,12 @@ type snapshot = {
   snap_tasks : snap_task list;
   snap_installed : (string * Image.t) list;
   snap_clock : int;
+  (* Identity of the trace this snapshot was taken against, so restore
+     can reject a mismatched (or salvaged-shorter) trace instead of
+     replaying garbage. *)
+  snap_trace_events : int;
+  snap_trace_chunks : int;
+  snap_trace_exe : string;
 }
 
 (* Every live task must be parked at an event boundary. *)
@@ -776,10 +782,49 @@ let snapshot r =
     snap_procs = procs;
     snap_tasks = tasks;
     snap_installed = r.installed;
-    snap_clock = K.now r.k }
+    snap_clock = K.now r.k;
+    snap_trace_events = Trace.n_events r.trace;
+    snap_trace_chunks = Array.length (Trace.chunk_index r.trace);
+    snap_trace_exe = Trace.initial_exe r.trace }
+
+type restore_error = {
+  re_field : string;
+  re_snapshot : string;
+  re_trace : string;
+}
+
+exception Restore_error of restore_error
+
+let pp_restore_error ppf e =
+  Fmt.pf ppf
+    "snapshot does not match trace: %s is %s in the snapshot, %s in the \
+     trace"
+    e.re_field e.re_snapshot e.re_trace
+
+let restore_error_to_string e = Fmt.str "%a" pp_restore_error e
+
+(* The snapshot must have been taken against this very trace: a
+   different recording, or a salvaged prefix shorter than the
+   checkpoint, is detected before any state is rebuilt. *)
+let check_restore trace snap =
+  let mismatch field snapshot trace =
+    Some { re_field = field; re_snapshot = snapshot; re_trace = trace }
+  in
+  if snap.snap_trace_exe <> Trace.initial_exe trace then
+    mismatch "initial exe" snap.snap_trace_exe (Trace.initial_exe trace)
+  else if snap.snap_trace_chunks <> Array.length (Trace.chunk_index trace)
+  then
+    mismatch "chunk count"
+      (string_of_int snap.snap_trace_chunks)
+      (string_of_int (Array.length (Trace.chunk_index trace)))
+  else if snap.snap_trace_events <> Trace.n_events trace then
+    mismatch "event count"
+      (string_of_int snap.snap_trace_events)
+      (string_of_int (Trace.n_events trace))
+  else None
 
 (* Rebuild a live replayer from a snapshot. *)
-let restore ?(opts = default_opts) trace snap =
+let restore_unchecked ?(opts = default_opts) trace snap =
   Telemetry.incr tm_ckpt_restore;
   Telemetry.note ~frame:snap.snap_idx ~kind:"replay.checkpoint_restore" "";
   let k = K.create ~seed:opts.seed () in
@@ -859,3 +904,13 @@ let restore ?(opts = default_opts) trace snap =
         st.in_blocked_syscall <- sn.sn_in_blocked)
     snap.snap_tasks;
   r
+
+let restore ?opts trace snap =
+  match check_restore trace snap with
+  | Some e -> Error e
+  | None -> Ok (restore_unchecked ?opts trace snap)
+
+let restore_exn ?opts trace snap =
+  match restore ?opts trace snap with
+  | Ok r -> r
+  | Error e -> raise (Restore_error e)

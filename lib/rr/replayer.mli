@@ -81,11 +81,30 @@ val trace : t -> Trace.t
 type snapshot
 
 val snapshot : t -> snapshot
-(** Valid at frame boundaries (every live task parked). *)
+(** Valid at frame boundaries (every live task parked).  The snapshot
+    also captures the trace's identity (event/chunk counts, initial
+    exe) so {!restore} can validate against the trace it is given. *)
 
-val restore : ?opts:opts -> Trace.t -> snapshot -> t
+type restore_error = {
+  re_field : string; (** what disagreed: "initial exe", "chunk count", … *)
+  re_snapshot : string;
+  re_trace : string;
+}
+
+exception Restore_error of restore_error
+
+val pp_restore_error : restore_error Fmt.t
+val restore_error_to_string : restore_error -> string
+
+val restore : ?opts:opts -> Trace.t -> snapshot -> (t, restore_error) result
 (** Rebuild a live replayer from a snapshot; the snapshot remains valid
-    and reusable. *)
+    and reusable.  The trace must be the one the snapshot was taken
+    against — a different recording, or a salvaged prefix shorter than
+    the checkpoint, is rejected with a typed error before any state is
+    touched. *)
+
+val restore_exn : ?opts:opts -> Trace.t -> snapshot -> t
+(** {!restore}, raising {!Restore_error} on a mismatch. *)
 
 (** {2 Internals exposed for tests} *)
 

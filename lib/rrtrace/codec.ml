@@ -48,6 +48,14 @@ let source data = { data; pos = 0 }
 
 let eof s = s.pos >= String.length s.data
 
+let pos s = s.pos
+
+let take s n =
+  if n < 0 || s.pos + n > String.length s.data then raise (Corrupt "take");
+  let out = String.sub s.data s.pos n in
+  s.pos <- s.pos + n;
+  out
+
 let byte s =
   if s.pos >= String.length s.data then raise (Corrupt "eof");
   let c = Char.code s.data.[s.pos] in

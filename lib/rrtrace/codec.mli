@@ -19,6 +19,15 @@ exception Corrupt of string
 
 val source : string -> source
 val eof : source -> bool
+
+val pos : source -> int
+(** Current byte offset — the trace loader records where each scanned
+    record starts so chunks can be sliced without re-parsing. *)
+
+val take : source -> int -> string
+(** The next [n] raw bytes (no length prefix).  Raises {!Corrupt} if
+    fewer remain. *)
+
 val get_uvarint : source -> int
 val get_int : source -> int
 val get_string : source -> string

@@ -1,0 +1,23 @@
+(* CRC-32 (IEEE), table-driven.  Values are plain OCaml ints in
+   [0, 2^32); the table is built once on first use. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let sub ?(crc = 0) s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.sub: range out of bounds";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xffffffff) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let string ?crc s = sub ?crc s ~pos:0 ~len:(String.length s)

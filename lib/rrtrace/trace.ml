@@ -8,21 +8,26 @@
 
    Unlike a decoded event array, the store keeps only the compressed
    chunks plus a per-chunk index {first_frame; n_frames; byte_offset;
-   kinds}.  Frames are decoded one chunk at a time on demand through
-   {!Reader}, with a small LRU of decoded chunks, so memory stays
-   proportional to one chunk and a seek costs O(log n_chunks) — the
-   property the debugger's checkpoint/reverse-execution substrate
+   kinds; crc32}.  Frames are decoded one chunk at a time on demand
+   through {!Reader}, with a small LRU of decoded chunks, so memory
+   stays proportional to one chunk and a seek costs O(log n_chunks) —
+   the property the debugger's checkpoint/reverse-execution substrate
    (paper §6.1) leans on.
 
    Multicore pipeline ({!opts}): with [jobs > 1] the writer hands each
    sealed chunk to a {!Pool} of worker domains and collects the
-   deflated bytes in submission order at {!Writer.finish} — compression
-   runs on spare cores while recording continues, the way real rr hides
-   its deflate cost (§2.7).  With [readahead > 0] the reader prefetches
-   and inflates the next chunks in the background, so sequential
-   replay's [next]/[seek] almost never inflate on the critical path.
-   Deflate is per-chunk deterministic, so the parallel and serial
-   writers produce byte-identical traces. *)
+   deflated bytes in submission order — compression runs on spare cores
+   while recording continues, the way real rr hides its deflate cost
+   (§2.7).  With [readahead > 0] the reader prefetches and inflates the
+   next chunks in the background.  Deflate is per-chunk deterministic,
+   so the parallel and serial writers produce byte-identical traces.
+
+   Durability (paper §2.7 "deployability" read as: a trace must survive
+   the process that wrote it): all persistence flows through the
+   pluggable {!Io} layer; the on-disk v3 format is a CRC-guarded record
+   stream with a commit footer, optionally journaled incrementally
+   during recording, and {!salvage} recovers the longest verifiable
+   chunk prefix of a damaged file.  See DESIGN.md §4e. *)
 
 type stats = {
   mutable n_events : int;
@@ -35,7 +40,7 @@ type stats = {
   mutable n_buffered_syscalls : int; (* syscalls recorded via syscallbuf *)
   mutable n_traced_syscalls : int;
   (* Reader-side chunk-LRU traffic.  Runtime-only: not persisted (the
-     RRTRACE2 stats section stays 9 uvarints) and reset on load. *)
+     stats section stays 9 uvarints) and reset on load. *)
   mutable lru_hits : int;
   mutable lru_misses : int;
   mutable lru_evictions : int;
@@ -55,6 +60,8 @@ let new_stats () =
     lru_misses = 0;
     lru_evictions = 0 }
 
+let copy_stats s = { s with n_events = s.n_events }
+
 let tm_chunk_hit = Telemetry.counter "trace.chunk.hit"
 let tm_chunk_miss = Telemetry.counter "trace.chunk.miss"
 let tm_chunk_evict = Telemetry.counter "trace.chunk.evict"
@@ -64,6 +71,38 @@ let tm_deflate = Telemetry.span "trace.deflate"
 let tm_inflate = Telemetry.span "trace.inflate"
 let tm_prefetch_hit = Telemetry.counter "reader.prefetch_hit"
 let tm_prefetch_miss = Telemetry.counter "reader.prefetch_miss"
+let tm_crc_fail = Telemetry.counter "trace.crc_fail"
+let tm_salvage_runs = Telemetry.counter "salvage.runs"
+let tm_salvage_chunks = Telemetry.counter "salvage.chunks_recovered"
+let tm_salvage_frames = Telemetry.counter "salvage.frames_recovered"
+let tm_salvage_lost = Telemetry.counter "salvage.bytes_lost"
+
+(* ---- typed errors ---------------------------------------------------- *)
+
+type error =
+  | Truncated of { path : string; detail : string }
+  | Bad_magic of { path : string }
+  | Version_skew of { path : string; found : int; expected : int }
+  | Chunk_crc of int
+  | Corrupt of { path : string; detail : string }
+  | Io of Io.error
+
+exception Format_error of error
+
+let format_version = 3
+
+let pp_error ppf = function
+  | Truncated { path; detail } ->
+    Fmt.pf ppf "%s: truncated trace file (%s)" path detail
+  | Bad_magic { path } -> Fmt.pf ppf "%s: not an rr trace file (bad magic)" path
+  | Version_skew { path; found; expected } ->
+    Fmt.pf ppf "%s: trace format version %d, this build reads %d" path found
+      expected
+  | Chunk_crc i -> Fmt.pf ppf "chunk %d failed CRC verification" i
+  | Corrupt { path; detail } -> Fmt.pf ppf "%s: corrupt trace file (%s)" path detail
+  | Io e -> Io.pp_error ppf e
+
+let error_to_string e = Fmt.str "%a" pp_error e
 
 (* ---- pipeline options ------------------------------------------------ *)
 
@@ -84,6 +123,7 @@ type chunk_info = {
   byte_offset : int; (* into the concatenated stored-chunk stream *)
   stored_len : int;
   kinds : int; (* OR of Event.kind_bit for every frame in the chunk *)
+  crc32 : int; (* CRC-32 of the stored bytes; 0 = unknown (v2 trace) *)
 }
 
 type t = {
@@ -94,6 +134,8 @@ type t = {
   files : (string, string) Hashtbl.t; (* trace path -> snapshotted bytes *)
   stats : stats;
   initial_exe : string;
+  trusted : bool; (* no per-chunk CRCs (pre-v3 file): unchecked reads *)
+  origin : string; (* path the trace was loaded from, for error context *)
   (* LRU of decoded chunks, shared by every cursor over this trace; MRU
      first.  [chunk_decodes] counts cache misses — the number of chunks
      actually inflated+decoded, which tests use to prove laziness.
@@ -109,8 +151,8 @@ type t = {
   mutable rpool : Pool.t option; (* lazily created readahead pool *)
 }
 
-let make_t ~index ~chunks ~compressed ~images ~files ~stats ~initial_exe
-    ~opts =
+let make_t ?(trusted = false) ?(origin = "<memory>") ~index ~chunks
+    ~compressed ~images ~files ~stats ~initial_exe ~opts () =
   { index;
     chunks;
     compressed;
@@ -118,6 +160,8 @@ let make_t ~index ~chunks ~compressed ~images ~files ~stats ~initial_exe
     files;
     stats;
     initial_exe;
+    trusted;
+    origin;
     cache = [];
     chunk_decodes = 0;
     opts;
@@ -130,15 +174,164 @@ let make_t ~index ~chunks ~compressed ~images ~files ~stats ~initial_exe
 let default_chunk_limit = 1 lsl 16
 let cache_slots = 8
 
-exception Format_error of string
+(* ---- v3 record stream ------------------------------------------------
 
-let format_fail fmt = Fmt.kstr (fun s -> raise (Format_error s)) fmt
+   The file is a stream of self-delimiting records between an 8-byte
+   magic and a 16-byte commit footer:
+
+     magic "RRTRACE3"                              8 bytes
+     record*                                       see below
+     trailer record ('T')
+     footer: trailer offset (8 bytes LE) + "RRCOMMIT"
+
+   Each record is
+
+     tag                  1 byte
+     payload length       uvarint
+     payload              bytes
+     crc32(tag, payload)  4 bytes LE
+
+   Tags: 'H' header (version, compressed, initial exe) — always first;
+   'I' snapshotted image; 'D' file delta (path, offset, suffix bytes);
+   'C' chunk (first_frame, n_frames, kinds, then the stored bytes);
+   'J' journal (a stats snapshot, written every few chunks by a
+   journaling writer); 'T' trailer (final stats + the chunk index with
+   per-chunk CRCs).
+
+   The CRC does not cover the length varint: a corrupted length either
+   lands on a mis-framed record whose CRC then fails, or runs past the
+   region being scanned — both are detected.
+
+   Ordering invariant: every 'I' and 'D' record precedes the first 'C'
+   record whose frames reference it.  That is what makes a salvaged
+   prefix *replayable*, not merely decodable: any prefix of the record
+   stream carries the images and file snapshots its chunks need.
+
+   [finish] writes the trailer and footer last, so the footer's
+   presence is the commit point — a reader that finds "RRCOMMIT" at EOF
+   knows the writer ran to completion; anything else is salvage
+   territory. *)
+
+let magic_v3 = "RRTRACE3"
+let magic_v2 = "RRTRACE2"
+let magic_v1 = "RRTRACE1"
+let footer_magic = "RRCOMMIT"
+
+(* How many chunks a journaling writer streams between 'J' records. *)
+let journal_interval = 4
+
+let tag_header = 'H'
+let tag_image = 'I'
+let tag_file = 'D'
+let tag_chunk = 'C'
+let tag_journal = 'J'
+let tag_trailer = 'T'
+
+let crc_mask = 0xffffffff
+
+let write_record io ~tag payload =
+  let tag_s = String.make 1 tag in
+  Io.write io tag_s;
+  let lb = Codec.sink () in
+  Codec.put_uvarint lb (String.length payload);
+  Io.write io (Buffer.contents lb);
+  Io.write io payload;
+  let crc = Crc32.string ~crc:(Crc32.string tag_s) payload in
+  let cb = Bytes.create 4 in
+  Bytes.set_int32_le cb 0 (Int32.of_int crc);
+  Io.write io (Bytes.to_string cb)
+
+let put_stats b s =
+  List.iter (Codec.put_uvarint b)
+    [ s.n_events; s.raw_bytes; s.compressed_bytes; s.cloned_blocks;
+      s.cloned_bytes; s.copied_file_bytes; s.n_chunks;
+      s.n_buffered_syscalls; s.n_traced_syscalls ]
+
+let get_stats s =
+  let g () = Codec.get_uvarint s in
+  let n_events = g () in
+  let raw_bytes = g () in
+  let compressed_bytes = g () in
+  let cloned_blocks = g () in
+  let cloned_bytes = g () in
+  let copied_file_bytes = g () in
+  let n_chunks = g () in
+  let n_buffered_syscalls = g () in
+  let n_traced_syscalls = g () in
+  { n_events; raw_bytes; compressed_bytes; cloned_blocks; cloned_bytes;
+    copied_file_bytes; n_chunks; n_buffered_syscalls; n_traced_syscalls;
+    (* LRU traffic is runtime-only: a loaded trace starts cold. *)
+    lru_hits = 0;
+    lru_misses = 0;
+    lru_evictions = 0 }
+
+let put_chunk_info b ci =
+  Codec.put_uvarint b ci.first_frame;
+  Codec.put_uvarint b ci.n_frames;
+  Codec.put_uvarint b ci.byte_offset;
+  Codec.put_uvarint b ci.stored_len;
+  Codec.put_uvarint b ci.kinds;
+  Codec.put_uvarint b ci.crc32
+
+let get_chunk_info s =
+  let first_frame = Codec.get_uvarint s in
+  let n_frames = Codec.get_uvarint s in
+  let byte_offset = Codec.get_uvarint s in
+  let stored_len = Codec.get_uvarint s in
+  let kinds = Codec.get_uvarint s in
+  let crc32 = Codec.get_uvarint s in
+  { first_frame; n_frames; byte_offset; stored_len; kinds; crc32 }
+
+let header_payload ~compressed ~initial_exe =
+  let b = Codec.sink () in
+  Codec.put_uvarint b format_version;
+  Codec.put_bool b compressed;
+  Codec.put_string b initial_exe;
+  Buffer.contents b
+
+let image_payload ~path img =
+  let b = Codec.sink () in
+  Codec.put_string b path;
+  Image_codec.put_image b img;
+  Buffer.contents b
+
+let file_payload ~path ~offset suffix =
+  let b = Codec.sink () in
+  Codec.put_string b path;
+  Codec.put_uvarint b offset;
+  Codec.put_string b suffix;
+  Buffer.contents b
+
+let chunk_payload ~first_frame ~n_frames ~kinds stored =
+  let b = Codec.sink () in
+  Codec.put_uvarint b first_frame;
+  Codec.put_uvarint b n_frames;
+  Codec.put_uvarint b kinds;
+  Buffer.add_string b stored;
+  Buffer.contents b
+
+let journal_payload stats =
+  let b = Codec.sink () in
+  put_stats b stats;
+  Buffer.contents b
+
+let trailer_payload stats index =
+  let b = Codec.sink () in
+  put_stats b stats;
+  Codec.put_list b put_chunk_info (Array.to_list index);
+  Buffer.contents b
+
+let footer_bytes ~trailer_off =
+  let fb = Bytes.create 16 in
+  Bytes.set_int64_le fb 0 (Int64.of_int trailer_off);
+  Bytes.blit_string footer_magic 0 fb 8 8;
+  Bytes.to_string fb
 
 module Writer = struct
   (* A sealed chunk: its frames are fixed, its stored bytes may still be
-     in flight on a worker domain.  The index entry (which needs the
-     stored length and byte offset) is built at [finish], in submission
-     order, so the parallel and serial paths emit identical files. *)
+     in flight on a worker domain.  Sealed chunks are consumed — index
+     entry built, bytes journaled — strictly in submission order, so the
+     parallel and serial paths emit identical files. *)
   type sealed = {
     s_first_frame : int;
     s_n_frames : int;
@@ -147,8 +340,23 @@ module Writer = struct
     s_stored : string Pool.future;
   }
 
+  (* Incremental-journal state: the trace streams to [jio] *while it is
+     being recorded*, so a writer killed mid-record leaves a salvageable
+     record-stream prefix instead of nothing.  [j_marks] remembers the
+     (length, crc) of every file snapshot already journaled, so the
+     growing per-task cloned-data files emit suffix deltas rather than
+     full rewrites. *)
+  type jstate = {
+    jio : Io.writer;
+    mutable j_since_mark : int; (* chunks streamed since the last 'J' *)
+    j_marks : (string, int * int) Hashtbl.t; (* path -> (len, crc) *)
+  }
+
   type w = {
-    mutable rev_sealed : sealed list;
+    sealed_q : sealed Queue.t; (* flushed, not yet consumed *)
+    mutable acc_chunks : string list; (* consumed stored bytes, reversed *)
+    mutable acc_index : chunk_info list; (* reversed *)
+    mutable acc_off : int; (* running byte_offset *)
     mutable pending : Codec.sink;
     mutable pending_frames : int;
     mutable pending_kinds : int;
@@ -161,11 +369,24 @@ module Writer = struct
     compress : bool;
     opts : opts;
     pool : Pool.t; (* inline when opts.jobs = 1: the serial path *)
+    journal : jstate option;
   }
 
   let create ?(compress = true) ?(chunk_limit = default_chunk_limit)
-      ?(opts = default_opts) ~initial_exe () =
-    { rev_sealed = [];
+      ?(opts = default_opts) ?journal ~initial_exe () =
+    let journal =
+      match journal with
+      | None -> None
+      | Some jio ->
+        Io.write jio magic_v3;
+        write_record jio ~tag:tag_header
+          (header_payload ~compressed:compress ~initial_exe);
+        Some { jio; j_since_mark = 0; j_marks = Hashtbl.create 8 }
+    in
+    { sealed_q = Queue.create ();
+      acc_chunks = [];
+      acc_index = [];
+      acc_off = 0;
       pending = Codec.sink ();
       pending_frames = 0;
       pending_kinds = 0;
@@ -177,7 +398,89 @@ module Writer = struct
       exe = initial_exe;
       compress;
       opts;
-      pool = Pool.create ~jobs:opts.jobs () }
+      pool = Pool.create ~jobs:opts.jobs ();
+      journal }
+
+  (* Journal every file snapshot that changed since its last mark.  A
+     pure append (old bytes are a prefix, by length+CRC) emits only the
+     suffix; anything else rewrites from offset 0.  Runs before each
+     'C' record so any salvaged prefix satisfies the ordering invariant
+     (chunks never reference file state the stream has not shown). *)
+  let journal_files w j =
+    let paths =
+      Hashtbl.fold (fun p _ acc -> p :: acc) w.files []
+      |> List.sort compare
+    in
+    List.iter
+      (fun path ->
+        let data = Hashtbl.find w.files path in
+        let len = String.length data in
+        let crc = Crc32.string data in
+        let old_len, old_crc =
+          match Hashtbl.find_opt j.j_marks path with
+          | Some m -> m
+          | None -> (0, 0)
+        in
+        if len <> old_len || crc <> old_crc then begin
+          let payload =
+            if len > old_len
+               && Crc32.sub data ~pos:0 ~len:old_len = old_crc
+            then
+              file_payload ~path ~offset:old_len
+                (String.sub data old_len (len - old_len))
+            else file_payload ~path ~offset:0 data
+          in
+          write_record j.jio ~tag:tag_file payload;
+          Hashtbl.replace j.j_marks path (len, crc)
+        end)
+      paths
+
+  (* Consume one sealed chunk whose stored bytes are ready: build its
+     index entry (with CRC), account compression, and — when journaling
+     — stream it out behind its file deltas. *)
+  let consume w s stored =
+    let stored_len = String.length stored in
+    w.stats.compressed_bytes <- w.stats.compressed_bytes + stored_len;
+    if s.s_raw_len > 0 then
+      Telemetry.observe tm_deflate_ratio (stored_len * 100 / s.s_raw_len);
+    let ci =
+      { first_frame = s.s_first_frame;
+        n_frames = s.s_n_frames;
+        byte_offset = w.acc_off;
+        stored_len;
+        kinds = s.s_kinds;
+        crc32 = Crc32.string stored }
+    in
+    w.acc_off <- w.acc_off + stored_len;
+    w.acc_chunks <- stored :: w.acc_chunks;
+    w.acc_index <- ci :: w.acc_index;
+    match w.journal with
+    | None -> ()
+    | Some j ->
+      journal_files w j;
+      write_record j.jio ~tag:tag_chunk
+        (chunk_payload ~first_frame:ci.first_frame ~n_frames:ci.n_frames
+           ~kinds:ci.kinds stored);
+      j.j_since_mark <- j.j_since_mark + 1;
+      if j.j_since_mark >= journal_interval then begin
+        write_record j.jio ~tag:tag_journal (journal_payload w.stats);
+        j.j_since_mark <- 0
+      end
+
+  (* Drain ready sealed chunks in submission order.  Non-blocking mode
+     (journal path, called as recording continues) stops at the first
+     still-deflating chunk instead of stalling the recorder behind a
+     worker domain; [finish] drains blocking. *)
+  let drain ~block w =
+    let continue = ref true in
+    while !continue && not (Queue.is_empty w.sealed_q) do
+      let s = Queue.peek w.sealed_q in
+      if block || Pool.is_ready s.s_stored then begin
+        ignore (Queue.pop w.sealed_q);
+        consume w s (Pool.await s.s_stored)
+      end
+      else continue := false
+    done
 
   (* Seal the pending frames as one chunk and hand the deflate to the
      pool.  With one job the submit runs inline — byte-for-byte the old
@@ -197,16 +500,17 @@ module Writer = struct
             else raw)
       in
       w.stats.n_chunks <- w.stats.n_chunks + 1;
-      w.rev_sealed <-
+      Queue.push
         { s_first_frame = w.frames_flushed;
           s_n_frames = w.pending_frames;
           s_kinds = w.pending_kinds;
           s_raw_len = String.length raw;
           s_stored = stored }
-        :: w.rev_sealed;
+        w.sealed_q;
       w.frames_flushed <- w.frames_flushed + w.pending_frames;
       w.pending_frames <- 0;
-      w.pending_kinds <- 0
+      w.pending_kinds <- 0;
+      if w.journal <> None then drain ~block:false w
     end
 
   (* Append one frame; returns the serialized size (for cost charging). *)
@@ -233,14 +537,19 @@ module Writer = struct
     sz
 
   (* Snapshot an executable image into the trace (hard link / clone):
-     costs no data copying, only accounting. *)
+     costs no data copying, only accounting.  A journaling writer
+     streams the image immediately — before any chunk can reference
+     it. *)
   let add_image w ~path img =
     if not (Hashtbl.mem w.images path) then begin
       Hashtbl.replace w.images path img;
       let size = Image.byte_size img in
       w.stats.cloned_bytes <- w.stats.cloned_bytes + size;
       w.stats.cloned_blocks <-
-        w.stats.cloned_blocks + ((size + 4095) / 4096)
+        w.stats.cloned_blocks + ((size + 4095) / 4096);
+      match w.journal with
+      | Some j -> write_record j.jio ~tag:tag_image (image_payload ~path img)
+      | None -> ()
     end
 
   (* Snapshot file bytes.  [cloned] distinguishes free COW clones from
@@ -263,37 +572,31 @@ module Writer = struct
 
   let find_file w path = Hashtbl.find_opt w.files path
 
-  (* Await every in-flight deflate in chunk order and assemble the
-     index.  The ordering guarantee is structural: [rev_sealed] is in
-     submission order and futures are awaited positionally, so worker
-     completion order cannot reorder the stream. *)
+  (* Await every in-flight deflate in chunk order, assemble the index,
+     and — when journaling — commit: final file deltas, trailer record,
+     footer.  The pool is shut down even if the journal IO fails
+     mid-commit, so worker domains never leak; the {!Io.Io_error}
+     propagates to the caller (the recorder wraps it in its own typed
+     error), and whatever prefix reached the journal is salvage
+     input. *)
   let finish w =
-    flush_chunk w;
-    let sealed = Array.of_list (List.rev w.rev_sealed) in
-    let chunks = Array.map (fun s -> Pool.await s.s_stored) sealed in
-    Pool.shutdown w.pool;
-    let byte_offset = ref 0 in
-    let index =
-      Array.mapi
-        (fun i s ->
-          let stored_len = String.length chunks.(i) in
-          w.stats.compressed_bytes <- w.stats.compressed_bytes + stored_len;
-          if s.s_raw_len > 0 then
-            Telemetry.observe tm_deflate_ratio
-              (stored_len * 100 / s.s_raw_len);
-          let ci =
-            { first_frame = s.s_first_frame;
-              n_frames = s.s_n_frames;
-              byte_offset = !byte_offset;
-              stored_len;
-              kinds = s.s_kinds }
-          in
-          byte_offset := !byte_offset + stored_len;
-          ci)
-        sealed
-    in
-    make_t ~index ~chunks ~compressed:w.compress ~images:w.images
-      ~files:w.files ~stats:w.stats ~initial_exe:w.exe ~opts:w.opts
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown w.pool)
+      (fun () ->
+        flush_chunk w;
+        drain ~block:true w;
+        let index = Array.of_list (List.rev w.acc_index) in
+        let chunks = Array.of_list (List.rev w.acc_chunks) in
+        (match w.journal with
+        | None -> ()
+        | Some j ->
+          journal_files w j;
+          let trailer_off = Io.written j.jio in
+          write_record j.jio ~tag:tag_trailer (trailer_payload w.stats index);
+          Io.write j.jio (footer_bytes ~trailer_off);
+          Io.close_writer j.jio);
+        make_t ~index ~chunks ~compressed:w.compress ~images:w.images
+          ~files:w.files ~stats:w.stats ~initial_exe:w.exe ~opts:w.opts ())
 end
 
 let n_events t = t.stats.n_events
@@ -305,6 +608,10 @@ let chunk_index t = t.index
 let decoded_chunks t = t.chunk_decodes
 
 let get_opts t = t.opts
+
+let initial_exe t = t.initial_exe
+
+let integrity t = if t.trusted then `Trusted else `Crc_checked
 
 (* Reconfigure the pipeline of an already-built trace (e.g. enable
    readahead on a loaded trace before replaying it).  A live readahead
@@ -329,7 +636,11 @@ let file t path =
 
 (* ---- chunk decoding (the only path from stored bytes to frames) ----- *)
 
-let decode_chunk_raw t ci stored =
+let decode_chunk_raw t ~idx ci stored =
+  if ci.crc32 <> 0 && Crc32.string stored <> ci.crc32 then begin
+    Telemetry.incr tm_crc_fail;
+    raise (Format_error (Chunk_crc idx))
+  end;
   try
     let raw =
       if t.compressed then
@@ -346,7 +657,13 @@ let decode_chunk_raw t ci stored =
     out
   with
   | Compress.Corrupt msg | Codec.Corrupt msg ->
-    format_fail "corrupt chunk at frame %d: %s" ci.first_frame msg
+    raise
+      (Format_error
+         (Corrupt
+            { path = t.origin;
+              detail =
+                Fmt.str "corrupt chunk %d at frame %d: %s" idx ci.first_frame
+                  msg }))
 
 (* Effective LRU capacity: a deep readahead must not evict the chunks
    it just prefetched. *)
@@ -374,7 +691,7 @@ let cache_insert t ci_idx frames =
    frame context on the thread that actually asked for it, keeping
    error behavior identical to readahead = 0. *)
 let prefetch_task t j () =
-  match decode_chunk_raw t t.index.(j) t.chunks.(j) with
+  match decode_chunk_raw t ~idx:j t.index.(j) t.chunks.(j) with
   | frames ->
     Mutex.lock t.lock;
     Hashtbl.remove t.inflight j;
@@ -387,6 +704,20 @@ let prefetch_task t j () =
     Hashtbl.remove t.inflight j;
     Condition.broadcast t.cv;
     Mutex.unlock t.lock
+
+(* Release the background decode pool (idempotent).  The trace stays
+   readable — the next prefetch recreates the pool on demand.  Without
+   this, a process that opens many traces with [readahead > 0] (the
+   fault matrix, a salvage sweep over a crash dump directory) leaks one
+   worker-domain set per trace until the runtime refuses to spawn
+   more. *)
+let close t =
+  Mutex.lock t.lock;
+  let p = t.rpool in
+  t.rpool <- None;
+  Hashtbl.reset t.inflight;
+  Mutex.unlock t.lock;
+  match p with None -> () | Some p -> Pool.shutdown p
 
 let reader_pool_unlocked t =
   match t.rpool with
@@ -447,7 +778,7 @@ let chunk_frames t ci_idx =
          is on).  Decode outside the lock so concurrent prefetches keep
          landing. *)
       Mutex.unlock t.lock;
-      let frames = decode_chunk_raw t t.index.(ci_idx) t.chunks.(ci_idx) in
+      let frames = decode_chunk_raw t ~idx:ci_idx t.index.(ci_idx) t.chunks.(ci_idx) in
       Mutex.lock t.lock;
       Hashtbl.remove t.prefetched ci_idx;
       if ra_on then Telemetry.incr tm_prefetch_miss;
@@ -576,7 +907,8 @@ end
 (* Rebuild the chunk stream with every frame rewritten by [f], keeping
    chunk boundaries.  A testing/tooling device (trace surgery, tamper
    injection); stats carry over with the frame-stream byte counts
-   recomputed. *)
+   recomputed, and per-chunk CRCs recomputed over the new stored
+   bytes. *)
 let map_frames f t =
   let stats =
     { t.stats with
@@ -587,8 +919,9 @@ let map_frames f t =
       lru_evictions = 0 }
   in
   let remake ~index ~chunks =
-    make_t ~index ~chunks ~compressed:t.compressed ~images:t.images
-      ~files:t.files ~stats ~initial_exe:t.initial_exe ~opts:t.opts
+    make_t ~trusted:t.trusted ~index ~chunks ~compressed:t.compressed
+      ~images:t.images ~files:t.files ~stats ~initial_exe:t.initial_exe
+      ~opts:t.opts ()
   in
   let n_chunks = Array.length t.index in
   if n_chunks = 0 then remake ~index:t.index ~chunks:t.chunks
@@ -598,7 +931,7 @@ let map_frames f t =
   let byte_offset = ref 0 in
   Array.iteri
     (fun ci_idx ci ->
-      let frames = decode_chunk_raw t ci t.chunks.(ci_idx) in
+      let frames = decode_chunk_raw t ~idx:ci_idx ci t.chunks.(ci_idx) in
       let kinds = ref 0 in
       let b = Codec.sink () in
       Array.iteri
@@ -616,85 +949,79 @@ let map_frames f t =
         { ci with
           byte_offset = !byte_offset;
           stored_len = String.length stored;
-          kinds = !kinds };
+          kinds = !kinds;
+          crc32 = (if t.trusted then 0 else Crc32.string stored) };
       byte_offset := !byte_offset + String.length stored)
     t.index;
   remake ~index ~chunks
   end
 
-(* ---- host-filesystem persistence -------------------------------------
+(* ---- saving ---------------------------------------------------------- *)
 
-   A self-describing versioned binary format, written and read entirely
-   with {!Codec} — no Marshal, so the file layout does not depend on the
-   OCaml runtime:
-
-     magic "RRTRACE2"          8 bytes
-     payload length            8 bytes, little-endian
-     payload:
-       format version          uvarint
-       compressed flag         bool
-       initial exe             string
-       stats                   9 uvarints
-       chunk index             list of {first_frame; n_frames;
-                                        byte_offset; stored_len; kinds}
-       chunk stream            length-prefixed concatenated chunks
-       files section           list of (path, bytes)
-       images section          list of (path, image)
-
-   Truncation is caught by the declared payload length, version skew by
-   the magic/version fields, and index corruption by the bounds checks —
-   all at open, without inflating a single chunk. *)
-
-let magic = "RRTRACE2"
-let magic_v1 = "RRTRACE1"
-let format_version = 2
-
-let put_chunk_info b ci =
-  Codec.put_uvarint b ci.first_frame;
-  Codec.put_uvarint b ci.n_frames;
-  Codec.put_uvarint b ci.byte_offset;
-  Codec.put_uvarint b ci.stored_len;
-  Codec.put_uvarint b ci.kinds
-
-let get_chunk_info s =
-  let first_frame = Codec.get_uvarint s in
-  let n_frames = Codec.get_uvarint s in
-  let byte_offset = Codec.get_uvarint s in
-  let stored_len = Codec.get_uvarint s in
-  let kinds = Codec.get_uvarint s in
-  { first_frame; n_frames; byte_offset; stored_len; kinds }
-
-let put_stats b s =
-  List.iter (Codec.put_uvarint b)
-    [ s.n_events; s.raw_bytes; s.compressed_bytes; s.cloned_blocks;
-      s.cloned_bytes; s.copied_file_bytes; s.n_chunks;
-      s.n_buffered_syscalls; s.n_traced_syscalls ]
-
-let get_stats s =
-  let g () = Codec.get_uvarint s in
-  let n_events = g () in
-  let raw_bytes = g () in
-  let compressed_bytes = g () in
-  let cloned_blocks = g () in
-  let cloned_bytes = g () in
-  let copied_file_bytes = g () in
-  let n_chunks = g () in
-  let n_buffered_syscalls = g () in
-  let n_traced_syscalls = g () in
-  { n_events; raw_bytes; compressed_bytes; cloned_blocks; cloned_bytes;
-    copied_file_bytes; n_chunks; n_buffered_syscalls; n_traced_syscalls;
-    (* LRU traffic is runtime-only: a loaded trace starts cold. *)
-    lru_hits = 0;
-    lru_misses = 0;
-    lru_evictions = 0 }
+let save_io t io =
+  try
+    Io.write io magic_v3;
+    write_record io ~tag:tag_header
+      (header_payload ~compressed:t.compressed ~initial_exe:t.initial_exe);
+    let assoc tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+    let by_path (a, _) (b, _) = compare (a : string) b in
+    List.iter
+      (fun (path, img) ->
+        write_record io ~tag:tag_image (image_payload ~path img))
+      (List.sort by_path (assoc t.images));
+    List.iter
+      (fun (path, data) ->
+        write_record io ~tag:tag_file (file_payload ~path ~offset:0 data))
+      (List.sort by_path (assoc t.files));
+    (* CRCs are recomputed here rather than copied from the index: a
+       v2-loaded trace has none, and re-saving is exactly the moment to
+       mint them. *)
+    let index =
+      Array.mapi
+        (fun i ci -> { ci with crc32 = Crc32.string t.chunks.(i) })
+        t.index
+    in
+    Array.iteri
+      (fun i ci ->
+        write_record io ~tag:tag_chunk
+          (chunk_payload ~first_frame:ci.first_frame ~n_frames:ci.n_frames
+             ~kinds:ci.kinds t.chunks.(i)))
+      index;
+    let trailer_off = Io.written io in
+    write_record io ~tag:tag_trailer (trailer_payload t.stats index);
+    Io.write io (footer_bytes ~trailer_off);
+    Io.close_writer io;
+    Ok ()
+  with Io.Io_error e ->
+    (try Io.close_writer io with Io.Io_error _ -> ());
+    Error (Io e)
 
 let save t path =
+  match Io.file_writer path with
+  | io -> save_io t io
+  | exception Io.Io_error e -> Error (Io e)
+
+let save_exn t path =
+  match save t path with Ok () -> () | Error e -> raise (Format_error e)
+
+(* Legacy writer for the previous (v2) monolithic-payload layout — kept
+   so compatibility tests can manufacture v2 files without archiving
+   binary fixtures.  No CRCs, no footer: exactly what old builds
+   wrote. *)
+let save_v2 t path =
+  let put_chunk_info_v2 b ci =
+    Codec.put_uvarint b ci.first_frame;
+    Codec.put_uvarint b ci.n_frames;
+    Codec.put_uvarint b ci.byte_offset;
+    Codec.put_uvarint b ci.stored_len;
+    Codec.put_uvarint b ci.kinds
+  in
   let b = Codec.sink () in
-  Codec.put_uvarint b format_version;
+  Codec.put_uvarint b 2;
   Codec.put_bool b t.compressed;
   Codec.put_string b t.initial_exe;
   put_stats b t.stats;
-  Codec.put_list b put_chunk_info (Array.to_list t.index);
+  Codec.put_list b put_chunk_info_v2 (Array.to_list t.index);
   let stream_len =
     Array.fold_left (fun acc c -> acc + String.length c) 0 t.chunks
   in
@@ -717,91 +1044,557 @@ let save t path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc magic;
+      output_string oc magic_v2;
       let len = Bytes.create 8 in
       Bytes.set_int64_le len 0 (Int64.of_int (String.length payload));
       output_bytes oc len;
       output_string oc payload)
 
-let load ?(opts = default_opts) path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let read_exactly n what =
-        try really_input_string ic n
-        with End_of_file ->
-          format_fail "%s: truncated trace file (while reading %s)" path what
-      in
-      let m = read_exactly (String.length magic) "magic" in
-      if m = magic_v1 then
-        format_fail
-          "%s: trace format version 1 (Marshal-based) is no longer \
-           supported; re-record"
-          path;
-      if m <> magic then format_fail "%s: not an rr trace file (bad magic)" path;
-      let declared =
-        Int64.to_int (Bytes.get_int64_le (Bytes.of_string (read_exactly 8 "length")) 0)
-      in
-      let remaining = in_channel_length ic - pos_in ic in
-      if declared < 0 || remaining < declared then
-        format_fail
-          "%s: truncated trace file (payload declares %d bytes, file has %d)"
-          path declared remaining;
-      let payload = read_exactly declared "payload" in
-      let s = Codec.source payload in
+(* ---- loading --------------------------------------------------------- *)
+
+(* One parsed record attempt.  [R_short] covers both genuine truncation
+   and a corrupted length varint that points past the scan region —
+   indistinguishable without the CRC, and treated the same way by both
+   the strict and lax paths. *)
+type rec_result =
+  | R_ok of char * string * int (* tag, payload, offset past the record *)
+  | R_short
+  | R_bad_crc of char
+  | R_bad of string
+
+let le32_at data off =
+  Int32.to_int (String.get_int32_le data off) land crc_mask
+
+let parse_record data ~limit pos =
+  if pos >= limit then R_short
+  else begin
+    let tag = data.[pos] in
+    let rec uv p shift acc =
+      if p >= limit then Error `Short
+      else if shift > 62 then Error `Bad
+      else begin
+        let b = Char.code data.[p] in
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 = 0 then Ok (acc, p + 1) else uv (p + 1) (shift + 7) acc
+      end
+    in
+    match uv (pos + 1) 0 0 with
+    | Error `Short -> R_short
+    | Error `Bad -> R_bad "record length varint too long"
+    | Ok (len, body) ->
+      if body + len + 4 > limit then R_short
+      else begin
+        let payload = String.sub data body len in
+        let stored_crc = le32_at data (body + len) in
+        let crc = Crc32.sub data ~pos ~len:1 in
+        let crc = Crc32.sub ~crc data ~pos:body ~len in
+        if crc <> stored_crc then begin
+          Telemetry.incr tm_crc_fail;
+          R_bad_crc tag
+        end
+        else R_ok (tag, payload, body + len + 4)
+      end
+  end
+
+(* Shared record-application state for the strict loader and the lax
+   salvage scanner.  Chunks get their index entry (and a freshly
+   computed stored-bytes CRC) as they stream past; 'J' journals pile up
+   so salvage can pick the newest one consistent with the chunks it
+   kept. *)
+type scan_state = {
+  mutable sc_header : (bool * string) option; (* compressed, initial_exe *)
+  mutable sc_rev_chunks : (chunk_info * string) list;
+  mutable sc_frames : int;
+  mutable sc_off : int;
+  sc_images : (string, Image.t) Hashtbl.t;
+  sc_files : (string, string) Hashtbl.t;
+  mutable sc_journals : stats list; (* newest first *)
+  mutable sc_trailer : (stats * chunk_info list) option;
+}
+
+let new_scan_state () =
+  { sc_header = None;
+    sc_rev_chunks = [];
+    sc_frames = 0;
+    sc_off = 0;
+    sc_images = Hashtbl.create 8;
+    sc_files = Hashtbl.create 8;
+    sc_journals = [];
+    sc_trailer = None }
+
+(* Apply one CRC-valid record.  Raises [Codec.Corrupt] on a malformed
+   payload and {!Format_error} on version skew; the strict loader turns
+   the former into a typed [Corrupt], the salvage scanner turns either
+   into "damage starts here". *)
+let apply_record st ~path tag payload =
+  let s = Codec.source payload in
+  let check_consumed () =
+    if not (Codec.eof s) then raise (Codec.Corrupt "trailing record bytes")
+  in
+  if tag = tag_header then begin
+    let version = Codec.get_uvarint s in
+    if version <> format_version then
+      raise
+        (Format_error
+           (Version_skew { path; found = version; expected = format_version }));
+    let compressed = Codec.get_bool s in
+    let exe = Codec.get_string s in
+    check_consumed ();
+    st.sc_header <- Some (compressed, exe)
+  end
+  else if tag = tag_image then begin
+    let p = Codec.get_string s in
+    let img = Image_codec.get_image s in
+    check_consumed ();
+    Hashtbl.replace st.sc_images p img
+  end
+  else if tag = tag_file then begin
+    let p = Codec.get_string s in
+    let offset = Codec.get_uvarint s in
+    let suffix = Codec.get_string s in
+    check_consumed ();
+    let current =
+      match Hashtbl.find_opt st.sc_files p with Some d -> d | None -> ""
+    in
+    if offset > String.length current then
+      raise (Codec.Corrupt "file delta offset past current length");
+    Hashtbl.replace st.sc_files p (String.sub current 0 offset ^ suffix)
+  end
+  else if tag = tag_chunk then begin
+    let first_frame = Codec.get_uvarint s in
+    let n_frames = Codec.get_uvarint s in
+    let kinds = Codec.get_uvarint s in
+    let stored = Codec.take s (String.length payload - Codec.pos s) in
+    if first_frame <> st.sc_frames then
+      raise (Codec.Corrupt "chunk index gap (first_frame mismatch)");
+    if n_frames = 0 then raise (Codec.Corrupt "empty chunk record");
+    let ci =
+      { first_frame;
+        n_frames;
+        byte_offset = st.sc_off;
+        stored_len = String.length stored;
+        kinds;
+        crc32 = Crc32.string stored }
+    in
+    st.sc_rev_chunks <- (ci, stored) :: st.sc_rev_chunks;
+    st.sc_frames <- st.sc_frames + n_frames;
+    st.sc_off <- st.sc_off + String.length stored
+  end
+  else if tag = tag_journal then begin
+    let stats = get_stats s in
+    check_consumed ();
+    st.sc_journals <- stats :: st.sc_journals
+  end
+  else if tag = tag_trailer then begin
+    let stats = get_stats s in
+    let index = Codec.get_list s get_chunk_info in
+    check_consumed ();
+    st.sc_trailer <- Some (stats, index)
+  end
+  else raise (Codec.Corrupt (Fmt.str "unknown record tag %C" tag))
+
+let corrupt ~path detail = Corrupt { path; detail }
+
+(* Strict v3 load: the footer must commit the file, every record must
+   be CRC-valid, and the trailer index must agree field-for-field with
+   the chunks actually scanned.  No chunk is inflated — frame-level
+   validation stays lazy — but every stored byte is CRC-covered by its
+   record, so bit rot is caught here, not at first access. *)
+let load_v3 ~opts ~path data =
+  let file_len = String.length data in
+  if file_len < 8 + 16 then
+    Error (Truncated { path; detail = "no room for header and footer" })
+  else if String.sub data (file_len - 8) 8 <> footer_magic then
+    Error
+      (Truncated
+         { path; detail = "missing commit footer (writer did not finish)" })
+  else begin
+    let toff = Int64.to_int (String.get_int64_le data (file_len - 16)) in
+    if toff < 8 || toff > file_len - 16 then
+      Error (corrupt ~path "trailer offset out of bounds")
+    else begin
+      let st = new_scan_state () in
+      let body_end = file_len - 16 in
+      let exception Stop of error in
       try
-        let version = Codec.get_uvarint s in
-        if version <> format_version then
-          format_fail "%s: trace format version %d, this build reads %d" path
-            version format_version;
-        let compressed = Codec.get_bool s in
-        let initial_exe = Codec.get_string s in
-        let stats = get_stats s in
-        let index = Array.of_list (Codec.get_list s get_chunk_info) in
-        let stream = Codec.get_string s in
-        (* Index sanity — bounds, contiguity, frame accounting — checked
-           here at open, instead of inflating every chunk to count. *)
-        if Array.length index <> stats.n_chunks then
-          format_fail "%s: chunk index length %d, stats claim %d" path
-            (Array.length index) stats.n_chunks;
-        let expected_off = ref 0 and expected_frame = ref 0 in
-        Array.iter
-          (fun ci ->
-            if ci.byte_offset <> !expected_off then
-              format_fail "%s: chunk stream gap at byte %d" path !expected_off;
-            if ci.first_frame <> !expected_frame then
-              format_fail "%s: chunk index gap at frame %d" path
-                !expected_frame;
-            if ci.byte_offset + ci.stored_len > String.length stream then
-              format_fail "%s: chunk overruns the stored stream" path;
-            expected_off := !expected_off + ci.stored_len;
-            expected_frame := !expected_frame + ci.n_frames)
-          index;
-        if !expected_off <> String.length stream then
-          format_fail "%s: %d trailing bytes in the chunk stream" path
-            (String.length stream - !expected_off);
-        if !expected_frame <> stats.n_events then
-          format_fail "%s: index covers %d frames, stats claim %d" path
-            !expected_frame stats.n_events;
-        let chunks =
-          Array.map (fun ci -> String.sub stream ci.byte_offset ci.stored_len)
-            index
+        let pos = ref 8 in
+        let chunk_ord = ref 0 in
+        while !pos < toff do
+          match parse_record data ~limit:toff !pos with
+          | R_ok (tag, payload, next) ->
+            if tag = tag_chunk then incr chunk_ord;
+            (try apply_record st ~path tag payload with
+            | Codec.Corrupt msg -> raise (Stop (corrupt ~path msg))
+            | Format_error e -> raise (Stop e));
+            pos := next
+          | R_short -> raise (Stop (corrupt ~path "record overruns the trailer"))
+          | R_bad_crc tag when tag = tag_chunk ->
+            raise (Stop (Chunk_crc !chunk_ord))
+          | R_bad_crc _ -> raise (Stop (corrupt ~path "record CRC mismatch"))
+          | R_bad msg -> raise (Stop (corrupt ~path msg))
+        done;
+        (* The trailer record itself, which must fill [toff, body_end). *)
+        (match parse_record data ~limit:body_end toff with
+        | R_ok (tag, payload, next) when tag = tag_trailer && next = body_end
+          -> (
+          try apply_record st ~path tag payload with
+          | Codec.Corrupt msg -> raise (Stop (corrupt ~path msg))
+          | Format_error e -> raise (Stop e))
+        | R_ok _ -> raise (Stop (corrupt ~path "malformed trailer record"))
+        | R_short -> raise (Stop (corrupt ~path "trailer record truncated"))
+        | R_bad_crc _ -> raise (Stop (corrupt ~path "trailer CRC mismatch"))
+        | R_bad msg -> raise (Stop (corrupt ~path msg)));
+        let compressed, initial_exe =
+          match st.sc_header with
+          | Some h -> h
+          | None -> raise (Stop (corrupt ~path "missing header record"))
         in
-        let files = Hashtbl.create 8 in
-        Codec.get_list s (fun s ->
-            let p = Codec.get_string s in
-            Hashtbl.replace files p (Codec.get_string s))
-        |> ignore;
-        let images = Hashtbl.create 8 in
-        Codec.get_list s (fun s ->
-            let p = Codec.get_string s in
-            Hashtbl.replace images p (Image_codec.get_image s))
-        |> ignore;
-        make_t ~index ~chunks ~compressed ~images ~files ~stats ~initial_exe
-          ~opts
-      with Codec.Corrupt msg ->
-        format_fail "%s: corrupt trace file (%s)" path msg)
+        let stats, tindex =
+          match st.sc_trailer with
+          | Some t -> t
+          | None -> raise (Stop (corrupt ~path "missing trailer record"))
+        in
+        let scanned = Array.of_list (List.rev st.sc_rev_chunks) in
+        let tindex = Array.of_list tindex in
+        if Array.length tindex <> Array.length scanned then
+          raise
+            (Stop
+               (corrupt ~path
+                  (Fmt.str "trailer indexes %d chunks, stream has %d"
+                     (Array.length tindex) (Array.length scanned))));
+        Array.iteri
+          (fun i ti ->
+            let si, _ = scanned.(i) in
+            if ti.crc32 <> si.crc32 then begin
+              Telemetry.incr tm_crc_fail;
+              raise (Stop (Chunk_crc i))
+            end;
+            if ti <> si then
+              raise
+                (Stop
+                   (corrupt ~path
+                      (Fmt.str "trailer disagrees with stream on chunk %d" i))))
+          tindex;
+        if stats.n_events <> st.sc_frames then
+          raise
+            (Stop
+               (corrupt ~path
+                  (Fmt.str "stream covers %d frames, stats claim %d"
+                     st.sc_frames stats.n_events)));
+        if stats.n_chunks <> Array.length scanned then
+          raise
+            (Stop
+               (corrupt ~path
+                  (Fmt.str "stream has %d chunks, stats claim %d"
+                     (Array.length scanned) stats.n_chunks)));
+        Ok
+          (make_t ~origin:path ~index:(Array.map fst scanned)
+             ~chunks:(Array.map snd scanned) ~compressed ~images:st.sc_images
+             ~files:st.sc_files ~stats ~initial_exe ~opts ())
+      with Stop e -> Error e
+    end
+  end
+
+(* v2 load: the previous monolithic-payload layout, still readable.  No
+   CRCs exist, so the result is flagged [`Trusted] (checked only by the
+   structural bounds below and lazy frame decoding). *)
+let load_v2 ~opts ~path data =
+  let exception Stop of error in
+  let fail detail = raise (Stop (corrupt ~path detail)) in
+  try
+    if String.length data < 16 then
+      raise (Stop (Truncated { path; detail = "no room for payload length" }));
+    let declared = Int64.to_int (String.get_int64_le data 8) in
+    if declared < 0 || String.length data - 16 < declared then
+      raise
+        (Stop
+           (Truncated
+              { path;
+                detail =
+                  Fmt.str "payload declares %d bytes, file has %d" declared
+                    (String.length data - 16) }));
+    let payload = String.sub data 16 declared in
+    let s = Codec.source payload in
+    let version = Codec.get_uvarint s in
+    if version <> 2 then
+      raise (Stop (Version_skew { path; found = version; expected = 2 }));
+    let compressed = Codec.get_bool s in
+    let initial_exe = Codec.get_string s in
+    let stats = get_stats s in
+    let get_chunk_info_v2 s =
+      let first_frame = Codec.get_uvarint s in
+      let n_frames = Codec.get_uvarint s in
+      let byte_offset = Codec.get_uvarint s in
+      let stored_len = Codec.get_uvarint s in
+      let kinds = Codec.get_uvarint s in
+      { first_frame; n_frames; byte_offset; stored_len; kinds; crc32 = 0 }
+    in
+    let index = Array.of_list (Codec.get_list s get_chunk_info_v2) in
+    let stream = Codec.get_string s in
+    (* Index sanity — bounds, contiguity, frame accounting — checked
+       here at open, instead of inflating every chunk to count. *)
+    if Array.length index <> stats.n_chunks then
+      fail
+        (Fmt.str "chunk index length %d, stats claim %d" (Array.length index)
+           stats.n_chunks);
+    let expected_off = ref 0 and expected_frame = ref 0 in
+    Array.iter
+      (fun ci ->
+        if ci.byte_offset <> !expected_off then
+          fail (Fmt.str "chunk stream gap at byte %d" !expected_off);
+        if ci.first_frame <> !expected_frame then
+          fail (Fmt.str "chunk index gap at frame %d" !expected_frame);
+        if ci.byte_offset + ci.stored_len > String.length stream then
+          fail "chunk overruns the stored stream";
+        expected_off := !expected_off + ci.stored_len;
+        expected_frame := !expected_frame + ci.n_frames)
+      index;
+    if !expected_off <> String.length stream then
+      fail
+        (Fmt.str "%d trailing bytes in the chunk stream"
+           (String.length stream - !expected_off));
+    if !expected_frame <> stats.n_events then
+      fail
+        (Fmt.str "index covers %d frames, stats claim %d" !expected_frame
+           stats.n_events);
+    let chunks =
+      Array.map (fun ci -> String.sub stream ci.byte_offset ci.stored_len)
+        index
+    in
+    let files = Hashtbl.create 8 in
+    Codec.get_list s (fun s ->
+        let p = Codec.get_string s in
+        Hashtbl.replace files p (Codec.get_string s))
+    |> ignore;
+    let images = Hashtbl.create 8 in
+    Codec.get_list s (fun s ->
+        let p = Codec.get_string s in
+        Hashtbl.replace images p (Image_codec.get_image s))
+    |> ignore;
+    Ok
+      (make_t ~trusted:true ~origin:path ~index ~chunks ~compressed ~images
+         ~files ~stats ~initial_exe ~opts ())
+  with
+  | Stop e -> Error e
+  | Codec.Corrupt msg -> Error (corrupt ~path msg)
+
+let load_bytes ~opts ~path data =
+  if String.length data < 8 then
+    Error (Truncated { path; detail = "shorter than the magic" })
+  else begin
+    match String.sub data 0 8 with
+    | m when m = magic_v3 -> load_v3 ~opts ~path data
+    | m when m = magic_v2 -> load_v2 ~opts ~path data
+    | m when m = magic_v1 ->
+      Error (Version_skew { path; found = 1; expected = format_version })
+    | _ -> Error (Bad_magic { path })
+  end
+
+let open_io ?(opts = default_opts) r =
+  match Io.read_all r with
+  | data -> load_bytes ~opts ~path:(Io.reader_path r) data
+  | exception Io.Io_error e -> Error (Io e)
+
+let open_ ?opts path = open_io ?opts (Io.file_reader path)
+
+let load = open_
+
+let open_exn ?opts path =
+  match open_ ?opts path with Ok t -> t | Error e -> raise (Format_error e)
+
+let load_exn = open_exn
+
+(* ---- salvage --------------------------------------------------------- *)
+
+type salvage_report = {
+  sr_path : string;
+  sr_total_bytes : int;
+  sr_valid_bytes : int; (* prefix that scanned as CRC-valid records *)
+  sr_chunks_recovered : int;
+  sr_frames_recovered : int;
+  sr_chunks_lost : int option; (* None: total unknown (no trailer found) *)
+  sr_frames_lost : int option;
+  sr_files_recovered : int;
+  sr_images_recovered : int;
+  sr_committed : bool; (* the commit footer was present and valid *)
+  sr_damage : string option; (* None: nothing wrong with the file *)
+}
+
+let pp_salvage_report ppf r =
+  Fmt.pf ppf
+    "%s: %d/%d bytes valid, recovered %d chunks (%d frames), %d files, %d \
+     images;%s%s%s"
+    r.sr_path r.sr_valid_bytes r.sr_total_bytes r.sr_chunks_recovered
+    r.sr_frames_recovered r.sr_files_recovered r.sr_images_recovered
+    (match r.sr_chunks_lost with
+    | Some c ->
+      Fmt.str " lost %d chunks (%s frames);" c
+        (match r.sr_frames_lost with Some f -> string_of_int f | None -> "?")
+    | None -> " loss unknown (no trailer);")
+    (if r.sr_committed then " committed" else " uncommitted")
+    (match r.sr_damage with
+    | Some d -> Fmt.str "; damage: %s" d
+    | None -> "; intact")
+
+(* Lax scan + decode-verify: recover the longest prefix of the record
+   stream that is CRC-valid, well-formed *and* whose chunks actually
+   inflate and decode.  Everything past the first damage — or the first
+   undecodable chunk — is reported lost, never silently included. *)
+let salvage_v3 ~opts ~path data =
+  let file_len = String.length data in
+  let committed =
+    file_len >= 24
+    && String.sub data (file_len - 8) 8 = footer_magic
+    &&
+    let toff = Int64.to_int (String.get_int64_le data (file_len - 16)) in
+    toff >= 8 && toff <= file_len - 16
+  in
+  (* With a valid footer the last 16 bytes are framing, not records. *)
+  let limit = if committed then file_len - 16 else file_len in
+  let st = new_scan_state () in
+  let pos = ref 8 in
+  let damage = ref None in
+  while !damage = None && !pos < limit do
+    match parse_record data ~limit !pos with
+    | R_ok (tag, payload, next) -> (
+      match apply_record st ~path tag payload with
+      | () -> pos := next
+      | exception Codec.Corrupt msg ->
+        damage := Some (Fmt.str "byte %d: %s" !pos msg)
+      | exception Format_error e ->
+        damage := Some (Fmt.str "byte %d: %s" !pos (error_to_string e)))
+    | R_short -> damage := Some (Fmt.str "byte %d: truncated record" !pos)
+    | R_bad_crc tag ->
+      damage := Some (Fmt.str "byte %d: record %C failed CRC" !pos tag)
+    | R_bad msg -> damage := Some (Fmt.str "byte %d: %s" !pos msg)
+  done;
+  let valid_bytes = !pos in
+  match st.sc_header with
+  | None ->
+    (* Nothing before the first chunk survived: unrecoverable. *)
+    Error
+      (corrupt ~path
+         (Fmt.str "header record unrecoverable (%s)"
+            (match !damage with Some d -> d | None -> "empty stream")))
+  | Some (compressed, initial_exe) ->
+    let scanned = Array.of_list (List.rev st.sc_rev_chunks) in
+    (* Decode-verify: keep the longest chunk prefix that inflates and
+       decodes.  A probe [t] carries the compressed flag and origin for
+       error context; its cache fills harmlessly and is discarded. *)
+    let probe =
+      make_t ~origin:path ~index:(Array.map fst scanned)
+        ~chunks:(Array.map snd scanned) ~compressed ~images:st.sc_images
+        ~files:st.sc_files ~stats:(new_stats ()) ~initial_exe
+        ~opts:default_opts ()
+    in
+    let keep = ref (Array.length scanned) in
+    (try
+       Array.iteri
+         (fun i (ci, stored) ->
+           match decode_chunk_raw probe ~idx:i ci stored with
+           | _ -> ()
+           | exception Format_error e ->
+             keep := i;
+             if !damage = None then
+               damage := Some (Fmt.str "chunk %d: %s" i (error_to_string e));
+             raise Exit)
+         scanned
+     with Exit -> ());
+    let kept = Array.sub scanned 0 !keep in
+    let frames_recovered =
+      Array.fold_left (fun acc (ci, _) -> acc + ci.n_frames) 0 kept
+    in
+    (* Final stats: structural fields recomputed from the kept prefix;
+       accounting fields (raw/cloned/copied/syscall counts) from the
+       best stats snapshot not newer than the salvage point — the
+       trailer if everything survived, else the newest journal whose
+       chunk count the kept prefix still covers. *)
+    let n_kept = Array.length kept in
+    let base =
+      match st.sc_trailer with
+      | Some (ts, _) when !damage = None && n_kept = Array.length scanned ->
+        Some ts
+      | _ ->
+        List.find_opt (fun js -> js.n_chunks <= n_kept) st.sc_journals
+    in
+    let stats =
+      match base with Some b -> copy_stats b | None -> new_stats ()
+    in
+    stats.n_events <- frames_recovered;
+    stats.n_chunks <- n_kept;
+    stats.compressed_bytes <-
+      Array.fold_left (fun acc (ci, _) -> acc + ci.stored_len) 0 kept;
+    let t =
+      make_t ~origin:path ~index:(Array.map fst kept)
+        ~chunks:(Array.map snd kept) ~compressed ~images:st.sc_images
+        ~files:st.sc_files ~stats ~initial_exe ~opts ()
+    in
+    let chunks_lost, frames_lost =
+      match st.sc_trailer with
+      | Some (ts, _) ->
+        (Some (ts.n_chunks - n_kept), Some (ts.n_events - frames_recovered))
+      | None when !damage = None ->
+        (* Clean scan to EOF but no trailer: the writer died before the
+           commit — the stream itself is all there is. *)
+        (Some (Array.length scanned - n_kept),
+         Some (st.sc_frames - frames_recovered))
+      | None -> (None, None)
+    in
+    let report =
+      { sr_path = path;
+        sr_total_bytes = file_len;
+        sr_valid_bytes = valid_bytes;
+        sr_chunks_recovered = n_kept;
+        sr_frames_recovered = frames_recovered;
+        sr_chunks_lost = chunks_lost;
+        sr_frames_lost = frames_lost;
+        sr_files_recovered = Hashtbl.length st.sc_files;
+        sr_images_recovered = Hashtbl.length st.sc_images;
+        sr_committed = committed;
+        sr_damage = !damage }
+    in
+    Telemetry.add tm_salvage_chunks n_kept;
+    Telemetry.add tm_salvage_frames frames_recovered;
+    Telemetry.add tm_salvage_lost (max 0 (file_len - valid_bytes));
+    Ok (t, report)
+
+let salvage_bytes ~opts ~path data =
+  Telemetry.incr tm_salvage_runs;
+  if String.length data < 8 then
+    Error (Truncated { path; detail = "shorter than the magic" })
+  else begin
+    match String.sub data 0 8 with
+    | m when m = magic_v3 -> salvage_v3 ~opts ~path data
+    | m when m = magic_v2 -> (
+      (* v2 has one monolithic payload: all-or-nothing. *)
+      match load_v2 ~opts ~path data with
+      | Ok t ->
+        let stats = t.stats in
+        Ok
+          ( t,
+            { sr_path = path;
+              sr_total_bytes = String.length data;
+              sr_valid_bytes = String.length data;
+              sr_chunks_recovered = stats.n_chunks;
+              sr_frames_recovered = stats.n_events;
+              sr_chunks_lost = Some 0;
+              sr_frames_lost = Some 0;
+              sr_files_recovered = Hashtbl.length t.files;
+              sr_images_recovered = Hashtbl.length t.images;
+              sr_committed = true;
+              sr_damage = None } )
+      | Error e -> Error e)
+    | m when m = magic_v1 ->
+      Error (Version_skew { path; found = 1; expected = format_version })
+    | _ -> Error (Bad_magic { path })
+  end
+
+let salvage_io ?(opts = default_opts) r =
+  match Io.read_all r with
+  | data -> salvage_bytes ~opts ~path:(Io.reader_path r) data
+  | exception Io.Io_error e -> Error (Io e)
+
+let salvage ?opts path = salvage_io ?opts (Io.file_reader path)
 
 let pp_stats ppf s =
   Fmt.pf ppf

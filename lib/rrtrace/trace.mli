@@ -19,7 +19,16 @@
     reader so sequential replay rarely inflates on the critical path.
     The decoded-chunk LRU is domain-safe (a per-trace mutex).  The
     defaults ([jobs = 1], [readahead = 0]) are the fully serial,
-    domain-free paths. *)
+    domain-free paths.
+
+    {b Durability} (DESIGN.md §4e): persistence flows through the
+    pluggable {!Io} layer.  The v3 on-disk format is a stream of
+    CRC32-guarded records committed by a trailing footer; a {!Writer}
+    given [?journal] streams the trace incrementally while recording,
+    so a writer killed mid-record leaves a salvageable prefix; and
+    {!salvage} recovers the longest verifiable chunk prefix of a
+    damaged file.  Loading and salvaging return typed {!error}s — a
+    damaged trace is a value to inspect, never a crash. *)
 
 type stats = {
   mutable n_events : int;
@@ -47,7 +56,9 @@ val default_opts : opts
 
 val make_opts : ?jobs:int -> ?readahead:int -> unit -> opts
 (** [default_opts] with the given fields overridden (clamped to
-    [jobs ≥ 1], [readahead ≥ 0]). *)
+    [jobs ≥ 1], [readahead ≥ 0]).  This is the only supported way to
+    build an {!opts} — construct through it, not by record literal, so
+    clamping is never bypassed (a lint enforces this outside [lib/]). *)
 
 type chunk_info = {
   first_frame : int; (** trace index of the chunk's first frame *)
@@ -55,9 +66,42 @@ type chunk_info = {
   byte_offset : int; (** offset into the concatenated chunk stream *)
   stored_len : int; (** stored (compressed) size in bytes *)
   kinds : int; (** OR of {!Event.kind_bit} over the chunk's frames *)
+  crc32 : int; (** CRC-32 of the stored bytes; 0 = unknown (v2 trace) *)
 }
 
 type t
+
+(** {1 Errors}
+
+    Everything that can be wrong with a trace file, as data.  The
+    result-returning entry points ({!open_}, {!load}, {!save},
+    {!salvage}) never raise on bad input; the [_exn] wrappers and the
+    lazy {!Reader} decode paths raise {!Format_error} carrying the same
+    value. *)
+
+type error =
+  | Truncated of { path : string; detail : string }
+      (** the file ends before its structure does (including a missing
+          commit footer: the writer was killed before [finish]) *)
+  | Bad_magic of { path : string }  (** not an rr trace file at all *)
+  | Version_skew of { path : string; found : int; expected : int }
+      (** readable magic, unreadable version (v1, or a future format) *)
+  | Chunk_crc of int
+      (** chunk [i]'s stored bytes fail their CRC — bit rot, torn
+          write, or tampering; the index pinpoints the damaged chunk *)
+  | Corrupt of { path : string; detail : string }
+      (** structurally invalid: mis-framed record, index inconsistency,
+          undecodable frame data *)
+  | Io of Io.error  (** the byte layer itself failed (open/read/write) *)
+
+exception Format_error of error
+(** Raised by the [_exn] entry points, and by {!Reader} accessors when
+    a lazily decoded chunk turns out corrupt (laziness defers chunk
+    payload validation from open to first access; stored-byte CRCs are
+    checked at open). *)
+
+val pp_error : error Fmt.t
+val error_to_string : error -> string
 
 module Writer : sig
   type w
@@ -66,6 +110,7 @@ module Writer : sig
     ?compress:bool ->
     ?chunk_limit:int ->
     ?opts:opts ->
+    ?journal:Io.writer ->
     initial_exe:string ->
     unit ->
     w
@@ -74,8 +119,16 @@ module Writer : sig
       in; tests shrink it to force multi-chunk traces from small
       workloads.  With [opts.jobs > 1] each sealed chunk is deflated on
       a worker domain (bounded queue: the writer blocks rather than
-      outrun the compressors); chunks are collected in submission order
-      at {!finish}, so the file is byte-identical to the serial one. *)
+      outrun the compressors); chunks are consumed in submission order,
+      so the file is byte-identical to the serial one.
+
+      With [journal], the trace streams to that writer {e while being
+      recorded}: images and file snapshots always precede the chunks
+      that reference them, and a stats journal record lands every few
+      chunks — so killing the writer at any byte leaves a prefix that
+      {!salvage} can recover and replay.  {!finish} commits the journal
+      (trailer + footer) and closes it.  Journal IO failures surface as
+      {!Io.Io_error} from the writer operation that hit them. *)
 
   val event : w -> Event.t -> int
   (** Append one frame; returns its serialized size (cost charging). *)
@@ -143,6 +196,14 @@ val n_events : t -> int
 val stats : t -> stats
 val chunk_index : t -> chunk_info array
 
+val close : t -> unit
+(** Release the trace's background decode pool (idempotent; a no-op for
+    serial readers).  The trace stays readable — a later read recreates
+    the pool on demand.  Call this when churning through many traces
+    with [readahead > 0] (a salvage sweep, the fault matrix), where
+    leaked worker domains would otherwise accumulate until the runtime
+    refuses to spawn more. *)
+
 val decoded_chunks : t -> int
 (** Number of chunks inflated+decoded so far (LRU misses, including
     background readahead decodes) — lets tests verify that loading and
@@ -156,6 +217,15 @@ val set_opts : t -> opts -> unit
     readahead only changes {e when} chunks are inflated, never what the
     reader returns. *)
 
+val initial_exe : t -> string
+(** The executable the recording started under. *)
+
+val integrity : t -> [ `Crc_checked | `Trusted ]
+(** [`Crc_checked]: every stored chunk carries a CRC that is verified
+    before decoding.  [`Trusted]: the trace predates per-chunk CRCs (a
+    v2 file) — reads are structurally validated but not
+    integrity-checked. *)
+
 val image : t -> string -> Image.t
 (** Raises [Invalid_argument] for unknown paths. *)
 
@@ -163,24 +233,76 @@ val file : t -> string -> string
 
 val map_frames : (int -> Event.t -> Event.t) -> t -> t
 (** Rewrite every frame through [f], preserving chunk boundaries and
-    rebuilding the index.  A trace-surgery device for tests and tools
-    (e.g. tamper injection for divergence checks). *)
+    rebuilding the index (per-chunk CRCs included).  A trace-surgery
+    device for tests and tools (e.g. tamper injection for divergence
+    checks). *)
 
-exception Format_error of string
-(** Raised by {!load} on bad magic, version skew, truncation, or a
-    corrupt index/payload — and by {!Reader} accessors when a lazily
-    decoded chunk turns out corrupt (laziness defers chunk validation
-    from open to first access). *)
+(** {1 Persistence}
 
-val save : t -> string -> unit
-(** Persist the self-describing versioned binary format: magic
-    ["RRTRACE2"], declared payload length, then a Codec-encoded header,
-    chunk index, chunk stream, files and images sections.  No Marshal
-    anywhere in the layout. *)
+    The v3 on-disk format is a stream of self-delimiting records —
+    each [tag, length, payload, crc32(tag, payload)] — between an
+    8-byte magic ["RRTRACE3"] and a 16-byte commit footer (trailer
+    offset + ["RRCOMMIT"]).  Images and file snapshots precede the
+    chunks that reference them; the trailer repeats the full chunk
+    index with per-chunk CRCs; the footer is written last, so its
+    presence proves the writer finished.  v2 files remain loadable
+    (flagged [`Trusted]); v1 reports {!Version_skew}. *)
 
-val load : ?opts:opts -> string -> t
-(** Open a saved trace: parse header and index, slice the stored
-    chunks, validate structure — without inflating any chunk.  [opts]
-    configures the reader pipeline of the returned trace. *)
+val save : t -> string -> (unit, error) result
+val save_exn : t -> string -> unit
+
+val save_io : t -> Io.writer -> (unit, error) result
+(** Persist through an arbitrary {!Io.writer} (fault injection, in-
+    memory buffers).  The writer is closed in all cases. *)
+
+val save_v2 : t -> string -> unit
+(** Write the legacy v2 (monolithic payload, no CRC, no footer) layout
+    — for compatibility tests only. *)
+
+val open_ : ?opts:opts -> string -> (t, error) result
+(** Open a saved trace: verify the commit footer, scan and CRC-check
+    every record, cross-check the trailer index — without inflating any
+    chunk.  [opts] configures the reader pipeline of the returned
+    trace. *)
+
+val load : ?opts:opts -> string -> (t, error) result
+(** Alias of {!open_}. *)
+
+val open_io : ?opts:opts -> Io.reader -> (t, error) result
+
+val open_exn : ?opts:opts -> string -> t
+(** {!open_}, raising {!Format_error} instead of returning [Error]. *)
+
+val load_exn : ?opts:opts -> string -> t
+
+(** {1 Salvage} *)
+
+type salvage_report = {
+  sr_path : string;
+  sr_total_bytes : int;
+  sr_valid_bytes : int; (** prefix that scanned as CRC-valid records *)
+  sr_chunks_recovered : int;
+  sr_frames_recovered : int;
+  sr_chunks_lost : int option; (** [None]: total unknown (no trailer) *)
+  sr_frames_lost : int option;
+  sr_files_recovered : int;
+  sr_images_recovered : int;
+  sr_committed : bool; (** the commit footer was present and valid *)
+  sr_damage : string option; (** [None]: the file was fully intact *)
+}
+
+val pp_salvage_report : salvage_report Fmt.t
+
+val salvage : ?opts:opts -> string -> (t * salvage_report, error) result
+(** Recover the longest verifiable prefix of a damaged (or healthy)
+    trace: scan records until the first CRC failure or framing error,
+    then decode-verify the recovered chunks and drop everything from
+    the first undecodable one.  The returned trace is replayable — the
+    record ordering invariant guarantees any prefix carries the images
+    and file snapshots its chunks reference — and the report says
+    exactly what was lost.  Errors only when nothing is recoverable
+    (unreadable file, foreign magic, no surviving header). *)
+
+val salvage_io : ?opts:opts -> Io.reader -> (t * salvage_report, error) result
 
 val pp_stats : stats Fmt.t

@@ -478,8 +478,8 @@ let test_trace_save_load () =
   Fun.protect
     ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
     (fun () ->
-      Trace.save trace path;
-      let loaded = Trace.load path in
+      Trace.save_exn trace path;
+      let loaded = Trace.load_exn path in
       Alcotest.(check int) "frame count survives" (Trace.n_events trace)
         (Trace.n_events loaded);
       let pstats, _ = Replayer.replay loaded in
@@ -495,8 +495,8 @@ let test_trace_load_rejects_garbage () =
       output_string oc "definitely not a trace";
       close_out oc;
       match Trace.load path with
-      | exception _ -> ()
-      | _ -> Alcotest.fail "garbage accepted")
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "garbage accepted")
 
 (* §2.4: asynchronous delivery points inside run-time-generated code
    force the replayer onto its single-stepping path (breakpoints cannot

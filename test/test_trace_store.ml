@@ -89,8 +89,8 @@ let test_reader_decodes_lazily () =
   let t = synth_trace () in
   let n_chunks = Array.length (Trace.chunk_index t) in
   with_temp_file (fun path ->
-      Trace.save t path;
-      let loaded = Trace.load path in
+      Trace.save_exn t path;
+      let loaded = Trace.load_exn path in
       Alcotest.(check int) "load inflates no chunk" 0
         (Trace.decoded_chunks loaded);
       ignore (Trace.Reader.frame loaded 0);
@@ -130,8 +130,8 @@ let test_kind_mask_skips_chunks () =
 let test_save_load_roundtrip_synthetic () =
   let t = synth_trace () in
   with_temp_file (fun path ->
-      Trace.save t path;
-      let loaded = Trace.load path in
+      Trace.save_exn t path;
+      let loaded = Trace.load_exn path in
       Alcotest.(check int) "frame count" (Trace.n_events t)
         (Trace.n_events loaded);
       Alcotest.(check int) "chunk count"
@@ -143,8 +143,8 @@ let test_save_load_roundtrip_synthetic () =
 let replay_workload_roundtrip mk =
   let recd, _ = W.record (mk ()) in
   with_temp_file (fun path ->
-      Trace.save recd.W.trace path;
-      let loaded = Trace.load path in
+      Trace.save_exn recd.W.trace path;
+      let loaded = Trace.load_exn path in
       let pstats, _ = Replayer.replay loaded in
       Alcotest.(check (option int)) "loaded trace replays to the same exit"
         recd.W.rec_stats.Recorder.exit_status pstats.Replayer.exit_status)
@@ -154,7 +154,8 @@ let test_save_load_replay_make () = replay_workload_roundtrip small_make
 
 let check_format_error what f =
   match f () with
-  | exception Trace.Format_error msg ->
+  | exception Trace.Format_error e ->
+    let msg = Trace.error_to_string e in
     Alcotest.(check bool)
       (what ^ " error is descriptive: " ^ msg)
       true
@@ -166,7 +167,7 @@ let test_load_rejects_bad_magic () =
       let oc = open_out_bin path in
       output_string oc "NOTATRACE-at-all-really";
       close_out oc;
-      check_format_error "bad magic" (fun () -> Trace.load path))
+      check_format_error "bad magic" (fun () -> Trace.load_exn path))
 
 let test_load_rejects_old_version () =
   with_temp_file (fun path ->
@@ -174,7 +175,7 @@ let test_load_rejects_old_version () =
       output_string oc "RRTRACE1";
       output_string oc (String.make 64 '\x00');
       close_out oc;
-      check_format_error "format version 1" (fun () -> Trace.load path))
+      check_format_error "format version 1" (fun () -> Trace.load_exn path))
 
 let test_load_rejects_future_version () =
   with_temp_file (fun path ->
@@ -188,12 +189,12 @@ let test_load_rejects_future_version () =
       output_bytes oc len;
       output_string oc payload;
       close_out oc;
-      check_format_error "future version" (fun () -> Trace.load path))
+      check_format_error "future version" (fun () -> Trace.load_exn path))
 
 let test_load_rejects_truncation () =
   let t = synth_trace () in
   with_temp_file (fun path ->
-      Trace.save t path;
+      Trace.save_exn t path;
       let full = In_channel.with_open_bin path In_channel.input_all in
       (* Cut the file at several depths: mid-magic, mid-length,
          mid-payload.  Every cut must fail cleanly, never crash. *)
@@ -204,14 +205,14 @@ let test_load_rejects_truncation () =
           close_out oc;
           check_format_error
             (Printf.sprintf "truncation at %d" keep)
-            (fun () -> Trace.load path))
+            (fun () -> Trace.load_exn path))
         [ 4; 12; 40; String.length full / 2; String.length full - 1 ])
 
 let test_corrupt_chunk_detected_lazily () =
   let t = synth_trace () in
   let original = Trace.Reader.to_array t in
   with_temp_file (fun path ->
-      Trace.save t path;
+      Trace.save_exn t path;
       let full =
         In_channel.with_open_bin path In_channel.input_all
       in
@@ -229,7 +230,7 @@ let test_corrupt_chunk_detected_lazily () =
           let oc = open_out_bin path in
           output_bytes oc b;
           close_out oc;
-          match Trace.load path with
+          match Trace.load_exn path with
           | exception Trace.Format_error _ -> incr detected
           | loaded -> (
             match Trace.Reader.to_array loaded with
@@ -239,6 +240,93 @@ let test_corrupt_chunk_detected_lazily () =
       Alcotest.(check bool)
         (Printf.sprintf "corruption detected (%d/7 flips)" !detected)
         true (!detected >= 5))
+
+(* ---- durability: versions, integrity, salvage ------------------------ *)
+
+let test_v2_compat () =
+  let t = synth_trace () in
+  with_temp_file (fun path ->
+      Trace.save_v2 t path;
+      let loaded = Trace.load_exn path in
+      Alcotest.(check bool) "v2 loads flagged trusted" true
+        (Trace.integrity loaded = `Trusted);
+      Alcotest.(check bool) "frames identical" true
+        (Trace.Reader.to_array t = Trace.Reader.to_array loaded))
+
+let test_v3_integrity_flag () =
+  let t = synth_trace () in
+  with_temp_file (fun path ->
+      Trace.save_exn t path;
+      let loaded = Trace.load_exn path in
+      Alcotest.(check bool) "v3 loads crc-checked" true
+        (Trace.integrity loaded = `Crc_checked);
+      Array.iter
+        (fun ci ->
+          if ci.Trace.crc32 = 0 then Alcotest.fail "chunk without a CRC")
+        (Trace.chunk_index loaded))
+
+let test_salvage_intact () =
+  let t = synth_trace () in
+  with_temp_file (fun path ->
+      Trace.save_exn t path;
+      match Trace.salvage path with
+      | Error e ->
+        Alcotest.failf "salvage of an intact trace failed: %s"
+          (Trace.error_to_string e)
+      | Ok (s, report) ->
+        Alcotest.(check bool) "committed" true report.Trace.sr_committed;
+        Alcotest.(check (option string)) "no damage" None
+          report.Trace.sr_damage;
+        Alcotest.(check int) "all chunks recovered"
+          (Array.length (Trace.chunk_index t))
+          report.Trace.sr_chunks_recovered;
+        Alcotest.(check bool) "frames identical" true
+          (Trace.Reader.to_array t = Trace.Reader.to_array s))
+
+let test_salvage_truncated_prefix () =
+  let t = synth_trace () in
+  let original = Trace.Reader.to_array t in
+  with_temp_file (fun path ->
+      Trace.save_exn t path;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      List.iter
+        (fun frac ->
+          let cut = String.length full * frac / 10 in
+          let oc = open_out_bin path in
+          output_string oc (String.sub full 0 cut);
+          close_out oc;
+          match Trace.salvage path with
+          | Error e ->
+            Alcotest.failf "cut at %d unsalvageable: %s" cut
+              (Trace.error_to_string e)
+          | Ok (s, report) ->
+            Alcotest.(check bool) "footer gone: uncommitted" false
+              report.Trace.sr_committed;
+            let frames = Trace.Reader.to_array s in
+            Alcotest.(check bool) "no more frames than the original" true
+              (Array.length frames <= Array.length original);
+            Array.iteri
+              (fun i e ->
+                if e <> original.(i) then
+                  Alcotest.failf "cut at %d: frame %d differs" cut i)
+              frames)
+        [ 3; 5; 8 ])
+
+let test_restore_rejects_mismatched_trace () =
+  let recd, _ = W.record (small_cp ()) in
+  let trace = recd.W.trace in
+  let r = Replayer.start trace in
+  let third = Trace.n_events trace / 3 in
+  while Replayer.cursor_index r < third do
+    ignore (Replayer.step r)
+  done;
+  let snap = Replayer.snapshot r in
+  let other = synth_trace () in
+  match Replayer.restore other snap with
+  | Error e ->
+    Alcotest.(check bool) "mismatch is descriptive" true
+      (String.length (Replayer.restore_error_to_string e) > 0)
+  | Ok _ -> Alcotest.fail "restore accepted a mismatched trace"
 
 (* ---- checkpoints over the cursor ------------------------------------- *)
 
@@ -257,7 +345,7 @@ let test_checkpoint_restore_after_seek () =
   let full = Replayer.stats_of r in
   (* Restore re-seeks the trace cursor through the chunk index and the
      replay must land on the identical exit. *)
-  let r2 = Replayer.restore trace snap in
+  let r2 = Replayer.restore_exn trace snap in
   Alcotest.(check int) "restored cursor position" third
     (Replayer.cursor_index r2);
   while not (Replayer.at_end r2) do
@@ -322,8 +410,8 @@ let test_parallel_save_identical () =
       let parallel = write_with ~jobs:4 events in
       with_temp_file @@ fun p1 ->
       with_temp_file @@ fun p2 ->
-      Trace.save serial p1;
-      Trace.save parallel p2;
+      Trace.save_exn serial p1;
+      Trace.save_exn parallel p2;
       if not (String.equal (file_bytes p1) (file_bytes p2)) then
         Alcotest.failf "seed %d: parallel save differs from serial" seed;
       (* The parallel writer must also account identically. *)
@@ -339,9 +427,9 @@ let test_parallel_save_identical () =
 let test_readahead_identical () =
   let t = synth_trace ~n:600 () in
   with_temp_file @@ fun path ->
-  Trace.save t path;
-  let plain = Trace.load path in
-  let ahead = Trace.load ~opts:(Trace.make_opts ~jobs:2 ~readahead:8 ()) path in
+  Trace.save_exn t path;
+  let plain = Trace.load_exn path in
+  let ahead = Trace.load_exn ~opts:(Trace.make_opts ~jobs:2 ~readahead:8 ()) path in
   let baseline = Trace.Reader.to_array plain in
   (* Sequential walk under readahead: same frames in the same order. *)
   let c = Trace.Reader.open_ ahead in
@@ -373,7 +461,7 @@ let test_corrupt_chunk_under_readahead () =
   let t = synth_trace () in
   let original = Trace.Reader.to_array t in
   with_temp_file @@ fun path ->
-  Trace.save t path;
+  Trace.save_exn t path;
   let full = In_channel.with_open_bin path In_channel.input_all in
   let detected = ref 0 in
   List.iter
@@ -384,7 +472,7 @@ let test_corrupt_chunk_under_readahead () =
       let oc = open_out_bin path in
       output_bytes oc b;
       close_out oc;
-      match Trace.load ~opts:(Trace.make_opts ~jobs:2 ~readahead:8 ()) path with
+      match Trace.load_exn ~opts:(Trace.make_opts ~jobs:2 ~readahead:8 ()) path with
       | exception Trace.Format_error _ -> incr detected
       | loaded -> (
         match Trace.Reader.to_array loaded with
@@ -422,6 +510,16 @@ let suites =
           test_load_rejects_truncation;
         Alcotest.test_case "corrupt chunk detected lazily" `Quick
           test_corrupt_chunk_detected_lazily ] );
+    ( "trace.durability",
+      [ Alcotest.test_case "v2 traces load as trusted" `Quick test_v2_compat;
+        Alcotest.test_case "v3 traces load crc-checked" `Quick
+          test_v3_integrity_flag;
+        Alcotest.test_case "salvage of an intact trace is lossless" `Quick
+          test_salvage_intact;
+        Alcotest.test_case "salvage of a truncated trace is a prefix" `Quick
+          test_salvage_truncated_prefix;
+        Alcotest.test_case "restore rejects a mismatched trace" `Quick
+          test_restore_rejects_mismatched_trace ] );
     ( "trace.checkpoint",
       [ Alcotest.test_case "restore re-seeks the cursor" `Quick
           test_checkpoint_restore_after_seek ] );
