@@ -152,65 +152,6 @@ let dump_cmd =
     (Cmd.info "dump" ~doc:"Record a workload and print its trace frames.")
     Term.(const run $ workload_arg $ n_arg)
 
-let debug_cmd =
-  let watch_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "watch" ] ~docv:"ADDR"
-          ~doc:"Find the last frame that changed 8 bytes at ADDR (hex ok).")
-  in
-  let run name watch =
-    let w = workload_of_name name in
-    let recd, _ =
-      Workload.record ~opts:(Recorder.make_opts ~intercept:false ()) w
-    in
-    let d = Debugger.create ~checkpoint_every:16 recd.Workload.trace in
-    Debugger.seek d (Debugger.n_events d);
-    Fmt.pr "replayed to the end: %d frames, %d checkpoints@."
-      (Debugger.pos d) d.Debugger.checkpoints_taken;
-    match watch with
-    | None ->
-      (* Demonstrate reverse execution: step back through syscalls. *)
-      let is_sc = function Event.E_syscall _ -> true | _ -> false in
-      let rec back n =
-        if n > 0 then
-          match Debugger.reverse_continue_to d is_sc with
-          | Some i ->
-            Fmt.pr "reverse-continue: stopped after frame %d (%a)@." i
-              Event.pp (Trace.Reader.frame recd.Workload.trace i);
-            back (n - 1)
-          | None -> Fmt.pr "reached the beginning@."
-      in
-      back 3
-    | Some addr_s ->
-      let addr = int_of_string addr_s in
-      let tid =
-        match Debugger.live_tids d with
-        | tid :: _ -> tid
-        | [] -> (
-          (* everyone exited; use the root tid from the first exec frame *)
-          match Trace.Reader.frame recd.Workload.trace 0 with
-          | Event.E_exec { tid; _ } -> tid
-          | _ -> Fmt.failwith "no task to watch")
-      in
-      (match Debugger.last_change d ~tid ~addr ~len:8 with
-      | Some i ->
-        Fmt.pr "last write to %#x happened during frame %d: %a@." addr i
-          Event.pp (Trace.Reader.frame recd.Workload.trace i);
-        Debugger.seek d i;
-        Fmt.pr "value before: %d@." (Debugger.read_word d tid addr);
-        Debugger.seek d (i + 1);
-        Fmt.pr "value after : %d@." (Debugger.read_word d tid addr)
-      | None -> Fmt.pr "%#x never changed@." addr)
-  in
-  Cmd.v
-    (Cmd.info "debug"
-       ~doc:
-         "Record a workload and explore it with the reverse-execution \
-          debugger.")
-    Term.(const run $ workload_arg $ watch_arg)
-
 (* Saved-trace commands get CLI-grade errors: a bad file is user error,
    not a crash.  Format_error can also surface after open, when a lazily
    decoded chunk turns out corrupt. *)
@@ -222,9 +163,164 @@ let with_trace_errors f =
   | Io.Io_error e ->
     Fmt.epr "rr_cli: %a@." Io.pp_error e;
     exit 1
-  | Sys_error msg ->
+  | Sys_error msg | Failure msg ->
     Fmt.epr "rr_cli: %s@." msg;
     exit 1
+
+(* debug TARGET: TARGET is a saved trace file, or a workload name that
+   is recorded on the spot (interception off so every syscall is its own
+   frame — the debugger's time axis).  Four modes:
+     --script FILE   run a canned RSP session over the in-memory
+                     transport (the CI smoke's mode; exit 1 on mismatch)
+     --port P        serve the GDB remote protocol on 127.0.0.1:P
+     --socket PATH   ... on a Unix-domain socket
+     (none)          the built-in exploration demo (--watch ADDR) *)
+let debug_cmd =
+  let watch_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "watch" ] ~docv:"ADDR"
+          ~doc:"Find the last frame that changed 8 bytes at ADDR (hex ok).")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"P"
+          ~doc:"Serve the GDB remote protocol on 127.0.0.1:$(docv).")
+  in
+  let sockpath_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Serve the GDB remote protocol on a Unix-domain socket.")
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:
+            "Run the scripted RSP session in $(docv) against the trace over \
+             the in-memory transport and check its expectations.")
+  in
+  let cp_every_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint cadence in frames (clamped to >= 1).")
+  in
+  let trace_of_target target =
+    if Sys.file_exists target then Trace.load_exn target
+    else begin
+      let w = workload_of_name target in
+      let recd, _ =
+        Workload.record ~opts:(Recorder.make_opts ~intercept:false ()) w
+      in
+      recd.Workload.trace
+    end
+  in
+  let serve_transport trace checkpoint_every tr =
+    let d = Debugger.create ~checkpoint_every trace in
+    Gdb_server.run (Gdb_server.create d tr);
+    tr.Gdb_transport.close ();
+    Fmt.pr "debugger detached at frame %d (%d checkpoints, %d restores)@."
+      (Debugger.pos d)
+      (Debugger.checkpoints_taken d)
+      (Debugger.checkpoints_restored d)
+  in
+  let run_script trace checkpoint_every file =
+    let text = In_channel.with_open_bin file In_channel.input_all in
+    match Gdb_script.parse text with
+    | Error msg ->
+      Fmt.epr "rr_cli: %s: %s@." file msg;
+      exit 2
+    | Ok steps -> (
+      let d = Debugger.create ~checkpoint_every trace in
+      let client_tr, server_tr = Gdb_transport.pair () in
+      let server = Gdb_server.create d server_tr in
+      let client =
+        Gdb_client.create ~pump:(fun () -> Gdb_server.pump server) client_tr
+      in
+      match Gdb_script.run ~log:(fun l -> Fmt.pr "  %s@." l) client steps with
+      | Ok n -> Fmt.pr "script ok: %d steps@." n
+      | Error msg ->
+        Fmt.epr "rr_cli: debug --script: %s@." msg;
+        exit 1)
+  in
+  let explore trace watch =
+    let d = Debugger.create ~checkpoint_every:16 trace in
+    Debugger.seek d (Debugger.n_events d);
+    Fmt.pr "replayed to the end: %d frames, %d checkpoints@." (Debugger.pos d)
+      (Debugger.checkpoints_taken d);
+    match watch with
+    | None ->
+      (* Demonstrate reverse execution: step back through syscalls. *)
+      let is_sc = function Event.E_syscall _ -> true | _ -> false in
+      let rec back n =
+        if n > 0 then
+          match Debugger.reverse_continue_to d is_sc with
+          | Some i ->
+            Fmt.pr "reverse-continue: stopped after frame %d (%a)@." i
+              Event.pp (Debugger.frame d i);
+            back (n - 1)
+          | None -> Fmt.pr "reached the beginning@."
+      in
+      back 3
+    | Some addr_s ->
+      let addr = int_of_string addr_s in
+      let tid =
+        match Debugger.live_tids d with
+        | tid :: _ -> tid
+        | [] -> (
+          (* everyone exited; use the root tid from the first exec frame *)
+          match Debugger.frame d 0 with
+          | Event.E_exec { tid; _ } -> tid
+          | _ -> Fmt.failwith "no task to watch")
+      in
+      (match Debugger.last_change d ~tid ~addr ~len:8 with
+      | Some i ->
+        Fmt.pr "last write to %#x happened during frame %d: %a@." addr i
+          Event.pp (Debugger.frame d i);
+        Debugger.seek d i;
+        Fmt.pr "value before: %d@." (Debugger.read_word d tid addr);
+        Debugger.seek d (i + 1);
+        Fmt.pr "value after : %d@." (Debugger.read_word d tid addr)
+      | None -> Fmt.pr "%#x never changed@." addr)
+  in
+  let run target watch port sockpath script checkpoint_every =
+    with_trace_errors @@ fun () ->
+    let trace = trace_of_target target in
+    match (script, port, sockpath) with
+    | Some file, None, None -> run_script trace checkpoint_every file
+    | None, Some port, None ->
+      Fmt.pr "gdb stub listening on 127.0.0.1:%d (target remote :%d)@." port
+        port;
+      serve_transport trace checkpoint_every (Gdb_sock.listen_tcp ~port ())
+    | None, None, Some path ->
+      Fmt.pr "gdb stub listening on %s@." path;
+      serve_transport trace checkpoint_every (Gdb_sock.listen_unix ~path)
+    | None, None, None -> explore trace watch
+    | _ ->
+      Fmt.epr "rr_cli: choose at most one of --port, --socket, --script@.";
+      exit 2
+  in
+  let target_arg =
+    let doc = "A saved trace file, or a workload name to record first." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "debug"
+       ~doc:
+         "Drive a trace with the reverse-execution debugger: serve it to \
+          gdb over the remote serial protocol (--port/--socket), run a \
+          scripted RSP session (--script), or run the built-in exploration \
+          demo.")
+    Term.(
+      const run $ target_arg $ watch_arg $ port_arg $ sockpath_arg
+      $ script_arg $ cp_every_arg)
 
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"A saved trace file.")

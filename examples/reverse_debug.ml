@@ -47,7 +47,7 @@ let () =
   let d = Debugger.create ~checkpoint_every:4 trace in
   Debugger.seek d (Debugger.n_events d);
   Fmt.pr "replayed %d frames; %d checkpoints along the way@." (Debugger.pos d)
-    d.Debugger.checkpoints_taken;
+    (Debugger.checkpoints_taken d);
 
   (* Reverse watchpoint: when did [cell] last change? *)
   let root =
@@ -72,4 +72,4 @@ let () =
        conventional forward debugger would have had to trap every write \
        to find it.@.");
   Fmt.pr "checkpoints restored during the hunt: %d@."
-    d.Debugger.checkpoints_restored
+    (Debugger.checkpoints_restored d)

@@ -1,0 +1,93 @@
+(* Scripted RSP sessions (see the mli for the line grammar). *)
+
+type expect = Exact of string | Prefix of string
+
+type step = {
+  line_no : int;
+  send : string;
+  expect : expect option;
+  monitor : bool;
+}
+
+let parse_expect s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '*' then Prefix (String.sub s 0 (n - 1))
+  else Exact s
+
+let split_arrow line =
+  (* the first " => " splits payload from expectation *)
+  let rec find i =
+    if i + 4 > String.length line then None
+    else if String.sub line i 4 = " => " then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> (String.trim line, None)
+  | Some i ->
+    ( String.trim (String.sub line 0 i),
+      Some (parse_expect (String.sub line (i + 4) (String.length line - i - 4)))
+    )
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc line_no = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then go acc (line_no + 1) rest
+      else begin
+        let payload, expect = split_arrow trimmed in
+        if payload = "" then
+          Error (Printf.sprintf "line %d: no payload before =>" line_no)
+        else begin
+          let monitor, send =
+            match String.index_opt payload ' ' with
+            | Some i when String.sub payload 0 i = "monitor" ->
+              ( true,
+                String.trim
+                  (String.sub payload (i + 1) (String.length payload - i - 1))
+              )
+            | _ -> (false, payload)
+          in
+          if monitor && send = "" then
+            Error (Printf.sprintf "line %d: empty monitor command" line_no)
+          else go ({ line_no; send; expect; monitor } :: acc) (line_no + 1) rest
+        end
+      end
+  in
+  go [] 1 lines
+
+let matches expect reply =
+  match expect with
+  | Exact want -> reply = want
+  | Prefix p ->
+    String.length reply >= String.length p
+    && String.sub reply 0 (String.length p) = p
+
+let run ?(log = fun _ -> ()) client steps =
+  let rec go n = function
+    | [] -> Ok n
+    | step :: rest -> (
+      match
+        if step.monitor then Gdb_client.monitor client step.send
+        else Gdb_client.request client step.send
+      with
+      | exception Gdb_client.Protocol_error msg ->
+        Error (Printf.sprintf "line %d: %s" step.line_no msg)
+      | reply ->
+        log
+          (Printf.sprintf "%s%s -> %s"
+             (if step.monitor then "monitor " else "")
+             step.send reply);
+        (match step.expect with
+        | Some e when not (matches e reply) ->
+          Error
+            (Printf.sprintf "line %d: sent %S, got %S, wanted %s" step.line_no
+               step.send reply
+               (match e with
+               | Exact w -> Printf.sprintf "exactly %S" w
+               | Prefix p -> Printf.sprintf "prefix %S" p))
+        | _ -> go (n + 1) rest))
+  in
+  go 0 steps

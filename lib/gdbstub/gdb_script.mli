@@ -1,0 +1,32 @@
+(** Scripted RSP sessions: a tiny line format for canned debug
+    conversations, used by [rr_cli debug --script] and the CI smoke.
+
+    Grammar, one step per line:
+    {v
+    # comment (blank lines ignored)
+    <payload>                     send, ignore the reply
+    <payload> => <expected>       send, require the reply to match
+    monitor <cmd> [=> <expected>] qRcmd sugar: hex both ways
+    v}
+
+    An [<expected>] ending in [*] is a prefix match; anything else must
+    match the reply byte for byte.  Monitor expectations compare
+    against the hex-decoded reply text. *)
+
+type expect = Exact of string | Prefix of string
+
+type step = {
+  line_no : int;
+  send : string;
+  expect : expect option;
+  monitor : bool;
+}
+
+val parse : string -> (step list, string) result
+(** Parse a whole script; [Error] names the offending line. *)
+
+val run :
+  ?log:(string -> unit) -> Gdb_client.t -> step list -> (int, string) result
+(** Execute the steps in order; [log] sees one transcript line per
+    step.  Returns the number of steps executed, or the first
+    mismatch/protocol failure. *)

@@ -1,0 +1,55 @@
+(* Socket transports: the tree's only Unix.socket/Unix.bind site (the
+   check_format.sh lint pins it here).  One client per listener — a
+   replay session is single-user. *)
+
+module T = Gdb_transport
+
+let transport_of_fd ?(on_close = fun () -> ()) fd desc =
+  let buf = Bytes.create 4096 in
+  let closed = ref false in
+  { T.send =
+      (fun s ->
+        let rec go off =
+          if off < String.length s then
+            let n = Unix.write_substring fd s off (String.length s - off) in
+            go (off + n)
+        in
+        if not !closed then try go 0 with Unix.Unix_error _ -> ());
+    recv =
+      (fun () ->
+        if !closed then T.Eof
+        else
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> T.Eof
+          | n -> T.Data (Bytes.sub_string buf 0 n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> T.Empty
+          | exception Unix.Unix_error _ -> T.Eof);
+    close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          on_close ()
+        end);
+    desc }
+
+let accept_one sock desc ~on_close =
+  Unix.listen sock 1;
+  let client, _addr = Unix.accept sock in
+  Unix.close sock;
+  transport_of_fd ~on_close client desc
+
+let listen_tcp ?(host = "127.0.0.1") ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  accept_one sock
+    (Printf.sprintf "tcp:%s:%d" host port)
+    ~on_close:(fun () -> ())
+
+let listen_unix ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  accept_one sock ("unix:" ^ path)
+    ~on_close:(fun () -> try Unix.unlink path with Unix.Unix_error _ -> ())

@@ -1,0 +1,19 @@
+(** Socket transports for real gdb clients.
+
+    This is the {e only} module in the tree allowed to open listening
+    sockets (a [tools/check_format.sh] rule enforces it): the simulated
+    kernel must never touch host networking, and confining the
+    [Unix.socket]/[Unix.bind] surface here keeps that auditable.
+
+    Both listeners block until exactly one client connects and return a
+    {!Gdb_transport.t} whose [recv] blocks — made for
+    {!Gdb_server.run}. *)
+
+val listen_tcp : ?host:string -> port:int -> unit -> Gdb_transport.t
+(** Listen on [host] (default ["127.0.0.1"]) : [port], accept one
+    connection. *)
+
+val listen_unix : path:string -> Gdb_transport.t
+(** Listen on a Unix-domain socket at [path] (an existing socket file
+    there is replaced), accept one connection.  The file is unlinked on
+    close. *)

@@ -1,0 +1,35 @@
+(* Byte transports under the RSP packet layer (see the mli). *)
+
+type recv_result = Data of string | Empty | Eof
+
+type t = {
+  send : string -> unit;
+  recv : unit -> recv_result;
+  close : unit -> unit;
+  desc : string;
+}
+
+(* One direction of the in-memory duplex: a byte queue plus a closed
+   flag.  Close marks the *sending* side; the receiver drains whatever
+   was in flight, then sees Eof. *)
+type duct = { buf : Buffer.t; mutable closed : bool }
+
+let endpoint ~out ~inn =
+  { send =
+      (fun s -> if not out.closed then Buffer.add_string out.buf s);
+    recv =
+      (fun () ->
+        if Buffer.length inn.buf > 0 then begin
+          let s = Buffer.contents inn.buf in
+          Buffer.clear inn.buf;
+          Data s
+        end
+        else if inn.closed then Eof
+        else Empty);
+    close = (fun () -> out.closed <- true);
+    desc = "memory" }
+
+let pair () =
+  let a2b = { buf = Buffer.create 256; closed = false } in
+  let b2a = { buf = Buffer.create 256; closed = false } in
+  (endpoint ~out:a2b ~inn:b2a, endpoint ~out:b2a ~inn:a2b)

@@ -1,0 +1,28 @@
+(** Byte transports under the RSP packet layer.
+
+    The packet layer ({!Gdb_packet}) is transport-agnostic: anything
+    that can send a byte string and yield received bytes works.  Two
+    implementations exist — the in-memory duplex {!pair} used by the
+    scripted sessions and every test (deterministic, no file
+    descriptors), and the socket transport in {!Gdb_sock} used when a
+    real gdb connects to [rr_cli debug --port/--socket]. *)
+
+type recv_result =
+  | Data of string  (** one or more received bytes *)
+  | Empty  (** nothing available right now (non-blocking transports) *)
+  | Eof  (** the peer closed; no more bytes will ever arrive *)
+
+type t = {
+  send : string -> unit;
+      (** transmit all the bytes (a closed peer swallows them) *)
+  recv : unit -> recv_result;
+      (** blocking transports never return [Empty]; the in-memory pair
+          never blocks and returns [Empty] when drained *)
+  close : unit -> unit;  (** idempotent; the peer sees [Eof] after a drain *)
+  desc : string;  (** for logs: ["memory"], ["tcp:127.0.0.1:9999"], … *)
+}
+
+val pair : unit -> t * t
+(** An in-memory duplex: bytes sent on one endpoint are received on the
+    other, in order, with no delivery latency.  Single-threaded by
+    design — the caller interleaves client sends with server pumps. *)

@@ -15,6 +15,10 @@
     - spans are phases, [<layer>.<verb>], e.g. [record.syscall],
       [replay.seek], [trace.inflate]; each span owns a latency histogram
       registered as [<name>.ns];
+    - the GDB stub ([lib/gdbstub]) reports as the [gdb] layer:
+      [gdb.packets] (RSP packets served), [gdb.reverse_seeks] (reverse
+      continue/step resolutions and checkpoint restarts), and the
+      [gdb.cmd] span timing every command dispatch;
     - all durations are *virtual* nanoseconds from the cost model, read
       through the installed {!set_clock} (no wall-clock dependency, so
       telemetry never perturbs determinism).

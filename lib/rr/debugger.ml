@@ -41,6 +41,21 @@ let pos d = Replayer.cursor_index d.session
 
 let n_events d = Trace.n_events d.trace
 
+let at_end d = pos d >= n_events d
+
+let trace d = d.trace
+
+let checkpoint_every d = d.checkpoint_every
+
+let n_checkpoints d = d.n_checkpoints
+
+let checkpoints_taken d = d.checkpoints_taken
+
+let checkpoints_restored d = d.checkpoints_restored
+
+let checkpoint_frames d =
+  List.init d.n_checkpoints (fun i -> fst d.checkpoints.(i))
+
 (* Greatest live slot with frame index ≤ [target], or -1. *)
 let cp_search d target =
   let lo = ref 0 and hi = ref (d.n_checkpoints - 1) and best = ref (-1) in
@@ -76,6 +91,9 @@ let take_checkpoint d =
   end
 
 let create ?(opts = Replayer.default_opts) ?(checkpoint_every = 32) trace =
+  (* Smart constructor: a cadence ≤ 0 would divide by zero in [step];
+     clamp rather than trust it (the make_opts convention). *)
+  let checkpoint_every = max 1 checkpoint_every in
   let d =
     { trace;
       opts;
@@ -116,6 +134,8 @@ let seek d target =
     ignore (step d)
   done
 
+(* At frame 0 there is no earlier state: a no-op, not an error — the
+   stub layer turns it into a "history exhausted" stop reply. *)
 let reverse_step d = if pos d > 0 then seek d (pos d - 1)
 
 (* Static frame searches (frames are data; no execution needed).  Both
@@ -136,13 +156,28 @@ let continue_to d p =
     Some i
 
 (* Reverse-continue: land just after the previous matching frame,
-   skipping a hit at the current position (gdb semantics). *)
+   skipping a hit at the current position (gdb semantics).  From frame 0
+   the search window is empty: [None], position untouched. *)
 let reverse_continue_to d p =
-  match rfind_event d ~before:(pos d - 1) p with
-  | None -> None
-  | Some i ->
-    seek d (i + 1);
-    Some i
+  if pos d = 0 then None
+  else
+    match rfind_event d ~before:(pos d - 1) p with
+    | None -> None
+    | Some i ->
+      seek d (i + 1);
+      Some i
+
+let frame d i =
+  if i < 0 || i >= n_events d then fail "frame %d out of range" i
+  else Trace.Reader.frame d.trace i
+
+let exit_status d = (Replayer.stats_of d.session).Replayer.exit_status
+
+(* Public checkpoint control for the stub's `qRcmd checkpoint`: reuses
+   the internal dedup'ing take. *)
+let take_checkpoint d =
+  take_checkpoint d;
+  pos d
 
 (* ---- state inspection ------------------------------------------------ *)
 

@@ -3,32 +3,34 @@
     Time is measured in trace-frame indices.  Forward execution replays
     frames; {e reverse} execution restores the nearest earlier checkpoint
     and replays forward — rr's scheme, cheap because checkpoints are
-    copy-on-write address-space snapshots. *)
+    copy-on-write address-space snapshots.
+
+    A session is abstract: checkpoints are internal state, inspected
+    only through the accessors below.  This is the substrate the GDB
+    remote-protocol stub ([lib/gdbstub]) drives. *)
 
 exception Debug_error of string
 
-type t = {
-  trace : Trace.t;
-  opts : Replayer.opts;
-  checkpoint_every : int;
-  mutable session : Replayer.t;
-  mutable checkpoints : (int * Replayer.snapshot) array;
-      (** sorted by frame index; first [n_checkpoints] slots are live.
-          Lookups ([seek]'s nearest-checkpoint query, dedup on take)
-          are O(log n) binary searches. *)
-  mutable n_checkpoints : int;
-  mutable checkpoints_taken : int;
-  mutable checkpoints_restored : int;
-}
+type t
 
 val create : ?opts:Replayer.opts -> ?checkpoint_every:int -> Trace.t -> t
 (** Start a session at frame 0, checkpointing every [checkpoint_every]
-    frames as execution moves forward (default 32). *)
+    frames as execution moves forward (default 32, clamped to ≥ 1 —
+    the [make_opts] convention: out-of-range values are corrected, not
+    trusted). *)
 
 val pos : t -> int
 (** Current position: the index of the next frame to apply. *)
 
 val n_events : t -> int
+
+val at_end : t -> bool
+(** [pos d = n_events d]: every frame has been applied. *)
+
+val trace : t -> Trace.t
+
+val checkpoint_every : t -> int
+(** The (clamped) checkpoint cadence this session was created with. *)
 
 val step : t -> Event.t
 (** Apply the next frame; may take a checkpoint. *)
@@ -38,6 +40,9 @@ val seek : t -> int -> unit
     checkpoint and re-execute (reverse execution). *)
 
 val reverse_step : t -> unit
+(** Step one frame backwards.  At frame 0 this is a no-op: the position
+    is unchanged and no error is raised (the caller — e.g. the GDB stub
+    — reports "history exhausted" to its user). *)
 
 val find_event : ?kind_mask:int -> t -> from:int -> (Event.t -> bool) -> int option
 val rfind_event : ?kind_mask:int -> t -> before:int -> (Event.t -> bool) -> int option
@@ -51,10 +56,19 @@ val continue_to : t -> (Event.t -> bool) -> int option
 
 val reverse_continue_to : t -> (Event.t -> bool) -> int option
 (** Reverse-continue: land just after the previous matching frame,
-    skipping a hit at the current position (gdb semantics). *)
+    skipping a hit at the current position (gdb semantics).  From frame
+    0 (or frame 1, where only the current hit exists) this returns
+    [None] and the position is unchanged. *)
+
+val frame : t -> int -> Event.t
+(** The frame at index [i] (static data; position is unaffected). *)
 
 val task : t -> int -> Task.t
 val live_tids : t -> int list
+
+val exit_status : t -> int option
+(** The replayed root process's exit status, once its exit frame has
+    been applied. *)
 
 val regs : t -> int -> int array * int
 (** [(general-purpose registers, pc)] of a task at the current position. *)
@@ -69,3 +83,20 @@ val last_change : t -> tid:int -> addr:int -> len:int -> int option
 (** Reverse watchpoint: the index of the frame during which
     [addr..addr+len) last changed before the current position
     (checkpoint-accelerated forward scan).  Position is restored. *)
+
+(** {2 Checkpoint inspection and control}
+
+    The checkpoint store itself is private (a sorted array with O(log n)
+    lookups); these accessors expose what the GDB stub's [qRcmd]
+    monitor commands and the tests need. *)
+
+val take_checkpoint : t -> int
+(** Ensure a checkpoint exists at the current position (dedup: taking
+    twice at one frame stores one snapshot); returns the frame index. *)
+
+val n_checkpoints : t -> int
+val checkpoints_taken : t -> int
+val checkpoints_restored : t -> int
+
+val checkpoint_frames : t -> int list
+(** Frame indices holding a live checkpoint, strictly ascending. *)

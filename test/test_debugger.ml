@@ -70,7 +70,7 @@ let test_reverse_continue () =
   Alcotest.(check int) "counter=2 at second getpid" 2
     (Debugger.read_word d 100 counter_cell);
   Alcotest.(check bool) "a checkpoint was restored" true
-    (d.Debugger.checkpoints_restored >= 1)
+    (Debugger.checkpoints_restored d >= 1)
 
 let test_reverse_step () =
   let trace = record_counter () in
@@ -130,9 +130,9 @@ let test_checkpoints_cheap () =
   let d = Debugger.create ~checkpoint_every:1 trace in
   Debugger.seek d (Debugger.n_events d);
   Alcotest.(check bool)
-    (Printf.sprintf "many checkpoints taken (%d)" d.Debugger.checkpoints_taken)
+    (Printf.sprintf "many checkpoints taken (%d)" (Debugger.checkpoints_taken d))
     true
-    (d.Debugger.checkpoints_taken >= Debugger.n_events d)
+    (Debugger.checkpoints_taken d >= Debugger.n_events d)
 
 (* Random seek sequences over a multi-task workload trace: positions and
    observations must be consistent however we got there. *)
@@ -198,14 +198,51 @@ let test_checkpoint_array_sorted () =
     Debugger.seek d (Random.State.int rng (n + 1))
   done;
   Alcotest.(check bool) "several checkpoints live" true
-    (d.Debugger.n_checkpoints > 2);
-  for i = 1 to d.Debugger.n_checkpoints - 1 do
-    if fst d.Debugger.checkpoints.(i - 1) >= fst d.Debugger.checkpoints.(i)
-    then
-      Alcotest.failf "checkpoint array not strictly sorted at slot %d" i
-  done;
+    (Debugger.n_checkpoints d > 2);
+  let frames = Debugger.checkpoint_frames d in
+  let rec check_sorted i = function
+    | a :: (b :: _ as rest) ->
+      if a >= b then
+        Alcotest.failf "checkpoint array not strictly sorted at slot %d" i
+      else check_sorted (i + 1) rest
+    | _ -> ()
+  in
+  check_sorted 1 frames;
   Alcotest.(check int) "taken = live (dedup on take)"
-    d.Debugger.checkpoints_taken d.Debugger.n_checkpoints
+    (Debugger.checkpoints_taken d) (Debugger.n_checkpoints d)
+
+(* Frame-0 edges: reverse operations at the beginning of history are
+   no-ops / None, never exceptions or hangs. *)
+let test_reverse_at_frame_zero () =
+  let trace = record_counter () in
+  let d = Debugger.create ~checkpoint_every:2 trace in
+  Alcotest.(check int) "starts at frame 0" 0 (Debugger.pos d);
+  Debugger.reverse_step d;
+  Alcotest.(check int) "reverse_step at 0 is a no-op" 0 (Debugger.pos d);
+  Alcotest.(check (option int)) "reverse_continue_to at 0 is None" None
+    (Debugger.reverse_continue_to d (fun _ -> true));
+  Alcotest.(check int) "position unchanged after None" 0 (Debugger.pos d);
+  (* One frame in: reverse_continue_to over an always-false predicate
+     returns None without moving (the GDB stub, not the debugger, decides
+     to land on frame 0 in that case). *)
+  ignore (Debugger.step d);
+  Alcotest.(check (option int)) "no match going back" None
+    (Debugger.reverse_continue_to d (fun _ -> false));
+  Alcotest.(check int) "position unchanged on no match" 1 (Debugger.pos d)
+
+(* checkpoint_every <= 0 is clamped to 1 (make_opts convention), not a
+   Division_by_zero at the first seek. *)
+let test_checkpoint_every_clamped () =
+  let trace = record_counter () in
+  List.iter
+    (fun every ->
+      let d = Debugger.create ~checkpoint_every:every trace in
+      Alcotest.(check int)
+        (Printf.sprintf "checkpoint_every %d clamps to 1" every)
+        1 (Debugger.checkpoint_every d);
+      Debugger.seek d (Debugger.n_events d);
+      Alcotest.(check bool) "replay completed" true (Debugger.at_end d))
+    [ 0; -3 ]
 
 let suites =
   [ ( "rr.debugger",
@@ -221,4 +258,8 @@ let suites =
           test_debugger_on_workload;
         Alcotest.test_case "checkpoint array stays sorted" `Quick
           test_checkpoint_array_sorted;
+        Alcotest.test_case "reverse at frame 0" `Quick
+          test_reverse_at_frame_zero;
+        Alcotest.test_case "checkpoint_every clamped" `Quick
+          test_checkpoint_every_clamped;
         QCheck_alcotest.to_alcotest qcheck_random_seeks ] ) ]
