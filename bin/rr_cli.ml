@@ -223,7 +223,9 @@ let debug_cmd =
     end
   in
   let serve_transport trace checkpoint_every tr =
-    let d = Debugger.create ~checkpoint_every trace in
+    let d =
+      Debugger.create ~opts:(Debugger.make_opts ~checkpoint_every ()) trace
+    in
     Gdb_server.run (Gdb_server.create d tr);
     tr.Gdb_transport.close ();
     Fmt.pr "debugger detached at frame %d (%d checkpoints, %d restores)@."
@@ -238,7 +240,9 @@ let debug_cmd =
       Fmt.epr "rr_cli: %s: %s@." file msg;
       exit 2
     | Ok steps -> (
-      let d = Debugger.create ~checkpoint_every trace in
+      let d =
+        Debugger.create ~opts:(Debugger.make_opts ~checkpoint_every ()) trace
+      in
       let client_tr, server_tr = Gdb_transport.pair () in
       let server = Gdb_server.create d server_tr in
       let client =
@@ -251,7 +255,9 @@ let debug_cmd =
         exit 1)
   in
   let explore trace watch =
-    let d = Debugger.create ~checkpoint_every:16 trace in
+    let d =
+      Debugger.create ~opts:(Debugger.make_opts ~checkpoint_every:16 ()) trace
+    in
     Debugger.seek d (Debugger.n_events d);
     Fmt.pr "replayed to the end: %d frames, %d checkpoints@." (Debugger.pos d)
       (Debugger.checkpoints_taken d);
@@ -280,15 +286,18 @@ let debug_cmd =
           | Event.E_exec { tid; _ } -> tid
           | _ -> Fmt.failwith "no task to watch")
       in
-      (match Debugger.last_change d ~tid ~addr ~len:8 with
-      | Some i ->
+      (match Debugger.Query.last_write d ~tid ~addr ~len:8 with
+      | Error e ->
+        Fmt.epr "rr_cli: %a@." Debugger.Query.pp_error e;
+        exit 1
+      | Ok (Some i) ->
         Fmt.pr "last write to %#x happened during frame %d: %a@." addr i
           Event.pp (Debugger.frame d i);
         Debugger.seek d i;
         Fmt.pr "value before: %d@." (Debugger.read_word d tid addr);
         Debugger.seek d (i + 1);
         Fmt.pr "value after : %d@." (Debugger.read_word d tid addr)
-      | None -> Fmt.pr "%#x never changed@." addr)
+      | Ok None -> Fmt.pr "%#x never changed@." addr)
   in
   let run target watch port sockpath script checkpoint_every =
     with_trace_errors @@ fun () ->
@@ -489,6 +498,216 @@ let repair_cmd =
           recoverable.")
     Term.(const run $ opt_file_arg $ smoke_arg $ out_arg)
 
+(* Self-contained index check: record sambatest, index it, save, reopen
+   cold, and require (a) the index to come back from disk, (b) a deep
+   seek to restore a durable checkpoint instead of replaying from frame
+   0 (the index.hit / replay.checkpoint_restore counters say so), and
+   (c) indexed query answers to equal scan answers on the same trace. *)
+let index_smoke () =
+  let w = workload_of_name "sambatest" in
+  let recd, _ = Workload.record w in
+  let trace = recd.Workload.trace in
+  ignore (Trace_indexer.build_and_attach ~checkpoint_every:8 trace);
+  let path = Filename.temp_file "rr_index" ".trace" in
+  Trace.save_exn trace path;
+  let t2 = Trace.load_exn path in
+  Sys.remove path;
+  if Trace.index t2 = None then begin
+    Fmt.epr "index --smoke: reopened trace carries no index@.";
+    exit 1
+  end;
+  let n = Trace.n_events t2 in
+  let hit = Telemetry.counter "index.hit" in
+  let restores = Telemetry.counter "replay.checkpoint_restore" in
+  let hit0 = Telemetry.counter_value hit in
+  let restores0 = Telemetry.counter_value restores in
+  let d = Debugger.create t2 in
+  Debugger.seek d (n - 1);
+  let hits = Telemetry.counter_value hit - hit0 in
+  let restored = Telemetry.counter_value restores - restores0 in
+  if hits < 1 || restored < 1 then begin
+    Fmt.epr
+      "index --smoke: cold seek to frame %d replayed from scratch \
+       (index.hit +%d, checkpoint_restore +%d)@."
+      (n - 1) hits restored;
+    exit 1
+  end;
+  Fmt.pr "index --smoke: cold seek to frame %d used a durable checkpoint \
+          (index.hit +%d, restores +%d)@."
+    (n - 1) hits restored;
+  (* Answer equality, indexed vs. scan, on the same reopened trace. *)
+  let d0 =
+    Debugger.create ~opts:(Debugger.make_opts ~use_index:false ()) t2
+  in
+  Debugger.seek d0 (n - 1);
+  let root =
+    match Trace.Reader.frame t2 0 with
+    | Event.E_exec { tid; _ } -> tid
+    | e -> Event.tid_of e
+  in
+  let failures = ref 0 in
+  let check what a b =
+    if a <> b then begin
+      Fmt.epr "index --smoke: %s: indexed %a <> scan %a@." what
+        Fmt.(Dump.option int) a
+        Fmt.(Dump.option int) b;
+      incr failures
+    end
+  in
+  let pcs =
+    Array.to_seq (Trace.Reader.to_array t2)
+    |> Seq.filter_map Event.frame_pc
+    |> List.of_seq |> List.sort_uniq compare
+  in
+  List.iteri
+    (fun i pc ->
+      if i < 8 then
+        check
+          (Printf.sprintf "prev_exec %#x" pc)
+          (Result.get_ok (Debugger.Query.prev_exec d ~pc))
+          (Result.get_ok (Debugger.Query.prev_exec d0 ~pc)))
+    pcs;
+  List.iter
+    (fun addr ->
+      check
+        (Printf.sprintf "last_write %#x" addr)
+        (Result.get_ok (Debugger.Query.last_write d ~tid:root ~addr ~len:8))
+        (Result.get_ok (Debugger.Query.last_write d0 ~tid:root ~addr ~len:8)))
+    [ 0x120000; 0x121000; 0x10000 ];
+  Debugger.seek d (n / 2);
+  let mid_clock = Debugger.clock d in
+  check "seek_to_time"
+    (Result.to_option (Debugger.Query.seek_to_time d mid_clock))
+    (Result.to_option (Debugger.Query.seek_to_time d0 mid_clock));
+  if !failures > 0 then begin
+    Fmt.epr "index --smoke: %d indexed answers diverged from scans@." !failures;
+    exit 1
+  end;
+  Fmt.pr "index --smoke: indexed answers match scans (%d pcs, 3 probes, \
+          seek_to_time)@."
+    (min 8 (List.length pcs))
+
+let index_cmd =
+  let smoke_arg =
+    let doc =
+      "Run the built-in index round-trip check instead of indexing a file: \
+       record sambatest, index and save it, reopen cold, and verify deep \
+       seeks restore durable checkpoints and indexed answers match scans."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let opt_file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"A saved trace file to index.")
+  in
+  let every_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "every" ] ~docv:"N"
+          ~doc:
+            "Durable-checkpoint cadence in frames (clamped to >= 1; default \
+             about n/16).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the indexed trace to FILE (default: rewrite TRACE).")
+  in
+  let run path smoke every out =
+    with_trace_errors @@ fun () ->
+    if smoke then index_smoke ()
+    else begin
+      match path with
+      | None ->
+        Fmt.epr "rr_cli: index needs a TRACE argument (or --smoke)@.";
+        exit 2
+      | Some path ->
+        let trace = Trace.load_exn path in
+        let ix = Trace_indexer.build_and_attach ?checkpoint_every:every trace in
+        let out = Option.value out ~default:path in
+        Trace.save_exn trace out;
+        Fmt.pr
+          "indexed %d frames (%d durable checkpoints); saved to %s@."
+          (Trace.n_events trace)
+          (Array.length (Trace_index.checkpoints ix))
+          out
+    end
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:
+         "Build the persistent seek index of a saved trace (one replay \
+          pass) and store it in the trace: per-pc and per-address tables \
+          plus durable checkpoints, so later sessions seek in O(delta) \
+          from a cold open.")
+    Term.(const run $ opt_file_arg $ smoke_arg $ every_arg $ out_arg)
+
+let seek_cmd =
+  let frame_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "frame" ] ~docv:"N" ~doc:"Seek to frame $(docv).")
+  in
+  let time_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "time" ] ~docv:"T"
+          ~doc:
+            "Seek to the latest position whose virtual-clock reading is at \
+             most $(docv).")
+  in
+  let no_index_arg =
+    Arg.(
+      value & flag
+      & info [ "no-index" ]
+          ~doc:"Ignore any persistent index (scan-based seeks only).")
+  in
+  let run path frame time no_index =
+    with_trace_errors @@ fun () ->
+    let trace = Trace.load_exn path in
+    let d =
+      Debugger.create
+        ~opts:(Debugger.make_opts ~use_index:(not no_index) ()) trace
+    in
+    let report () =
+      Fmt.pr
+        "at frame %d of %d (clock %d); indexed=%b, checkpoints restored=%d@."
+        (Debugger.pos d) (Debugger.n_events d) (Debugger.clock d)
+        (Debugger.indexed d)
+        (Debugger.checkpoints_restored d)
+    in
+    match (frame, time) with
+    | Some f, None -> (
+      match Debugger.Query.seek_to_frame d f with
+      | Ok () -> report ()
+      | Error e ->
+        Fmt.epr "rr_cli: %a@." Debugger.Query.pp_error e;
+        exit 1)
+    | None, Some t -> (
+      match Debugger.Query.seek_to_time d t with
+      | Ok _ -> report ()
+      | Error e ->
+        Fmt.epr "rr_cli: %a@." Debugger.Query.pp_error e;
+        exit 1)
+    | _ ->
+      Fmt.epr "rr_cli: seek needs exactly one of --frame or --time@.";
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "seek"
+       ~doc:
+         "Open a saved trace and seek to a frame (--frame) or virtual-clock \
+          time (--time), reporting whether the persistent index made the \
+          jump O(delta).")
+    Term.(const run $ file_arg $ frame_arg $ time_arg $ no_index_arg)
+
 let stats_cmd =
   let json_arg =
     Arg.(
@@ -543,7 +762,7 @@ let main =
           'Engineering Record and Replay for Deployability', USENIX ATC \
           2017).")
     [ record_cmd; replay_cmd; dump_cmd; debug_cmd; stats_cmd; list_cmd;
-      replay_file_cmd; dump_file_cmd; repair_cmd ]
+      replay_file_cmd; dump_file_cmd; repair_cmd; index_cmd; seek_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

@@ -44,7 +44,7 @@ let () =
     Fmt.(option int)
     stats.Recorder.exit_status;
 
-  let d = Debugger.create ~checkpoint_every:4 trace in
+  let d = Debugger.create ~opts:(Debugger.make_opts ~checkpoint_every:4 ()) trace in
   Debugger.seek d (Debugger.n_events d);
   Fmt.pr "replayed %d frames; %d checkpoints along the way@." (Debugger.pos d)
     (Debugger.checkpoints_taken d);
@@ -55,9 +55,10 @@ let () =
     | Event.E_exec { tid; _ } -> tid
     | _ -> assert false
   in
-  (match Debugger.last_change d ~tid:root ~addr:cell ~len:8 with
-  | None -> Fmt.pr "the cell never changed?!@."
-  | Some frame ->
+  (match Debugger.Query.last_write d ~tid:root ~addr:cell ~len:8 with
+  | Error e -> Fmt.pr "query failed: %a@." Debugger.Query.pp_error e
+  | Ok None -> Fmt.pr "the cell never changed?!@."
+  | Ok (Some frame) ->
     Fmt.pr "the final write to %#x happened during frame %d: %a@." cell frame
       Event.pp (Trace.Reader.frame trace frame);
     (* Travel to just before and just after the culprit frame. *)

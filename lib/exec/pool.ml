@@ -82,7 +82,14 @@ let worker p () =
   loop ()
 
 let create ?queue_limit ~jobs () =
-  let n_jobs = max 1 jobs in
+  (* Degrade to the inline serial path when the host has a single core:
+     spawned domains would only time-slice against the submitter, and
+     the parallel pipeline measurably loses there (BENCH_wallclock on a
+     1-core container).  Output is byte-identical either way, so this
+     is purely a scheduling decision. *)
+  let n_jobs =
+    if Domain.recommended_domain_count () <= 1 then 1 else max 1 jobs
+  in
   let queue_limit =
     match queue_limit with Some q -> max 1 q | None -> 2 * n_jobs
   in

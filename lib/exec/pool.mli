@@ -30,12 +30,16 @@ type t
 type 'a future
 
 val create : ?queue_limit:int -> jobs:int -> unit -> t
-(** [create ~jobs ()] makes a pool of [max 1 jobs] workers.
-    [queue_limit] (default [2 * jobs]) bounds the number of tasks
-    waiting to start; at the bound, {!submit} blocks. *)
+(** [create ~jobs ()] makes a pool of [max 1 jobs] workers.  On a
+    single-core host ([Domain.recommended_domain_count () <= 1]) the
+    pool degrades to [jobs = 1] — the inline serial path — regardless
+    of the request: extra domains there only time-slice against the
+    submitter.  [queue_limit] (default [2 * jobs]) bounds the number
+    of tasks waiting to start; at the bound, {!submit} blocks. *)
 
 val jobs : t -> int
-(** The worker count the pool was created with (≥ 1). *)
+(** The effective worker count (≥ 1; see {!create} for the single-core
+    clamp). *)
 
 val submit : t -> (unit -> 'a) -> 'a future
 (** Enqueue a task.  Raises [Invalid_argument] if the pool has been

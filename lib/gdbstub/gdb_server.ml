@@ -33,23 +33,10 @@ type t = {
 
 (* The pc a frame's recorded registers land on: the breakpoint-match
    key.  Frames that carry no register image (buffer flushes, patches,
-   bookkeeping) can never match a breakpoint. *)
-let frame_pc e =
-  let pc (regs : E.regs) = Some regs.(E.pc_slot) in
-  match e with
-  | E.E_syscall { regs_after; _ } -> pc regs_after
-  | E.E_exec { regs_after; _ } -> pc regs_after
-  | E.E_mmap { regs_after; _ } -> pc regs_after
-  | E.E_clone { parent_regs_after; _ } -> pc parent_regs_after
-  | E.E_sched { point; _ } -> pc point.E.point_regs
-  | E.E_signal { point; disposition; _ } -> (
-    match disposition with
-    | E.Sr_handler { regs_after; _ } -> pc regs_after
-    | E.Sr_ignored regs -> pc regs
-    | E.Sr_fatal _ -> pc point.E.point_regs)
-  | E.E_insn_trap _ | E.E_patch _ | E.E_buf_flush _ | E.E_syscall_enter _
-  | E.E_checksum _ | E.E_exit _ | E.E_rr_setup _ ->
-    None
+   bookkeeping) can never match a breakpoint.  This is the event layer's
+   notion now (the trace index is keyed by it); re-exported for the
+   tests. *)
+let frame_pc = E.frame_pc
 
 let create ?(rle = true) dbg tr =
   let cur_thread =
@@ -149,13 +136,14 @@ let resume_forward t ~single =
    Debugger's seek does that), stop placement decided here.
 
    Breakpoint candidate: the latest frame before the current hit whose
-   recorded pc matches — a static rfind_event scan, no execution — and
-   we land just after it.  Watch candidate: Debugger.last_change gives
-   the latest frame that wrote the region; we land *at* it, so the
-   reverse stop shows the value before the write (the write has been
-   "undone", rr semantics).  The candidate closest to the current
-   position wins.  No candidate: land on frame 0 with a replaylog:begin
-   stop, position pinned — never a hang. *)
+   recorded pc matches — Query.prev_exec per breakpoint pc (index-backed
+   when the trace carries one), maximized — and we land just after it.
+   Watch candidate: Query.last_write gives the latest frame that wrote
+   the region; we land *at* it, so the reverse stop shows the value
+   before the write (the write has been "undone", rr semantics).  The
+   candidate closest to the current position wins.  No candidate: land
+   on frame 0 with a replaylog:begin stop, position pinned — never a
+   hang. *)
 let resume_reverse t ~single =
   let d = t.dbg in
   Telemetry.incr tm_reverse;
@@ -168,17 +156,30 @@ let resume_reverse t ~single =
     Plain
   end
   else begin
+    (* [~before:(pos - 1)] skips a breakpoint hit at the current stop
+       (frame [pos - 1]) — gdb reverse-continue semantics. *)
+    let prev_exec pc =
+      match Debugger.Query.prev_exec d ~before:(pos - 1) ~pc with
+      | Ok r -> r
+      | Error _ -> None
+    in
+    let last_write w =
+      match Debugger.Query.last_write d ~tid:w.w_tid ~addr:w.w_addr ~len:w.w_len with
+      | Ok r -> r
+      | Error _ -> None
+    in
     let bp_cand =
-      if Hashtbl.length t.bps = 0 then None
-      else
-        Debugger.rfind_event d ~before:(pos - 1) (fun e -> bp_hit t e)
-        |> Option.map (fun i -> (i + 1, Swbreak))
+      Hashtbl.fold
+        (fun pc () acc ->
+          match prev_exec pc with
+          | Some i when (match acc with Some (j, _) -> i + 1 > j | None -> true) ->
+            Some (i + 1, Swbreak)
+          | _ -> acc)
+        t.bps None
     in
     let watch_cand =
       List.filter_map
-        (fun w ->
-          Debugger.last_change d ~tid:w.w_tid ~addr:w.w_addr ~len:w.w_len
-          |> Option.map (fun i -> (i, Watch w.w_addr)))
+        (fun w -> last_write w |> Option.map (fun i -> (i, Watch w.w_addr)))
         t.watches
       |> List.fold_left
            (fun acc c ->
@@ -233,14 +234,48 @@ let monitor t cmd =
         Debugger.seek t.dbg frame;
         refresh_watches t;
         reply "at frame %d" frame))
+  | [ "seek"; n ] -> (
+    match int_of_string_opt n with
+    | None -> reply "seek: bad frame %S" n
+    | Some frame -> (
+      if frame < Debugger.pos t.dbg then Telemetry.incr tm_reverse;
+      match Debugger.Query.seek_to_frame t.dbg frame with
+      | Ok () ->
+        refresh_watches t;
+        reply "at frame %d" frame
+      | Error e -> reply "seek: %s" (Debugger.Query.error_to_string e)))
+  | [ "seek"; "time"; n ] -> (
+    match int_of_string_opt n with
+    | None -> reply "seek: bad time %S" n
+    | Some time -> (
+      match Debugger.Query.seek_to_time t.dbg time with
+      | Ok frame ->
+        refresh_watches t;
+        reply "at frame %d (clock %d)" frame (Debugger.clock t.dbg)
+      | Error e -> reply "seek: %s" (Debugger.Query.error_to_string e)))
+  | [ "index" ] ->
+    if Debugger.indexed t.dbg then
+      let n_cps =
+        match Trace.index (Debugger.trace t.dbg) with
+        | Some ix -> Array.length (Trace_index.checkpoints ix)
+        | None -> 0
+      in
+      reply "index: attached (%d frames, %d durable checkpoints)"
+        (Debugger.n_events t.dbg) n_cps
+    else reply "index: none (queries fall back to scans)"
   | [ "stats" ] ->
-    reply "packets=%d reverse_seeks=%d checkpoints=%d restored=%d frames=%d"
+    reply
+      "packets=%d reverse_seeks=%d checkpoints=%d restored=%d frames=%d \
+       indexed=%b"
       (Telemetry.counter_value tm_packets)
       (Telemetry.counter_value tm_reverse)
       (Debugger.checkpoints_taken t.dbg)
       (Debugger.checkpoints_restored t.dbg)
       (Debugger.n_events t.dbg)
-  | _ -> reply "unknown monitor command %S (try: when checkpoint restart stats)" cmd
+      (Debugger.indexed t.dbg)
+  | _ ->
+    reply "unknown monitor command %S (try: when checkpoint restart seek index stats)"
+      cmd
 
 (* ---- command dispatch ------------------------------------------------ *)
 

@@ -187,10 +187,24 @@ let writable_page t addr ~force =
   end
   else p
 
+(* Optional write observer: the trace indexer installs one to learn which
+   pages each replayed frame touches.  Unset (the normal case) it costs a
+   single ref read per store. *)
+let write_observer : (t -> addr:int -> len:int -> unit) option ref = ref None
+
+let set_write_observer f = write_observer := Some f
+let clear_write_observer () = write_observer := None
+
+let observe_write t ~addr ~len =
+  match !write_observer with
+  | None -> ()
+  | Some f -> f t ~addr ~len
+
 let read_u8 ?(force = false) t addr =
   Mem.get_u8 (readable_page t addr ~force) (Mem.page_offset addr)
 
 let write_u8 ?(force = false) t addr v =
+  observe_write t ~addr ~len:1;
   Mem.set_u8 (writable_page t addr ~force) (Mem.page_offset addr) v
 
 let read_u64 ?(force = false) t addr =
@@ -209,6 +223,7 @@ let read_u64 ?(force = false) t addr =
   end
 
 let write_u64 ?(force = false) t addr v =
+  observe_write t ~addr ~len:8;
   let off = Mem.page_offset addr in
   if off <= Mem.page_size - 8 then
     let p = writable_page t addr ~force in
@@ -233,6 +248,7 @@ let read_bytes ?(force = false) t addr len =
 
 let write_bytes ?(force = false) t addr b =
   let len = Bytes.length b in
+  if len > 0 then observe_write t ~addr ~len;
   let i = ref 0 in
   while !i < len do
     let a = addr + !i in

@@ -53,6 +53,13 @@ val unmap : t -> addr:int -> len:int -> unit
 val unmap_all : t -> unit
 val protect : t -> addr:int -> len:int -> prot:Mem.prot -> unit
 
+val set_write_observer : (t -> addr:int -> len:int -> unit) -> unit
+val clear_write_observer : unit -> unit
+(** A process-global hook invoked before every data write (all byte
+    stores funnel through it, including [force] writes).  The trace
+    indexer installs one during its replay pass to learn which pages
+    each frame touches; leave it unset otherwise. *)
+
 val read_u8 : ?force:bool -> t -> int -> int
 val write_u8 : ?force:bool -> t -> int -> int -> unit
 val read_u64 : ?force:bool -> t -> int -> int

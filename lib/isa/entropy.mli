@@ -25,3 +25,10 @@ val byte : t -> int
 
 val split : t -> t
 (** An independent child generator. *)
+
+val state : t -> int64
+(** The raw generator state, for checkpoint snapshots. *)
+
+val set_state : t -> int64 -> unit
+(** Restore a state captured with {!state}: the generator resumes the
+    exact draw sequence from that point. *)

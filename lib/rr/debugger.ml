@@ -6,13 +6,18 @@
    space checkpoints ("most checkpoints are never resumed", so creating
    one must cost almost nothing).
 
-   Primitives:
-   - [seek]: jump to any event index, backwards or forwards;
-   - [find_event] / [rfind_event]: next/previous frame matching a
-     predicate (static scan — frames are data);
-   - [last_change]: when was this memory last written?  (the reverse-
-     watchpoint workhorse);
-   - [read_mem]/[regs]: inspect tracee state at the current position. *)
+   Seeks are *index-aware*: when the trace carries a persistent
+   {!Trace_index.t} (built by [Trace_indexer], stored as 'P'/'K'
+   records), a seek may restore a durable checkpoint decoded straight
+   from the trace — so a freshly reopened trace jumps to frame N in
+   O(N mod interval) instead of replaying from frame 0.  Every indexed
+   answer is counted under [index.hit]; every scan fallback (no index,
+   or a blob that fails to decode/restore) under [index.fallback].
+
+   The typed query surface lives in {!Query}: [seek_to_frame],
+   [seek_to_time], [prev_exec], [last_write] — all result-typed, all
+   answering from the index when present with transparent fallback to
+   the scans they replace. *)
 
 module E = Event
 module T = Task
@@ -21,10 +26,26 @@ exception Debug_error of string
 
 let fail fmt = Fmt.kstr (fun s -> raise (Debug_error s)) fmt
 
+(* ---- options --------------------------------------------------------- *)
+
+type opts = {
+  replay : Replayer.opts;
+  checkpoint_every : int;
+  use_index : bool;
+}
+
+let default_opts =
+  { replay = Replayer.default_opts; checkpoint_every = 32; use_index = true }
+
+(* Smart constructor: a cadence ≤ 0 would divide by zero in [step];
+   clamp rather than trust it (the make_opts convention). *)
+let make_opts ?(replay = Replayer.default_opts) ?(checkpoint_every = 32)
+    ?(use_index = true) () =
+  { replay; checkpoint_every = max 1 checkpoint_every; use_index }
+
 type t = {
   trace : Trace.t;
-  opts : Replayer.opts;
-  checkpoint_every : int;
+  opts : opts;
   mutable session : Replayer.t;
   (* Checkpoints as a sorted dynamic array (ascending frame index,
      first [n_checkpoints] slots live).  A long session takes thousands
@@ -45,7 +66,9 @@ let at_end d = pos d >= n_events d
 
 let trace d = d.trace
 
-let checkpoint_every d = d.checkpoint_every
+let opts d = d.opts
+
+let checkpoint_every d = d.opts.checkpoint_every
 
 let n_checkpoints d = d.n_checkpoints
 
@@ -55,6 +78,16 @@ let checkpoints_restored d = d.checkpoints_restored
 
 let checkpoint_frames d =
   List.init d.n_checkpoints (fun i -> fst d.checkpoints.(i))
+
+(* The persistent index, when this session is allowed to use it.  Looked
+   up per query (not cached at [create]) so an index attached after the
+   session started — e.g. by [Trace_indexer.build_and_attach] — is
+   picked up transparently. *)
+let index d = if d.opts.use_index then Trace.index d.trace else None
+
+let indexed d = index d <> None
+
+let clock d = Kernel.now (Replayer.kernel d.session)
 
 (* Greatest live slot with frame index ≤ [target], or -1. *)
 let cp_search d target =
@@ -90,15 +123,13 @@ let take_checkpoint d =
     d.checkpoints_taken <- d.checkpoints_taken + 1
   end
 
-let create ?(opts = Replayer.default_opts) ?(checkpoint_every = 32) trace =
-  (* Smart constructor: a cadence ≤ 0 would divide by zero in [step];
-     clamp rather than trust it (the make_opts convention). *)
-  let checkpoint_every = max 1 checkpoint_every in
+let create ?(opts = default_opts) trace =
+  (* Re-clamp: [opts] may be a literal, not a [make_opts] product. *)
+  let opts = { opts with checkpoint_every = max 1 opts.checkpoint_every } in
   let d =
     { trace;
       opts;
-      checkpoint_every;
-      session = Replayer.start ~opts trace;
+      session = Replayer.start ~opts:opts.replay trace;
       checkpoints = [||];
       n_checkpoints = 0;
       checkpoints_taken = 0;
@@ -110,25 +141,70 @@ let create ?(opts = Replayer.default_opts) ?(checkpoint_every = 32) trace =
 let step d =
   if Replayer.at_end d.session then fail "at end of trace";
   let e = Replayer.step d.session in
-  if pos d mod d.checkpoint_every = 0 then take_checkpoint d;
+  if pos d mod d.opts.checkpoint_every = 0 then take_checkpoint d;
   e
 
-(* The nearest checkpoint at or before [idx]: one binary search. *)
-let nearest_checkpoint d idx =
-  let i = cp_search d idx in
-  if i < 0 then fail "no checkpoint at or before %d" idx
-  else d.checkpoints.(i)
+(* ---- seeking --------------------------------------------------------- *)
 
 let tm_span_seek = Telemetry.span "replay.seek"
+let tm_index_hit = Telemetry.counter "index.hit"
+let tm_index_fallback = Telemetry.counter "index.fallback"
+
+let restore_mem d i =
+  let _, snap = d.checkpoints.(i) in
+  d.session <- Replayer.restore_exn ~opts:d.opts.replay d.trace snap;
+  d.checkpoints_restored <- d.checkpoints_restored + 1
+
+(* Restore a durable checkpoint straight out of the trace.  The blob is
+   derived data: a decode or identity failure is a fallback, never an
+   error — the live checkpoint array still covers the seek. *)
+let try_restore_durable d frame blob =
+  match Replayer.decode_snapshot blob with
+  | exception Codec.Corrupt _ ->
+    Telemetry.incr tm_index_fallback;
+    false
+  | snap -> (
+    match Replayer.restore ~opts:d.opts.replay d.trace snap with
+    | Error _ ->
+      Telemetry.incr tm_index_fallback;
+      false
+    | Ok session ->
+      d.session <- session;
+      d.checkpoints_restored <- d.checkpoints_restored + 1;
+      Telemetry.incr tm_index_hit;
+      (* Memoize as a live checkpoint so the next seek into this region
+         skips the decode.  [frame] beat every live slot ≤ target, so no
+         live checkpoint exists there yet. *)
+      cp_insert d frame snap;
+      true)
 
 let seek d target =
   if target < 0 || target > n_events d then fail "seek out of range";
   Telemetry.timed tm_span_seek @@ fun () ->
-  if target < pos d then begin
-    (* Reverse execution: restore and re-execute (§6.1). *)
-    let _, snap = nearest_checkpoint d target in
-    d.session <- Replayer.restore_exn ~opts:d.opts d.trace snap;
-    d.checkpoints_restored <- d.checkpoints_restored + 1
+  (* Pick the best base to replay forward from: the current position
+     (forward seeks), the nearest live checkpoint (reverse execution,
+     §6.1), or — strictly better than both — a durable checkpoint from
+     the persistent index (O(delta) seeks on a freshly reopened trace). *)
+  let here = if pos d <= target then pos d else -1 in
+  let mem_i = cp_search d target in
+  let mem = if mem_i >= 0 then fst d.checkpoints.(mem_i) else -1 in
+  let base = max here mem in
+  let durable =
+    match index d with
+    | None -> None
+    | Some ix -> (
+      match Trace_index.nearest_checkpoint ix target with
+      | Some (frame, blob) when frame > base -> Some (frame, blob)
+      | _ -> None)
+  in
+  let restored =
+    match durable with
+    | Some (frame, blob) -> try_restore_durable d frame blob
+    | None -> false
+  in
+  if (not restored) && here < 0 then begin
+    if mem_i < 0 then fail "no checkpoint at or before %d" target;
+    restore_mem d mem_i
   end;
   while pos d < target do
     ignore (step d)
@@ -205,12 +281,6 @@ let read_word d tid addr =
   try Addr_space.read_u64 ~force:true t.T.cpu.Cpu.space addr
   with Addr_space.Segv _ -> fail "address %#x not mapped in task %d" addr tid
 
-(* ---- reverse watchpoint ----------------------------------------------
-
-   "When did [addr..addr+len) in task [tid] last change before the
-   current position?"  Replays forward from the start (checkpoint-
-   accelerated by seek) sampling the region after every frame. *)
-
 let sample d tid addr len =
   match Kernel.find_task (Replayer.kernel d.session) tid with
   | None -> None
@@ -219,9 +289,17 @@ let sample d tid addr len =
     try Some (Addr_space.read_bytes ~force:true t.T.cpu.Cpu.space addr len)
     with Addr_space.Segv _ -> None)
 
-let last_change d ~tid ~addr ~len =
-  let upto = pos d in
-  let here = sample d tid addr len in
+(* ---- scan fallbacks --------------------------------------------------
+
+   The pre-index algorithms, kept verbatim: indexed answers are defined
+   to be byte-identical to these, so they double as the reference
+   implementation (the property tests compare against them). *)
+
+(* "When did [addr..addr+len) in task [tid] last change before frame
+   [upto]?"  Replays forward from the start (checkpoint-accelerated by
+   seek) sampling the region after every frame. *)
+let scan_last_write d ~tid ~addr ~len ~upto =
+  let saved = pos d in
   seek d 0;
   let prev = ref (sample d tid addr len) in
   let last = ref None in
@@ -233,5 +311,131 @@ let last_change d ~tid ~addr ~len =
     | (Some _ | None), (Some _ | None) -> () (* death/birth is not a write *));
     prev := now
   done;
-  ignore here;
+  seek d saved;
   !last
+
+(* Largest position whose virtual-clock reading is ≤ [time], by forward
+   replay; [None] when even position 0 is later.  Position is left at
+   the answer (or restored on [None]). *)
+let scan_time d time =
+  let saved = pos d in
+  seek d 0;
+  if clock d > time then begin
+    seek d saved;
+    None
+  end
+  else begin
+    let best = ref (pos d) in
+    while (not (at_end d)) && clock d <= time do
+      ignore (step d);
+      if clock d <= time then best := pos d
+    done;
+    seek d !best;
+    Some !best
+  end
+
+(* A write-candidate is verified exactly as the scan observes a change:
+   sample at position [f], apply frame [f], sample again; a change is
+   two live samples that differ (death/birth is not a write). *)
+let verify_write d ~tid ~addr ~len f =
+  seek d f;
+  let a = sample d tid addr len in
+  ignore (step d);
+  let b = sample d tid addr len in
+  match (a, b) with
+  | Some a, Some b -> not (Bytes.equal a b)
+  | (Some _ | None), (Some _ | None) -> false
+
+(* ---- the typed query surface ----------------------------------------- *)
+
+module Query = struct
+  type error = Out_of_range of { what : string; value : int; min : int; max : int }
+
+  let pp_error ppf (Out_of_range { what; value; min; max }) =
+    Fmt.pf ppf "%s %d out of range [%d, %d]" what value min max
+
+  let error_to_string = Fmt.to_to_string pp_error
+
+  let frame_range d ~what value k =
+    if value < 0 || value > n_events d then
+      Error (Out_of_range { what; value; min = 0; max = n_events d })
+    else k ()
+
+  let seek_to_frame d target =
+    frame_range d ~what:"frame" target @@ fun () ->
+    seek d target;
+    Ok ()
+
+  let seek_to_time d time =
+    match index d with
+    | Some ix -> (
+      Telemetry.incr tm_index_hit;
+      match Trace_index.frame_of_time ix time with
+      | Some p ->
+        seek d p;
+        Ok p
+      | None ->
+        Error
+          (Out_of_range
+             { what = "time";
+               value = time;
+               min = Trace_index.clock_at ix 0;
+               max = max_int }))
+    | None -> (
+      Telemetry.incr tm_index_fallback;
+      match scan_time d time with
+      | Some p -> Ok p
+      | None ->
+        (* [scan_time] restored the position; the clock at frame 0 is
+           what the failed comparison was made against. *)
+        let saved = pos d in
+        seek d 0;
+        let min = clock d in
+        seek d saved;
+        Error (Out_of_range { what = "time"; value = time; min; max = max_int }))
+
+  let prev_exec ?before d ~pc =
+    let before = match before with Some b -> b | None -> pos d in
+    frame_range d ~what:"before" before @@ fun () ->
+    if before = 0 then Ok None
+    else
+      match index d with
+      | Some ix ->
+        Telemetry.incr tm_index_hit;
+        Ok (Trace_index.prev_exec ix ~pc ~before)
+      | None ->
+        Telemetry.incr tm_index_fallback;
+        (* [rfind_before] is already exclusive: last frame < [before]. *)
+        Ok (rfind_event d ~before (fun e -> E.frame_pc e = Some pc))
+
+  let last_write ?before d ~tid ~addr ~len =
+    let before = match before with Some b -> b | None -> pos d in
+    frame_range d ~what:"before" before @@ fun () ->
+    match index d with
+    | Some ix ->
+      Telemetry.incr tm_index_hit;
+      (* Candidates are a page-granular superset (plus every unbounded-
+         effects frame); sampling verification keeps the answer
+         byte-identical to the scan.  Newest first, so the first
+         verified candidate is the answer. *)
+      let candidates = Trace_index.write_candidates ix ~addr ~len ~before in
+      let saved = pos d in
+      let rec first = function
+        | [] -> None
+        | f :: rest ->
+          if verify_write d ~tid ~addr ~len f then Some f else first rest
+      in
+      let r = first candidates in
+      seek d saved;
+      Ok r
+    | None ->
+      Telemetry.incr tm_index_fallback;
+      Ok (scan_last_write d ~tid ~addr ~len ~upto:before)
+end
+
+(* ---- deprecated scan API (reimplemented over Query) ------------------ *)
+
+let last_change d ~tid ~addr ~len =
+  match Query.last_write d ~tid ~addr ~len with
+  | Ok r -> r
+  | Error _ -> assert false (* [before] defaults to [pos], always in range *)

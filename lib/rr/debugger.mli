@@ -5,6 +5,14 @@
     and replays forward — rr's scheme, cheap because checkpoints are
     copy-on-write address-space snapshots.
 
+    When the trace carries a persistent {!Trace_index.t} (see
+    [Trace_indexer] and [Trace.index]), seeks restore durable
+    checkpoints decoded straight from the trace and the {!Query}
+    functions answer from the index tables — a freshly reopened trace
+    jumps anywhere in O(delta) instead of replaying from frame 0.
+    Without an index every query transparently falls back to the scans
+    it replaces; answers are identical either way.
+
     A session is abstract: checkpoints are internal state, inspected
     only through the accessors below.  This is the substrate the GDB
     remote-protocol stub ([lib/gdbstub]) drives. *)
@@ -13,11 +21,33 @@ exception Debug_error of string
 
 type t
 
-val create : ?opts:Replayer.opts -> ?checkpoint_every:int -> Trace.t -> t
-(** Start a session at frame 0, checkpointing every [checkpoint_every]
-    frames as execution moves forward (default 32, clamped to ≥ 1 —
-    the [make_opts] convention: out-of-range values are corrected, not
-    trusted). *)
+(** {2 Options} *)
+
+type opts = {
+  replay : Replayer.opts;  (** forwarded to the underlying replayer *)
+  checkpoint_every : int;  (** live-checkpoint cadence (frames) *)
+  use_index : bool;  (** answer from a persistent index when present *)
+}
+
+val default_opts : opts
+(** [{replay = Replayer.default_opts; checkpoint_every = 32;
+    use_index = true}]. *)
+
+val make_opts :
+  ?replay:Replayer.opts ->
+  ?checkpoint_every:int ->
+  ?use_index:bool ->
+  unit ->
+  opts
+(** [default_opts] with the given fields overridden.  [checkpoint_every]
+    is clamped to ≥ 1 — the make_opts convention: out-of-range values
+    are corrected, not trusted. *)
+
+val create : ?opts:opts -> Trace.t -> t
+(** Start a session at frame 0, checkpointing every
+    [opts.checkpoint_every] frames as execution moves forward.  The
+    options are re-clamped, so a hand-built literal cannot smuggle in a
+    cadence ≤ 0. *)
 
 val pos : t -> int
 (** Current position: the index of the next frame to apply. *)
@@ -29,27 +59,86 @@ val at_end : t -> bool
 
 val trace : t -> Trace.t
 
+val opts : t -> opts
+(** The (re-clamped) options this session was created with. *)
+
 val checkpoint_every : t -> int
-(** The (clamped) checkpoint cadence this session was created with. *)
+(** [(opts d).checkpoint_every]. *)
+
+val indexed : t -> bool
+(** Whether queries can currently answer from a persistent index:
+    [use_index] is set and the trace has one attached. *)
+
+val clock : t -> int
+(** The virtual-clock reading at the current position (deterministic
+    across replays; what {!Query.seek_to_time} measures against). *)
 
 val step : t -> Event.t
 (** Apply the next frame; may take a checkpoint. *)
 
 val seek : t -> int -> unit
-(** Jump to any frame index.  Backward seeks restore the nearest earlier
-    checkpoint and re-execute (reverse execution). *)
+(** Jump to any frame index.  Replays forward from the best available
+    base: the current position, the nearest live checkpoint, or a
+    durable checkpoint restored from the trace's persistent index
+    (counted under [index.hit]; a blob that fails to decode or restore
+    counts under [index.fallback] and the live checkpoints cover the
+    seek). *)
 
 val reverse_step : t -> unit
 (** Step one frame backwards.  At frame 0 this is a no-op: the position
     is unchanged and no error is raised (the caller — e.g. the GDB stub
     — reports "history exhausted" to its user). *)
 
+(** {2 Typed queries}
+
+    The seek-first query surface.  Each query validates its arguments
+    into a [result] rather than raising, answers from the persistent
+    index when one is attached ([index.hit]) and falls back to the
+    equivalent scan when not ([index.fallback]); the answer is defined
+    to be identical either way. *)
+
+module Query : sig
+  type error =
+    | Out_of_range of { what : string; value : int; min : int; max : int }
+
+  val pp_error : error Fmt.t
+  val error_to_string : error -> string
+
+  val seek_to_frame : t -> int -> (unit, error) result
+  (** {!seek} with a typed range check instead of {!Debug_error}. *)
+
+  val seek_to_time : t -> int -> (int, error) result
+  (** Seek to the largest position whose virtual-clock reading is
+      [<= time]; returns that position.  Times past the end land on the
+      final position; a time earlier than the clock at frame 0 is
+      [Out_of_range] (with [min] the frame-0 reading) and the position
+      is unchanged. *)
+
+  val prev_exec : ?before:int -> t -> pc:int -> (int option, error) result
+  (** Latest frame [f < before] (default: the current position) whose
+      {!Event.frame_pc} is [pc] — the reverse-breakpoint primitive.
+      [Ok None] when no earlier frame executed [pc].  Position is
+      unchanged. *)
+
+  val last_write :
+    ?before:int -> t -> tid:int -> addr:int -> len:int -> (int option, error) result
+  (** Reverse watchpoint: the latest frame [f < before] (default: the
+      current position) during which [addr..addr+len) in task [tid]
+      changed.  Indexed candidates are verified by sampling, so the
+      answer is byte-identical to the scan's.  Position is restored. *)
+end
+
 val find_event : ?kind_mask:int -> t -> from:int -> (Event.t -> bool) -> int option
-val rfind_event : ?kind_mask:int -> t -> before:int -> (Event.t -> bool) -> int option
-(** Static frame searches (frames are data; nothing executes).  These
-    scan through the chunk-indexed reader; [kind_mask] (an OR of
+(** Static frame search (frames are data; nothing executes), scanning
+    through the chunk-indexed reader; [kind_mask] (an OR of
     {!Event.kind_bit}) skips chunks with no matching frame kinds without
     inflating them. *)
+
+val rfind_event : ?kind_mask:int -> t -> before:int -> (Event.t -> bool) -> int option
+  [@@deprecated "use Query.prev_exec (indexed) for pc searches"]
+(** Backwards static frame search with an arbitrary predicate.  An
+    arbitrary closure cannot be answered from the index; pc searches —
+    the only in-tree use — go through {!Query.prev_exec}. *)
 
 val continue_to : t -> (Event.t -> bool) -> int option
 (** Run forward to the next matching frame; lands just after it. *)
@@ -80,9 +169,8 @@ val read_mem : t -> int -> int -> int -> bytes
 val read_word : t -> int -> int -> int
 
 val last_change : t -> tid:int -> addr:int -> len:int -> int option
-(** Reverse watchpoint: the index of the frame during which
-    [addr..addr+len) last changed before the current position
-    (checkpoint-accelerated forward scan).  Position is restored. *)
+  [@@deprecated "use Query.last_write"]
+(** {!Query.last_write} at the current position, untyped. *)
 
 (** {2 Checkpoint inspection and control}
 

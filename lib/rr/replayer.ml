@@ -697,6 +697,14 @@ type snap_task = {
   sn_locals : bytes;
   sn_next_resume : T.resume_how;
   sn_in_blocked : bool;
+  (* Scheduler time bounds: without them a restored task may be deemed
+     runnable earlier than in the linear replay, skewing the clock. *)
+  sn_tick_born : int;
+  sn_last_wake : int;
+  (* Task-directed signals queued but not yet delivered (e.g. SIGCHLDs
+     awaiting the parent's next wait4): dropping them changes how the
+     following frames replay. *)
+  sn_pending : Signals.info list;
 }
 
 type snap_proc = {
@@ -710,6 +718,8 @@ type snap_proc = {
   sp_cmd : string;
   sp_children : int list;
   sp_owner : int option; (* locals_owner for this space *)
+  sp_shared_pending : Signals.info list;
+  sp_sighand : Signals.action array; (* indexed by signo *)
 }
 
 type snapshot = {
@@ -720,6 +730,12 @@ type snapshot = {
   snap_tasks : snap_task list;
   snap_installed : (string * Image.t) list;
   snap_clock : int;
+  (* PRNG position and TSC base: restored so post-checkpoint entropy
+     draws (PMU interrupt skid, TSC drift) continue the exact sequence a
+     linear replay would see — otherwise the virtual clock of a restored
+     session drifts from a from-zero replay's. *)
+  snap_entropy : int64;
+  snap_ktsc : int;
   (* Identity of the trace this snapshot was taken against, so restore
      can reject a mismatched (or salvaged-shorter) trace instead of
      replaying garbage. *)
@@ -749,7 +765,9 @@ let snapshot r =
               sp_cwd = p.T.cwd;
               sp_cmd = p.T.cmd;
               sp_children = p.T.children;
-              sp_owner = Hashtbl.find_opt r.locals_owner p.T.space.A.id })
+              sp_owner = Hashtbl.find_opt r.locals_owner p.T.space.A.id;
+              sp_shared_pending = p.T.shared_pending;
+              sp_sighand = Array.copy p.T.sighand })
       (K.all_procs r.k)
   in
   let tasks =
@@ -773,7 +791,10 @@ let snapshot r =
             sn_batches = List.of_seq (Queue.to_seq st.batches);
             sn_locals = st.saved_locals;
             sn_next_resume = st.next_resume;
-            sn_in_blocked = st.in_blocked_syscall })
+            sn_in_blocked = st.in_blocked_syscall;
+            sn_tick_born = t.T.tick_born;
+            sn_last_wake = t.T.last_wake;
+            sn_pending = t.T.pending })
       (K.all_tasks r.k)
   in
   { snap_idx = (cursor_index r);
@@ -783,6 +804,8 @@ let snapshot r =
     snap_tasks = tasks;
     snap_installed = r.installed;
     snap_clock = K.now r.k;
+    snap_entropy = Entropy.state r.k.K.entropy;
+    snap_ktsc = r.k.K.tsc;
     snap_trace_events = Trace.n_events r.trace;
     snap_trace_chunks = Array.length (Trace.chunk_index r.trace);
     snap_trace_exe = Trace.initial_exe r.trace }
@@ -853,6 +876,8 @@ let restore_unchecked ?(opts = default_opts) trace snap =
       K.install_image k ~path img)
     snap.snap_installed;
   k.K.clock <- snap.snap_clock;
+  Entropy.set_state k.K.entropy snap.snap_entropy;
+  k.K.tsc <- snap.snap_ktsc;
   (* Processes first (spaces COW-forked again so the snapshot stays
      immutable and reusable). *)
   List.iter
@@ -866,6 +891,9 @@ let restore_unchecked ?(opts = default_opts) trace snap =
       p.T.cwd <- sp.sp_cwd;
       p.T.cmd <- sp.sp_cmd;
       p.T.children <- sp.sp_children;
+      p.T.shared_pending <- sp.sp_shared_pending;
+      Array.blit sp.sp_sighand 0 p.T.sighand 0
+        (min (Array.length sp.sp_sighand) (Array.length p.T.sighand));
       Hashtbl.replace k.K.procs sp.sp_pid p;
       (match sp.sp_owner with
       | Some tid -> Hashtbl.replace r.locals_owner space.A.id tid
@@ -901,7 +929,10 @@ let restore_unchecked ?(opts = default_opts) trace snap =
         List.iter (fun b -> Queue.push b st.batches) sn.sn_batches;
         st.saved_locals <- sn.sn_locals;
         st.next_resume <- sn.sn_next_resume;
-        st.in_blocked_syscall <- sn.sn_in_blocked)
+        st.in_blocked_syscall <- sn.sn_in_blocked;
+        t.T.tick_born <- sn.sn_tick_born;
+        t.T.last_wake <- sn.sn_last_wake;
+        t.T.pending <- sn.sn_pending)
     snap.snap_tasks;
   r
 
@@ -914,3 +945,459 @@ let restore_exn ?opts trace snap =
   match restore ?opts trace snap with
   | Ok r -> r
   | Error e -> raise (Restore_error e)
+
+(* ---- snapshot serialization ------------------------------------------
+
+   Durable checkpoints: a snapshot flattened to bytes so the trace can
+   carry it ('K' records) and a *future process* can restore without
+   replaying from frame 0.  COW page sharing is preserved through an
+   identity table — each distinct page frame is emitted once and spaces
+   reference it by id, so decoding re-creates the same sharing (and the
+   same PSS) the live snapshot had. *)
+
+let snapshot_codec_version = 1
+
+let put_bpf_insn b (i : Bpf.insn) =
+  let open Bpf in
+  match i with
+  | Ld_abs n -> Codec.put_uvarint b 0; Codec.put_int b n
+  | Ld_imm n -> Codec.put_uvarint b 1; Codec.put_int b n
+  | Ldx_imm n -> Codec.put_uvarint b 2; Codec.put_int b n
+  | Tax -> Codec.put_uvarint b 3
+  | Txa -> Codec.put_uvarint b 4
+  | St n -> Codec.put_uvarint b 5; Codec.put_int b n
+  | Ldm n -> Codec.put_uvarint b 6; Codec.put_int b n
+  | Alu_and n -> Codec.put_uvarint b 7; Codec.put_int b n
+  | Alu_or n -> Codec.put_uvarint b 8; Codec.put_int b n
+  | Alu_add n -> Codec.put_uvarint b 9; Codec.put_int b n
+  | Jmp n -> Codec.put_uvarint b 10; Codec.put_int b n
+  | Jeq (k, t, f) ->
+    Codec.put_uvarint b 11; Codec.put_int b k; Codec.put_int b t;
+    Codec.put_int b f
+  | Jgt (k, t, f) ->
+    Codec.put_uvarint b 12; Codec.put_int b k; Codec.put_int b t;
+    Codec.put_int b f
+  | Jge (k, t, f) ->
+    Codec.put_uvarint b 13; Codec.put_int b k; Codec.put_int b t;
+    Codec.put_int b f
+  | Jset (k, t, f) ->
+    Codec.put_uvarint b 14; Codec.put_int b k; Codec.put_int b t;
+    Codec.put_int b f
+  | Ret n -> Codec.put_uvarint b 15; Codec.put_int b n
+  | Ret_a -> Codec.put_uvarint b 16
+
+let get_bpf_insn s : Bpf.insn =
+  let open Bpf in
+  match Codec.get_uvarint s with
+  | 0 -> Ld_abs (Codec.get_int s)
+  | 1 -> Ld_imm (Codec.get_int s)
+  | 2 -> Ldx_imm (Codec.get_int s)
+  | 3 -> Tax
+  | 4 -> Txa
+  | 5 -> St (Codec.get_int s)
+  | 6 -> Ldm (Codec.get_int s)
+  | 7 -> Alu_and (Codec.get_int s)
+  | 8 -> Alu_or (Codec.get_int s)
+  | 9 -> Alu_add (Codec.get_int s)
+  | 10 -> Jmp (Codec.get_int s)
+  | 11 ->
+    let k = Codec.get_int s in
+    let t = Codec.get_int s in
+    let f = Codec.get_int s in
+    Jeq (k, t, f)
+  | 12 ->
+    let k = Codec.get_int s in
+    let t = Codec.get_int s in
+    let f = Codec.get_int s in
+    Jgt (k, t, f)
+  | 13 ->
+    let k = Codec.get_int s in
+    let t = Codec.get_int s in
+    let f = Codec.get_int s in
+    Jge (k, t, f)
+  | 14 ->
+    let k = Codec.get_int s in
+    let t = Codec.get_int s in
+    let f = Codec.get_int s in
+    Jset (k, t, f)
+  | 15 -> Ret (Codec.get_int s)
+  | 16 -> Ret_a
+  | n -> raise (Codec.Corrupt (Printf.sprintf "bpf insn tag %d" n))
+
+let put_resume b (r : T.resume_how) =
+  Codec.put_uvarint b
+    (match r with
+    | T.R_cont -> 0
+    | T.R_syscall -> 1
+    | T.R_singlestep -> 2
+    | T.R_sysemu -> 3
+    | T.R_sysemu_single -> 4)
+
+let get_resume s : T.resume_how =
+  match Codec.get_uvarint s with
+  | 0 -> T.R_cont
+  | 1 -> T.R_syscall
+  | 2 -> T.R_singlestep
+  | 3 -> T.R_sysemu
+  | 4 -> T.R_sysemu_single
+  | n -> raise (Codec.Corrupt (Printf.sprintf "resume tag %d" n))
+
+let put_region b (r : A.region) =
+  Codec.put_int b r.A.start;
+  Codec.put_int b r.A.len;
+  Codec.put_int b r.A.prot;
+  (match r.A.kind with
+  | A.Anon -> Codec.put_uvarint b 0
+  | A.Stack -> Codec.put_uvarint b 1
+  | A.File_backed { path; file_off } ->
+    Codec.put_uvarint b 2;
+    Codec.put_string b path;
+    Codec.put_int b file_off
+  | A.Scratch -> Codec.put_uvarint b 3
+  | A.Rr_page -> Codec.put_uvarint b 4
+  | A.Thread_locals -> Codec.put_uvarint b 5);
+  Codec.put_bool b r.A.shared
+
+let get_region s : A.region =
+  let start = Codec.get_int s in
+  let len = Codec.get_int s in
+  let prot = Codec.get_int s in
+  let kind =
+    match Codec.get_uvarint s with
+    | 0 -> A.Anon
+    | 1 -> A.Stack
+    | 2 ->
+      let path = Codec.get_string s in
+      let file_off = Codec.get_int s in
+      A.File_backed { path; file_off }
+    | 3 -> A.Scratch
+    | 4 -> A.Rr_page
+    | 5 -> A.Thread_locals
+    | n -> raise (Codec.Corrupt (Printf.sprintf "region kind tag %d" n))
+  in
+  let shared = Codec.get_bool s in
+  { A.start; len; prot; kind; shared }
+
+(* Distinct page frames by physical identity: content-hash buckets
+   disambiguated with [==].  COW sharing across spaces becomes shared
+   ids in the encoding. *)
+module Page_ids = struct
+  type t = {
+    buckets : (int, (Mem.page * int) list ref) Hashtbl.t;
+    mutable rev_pages : Mem.page list;
+    mutable next : int;
+  }
+
+  let create () =
+    { buckets = Hashtbl.create 256; rev_pages = []; next = 0 }
+
+  let id_of t p =
+    let h = Hashtbl.hash p in
+    let bucket =
+      match Hashtbl.find_opt t.buckets h with
+      | Some b -> b
+      | None ->
+        let b = ref [] in
+        Hashtbl.replace t.buckets h b;
+        b
+    in
+    match List.find_opt (fun (q, _) -> q == p) !bucket with
+    | Some (_, id) -> id
+    | None ->
+      let id = t.next in
+      t.next <- id + 1;
+      bucket := (p, id) :: !bucket;
+      t.rev_pages <- p :: t.rev_pages;
+      id
+
+  let pages t = Array.of_list (List.rev t.rev_pages)
+end
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let put_space ids b (a : A.t) =
+  Codec.put_int b a.A.id;
+  Codec.put_int b a.A.mmap_cursor;
+  Codec.put_list b put_region a.A.regions;
+  let page_idxs = sorted_keys a.A.pages in
+  Codec.put_uvarint b (List.length page_idxs);
+  List.iter
+    (fun idx ->
+      Codec.put_int b idx;
+      Codec.put_uvarint b (Page_ids.id_of ids (Hashtbl.find a.A.pages idx)))
+    page_idxs;
+  let text_addrs = sorted_keys a.A.text in
+  Codec.put_uvarint b (List.length text_addrs);
+  List.iter
+    (fun addr ->
+      Codec.put_int b addr;
+      Image_codec.put_insn b (Hashtbl.find a.A.text addr))
+    text_addrs;
+  Codec.put_list b Codec.put_int (sorted_keys a.A.written_text);
+  Codec.put_list b Codec.put_int (sorted_keys a.A.breakpoints)
+
+let get_space pages s : A.t =
+  let id = Codec.get_int s in
+  let a = A.create ~id in
+  a.A.mmap_cursor <- Codec.get_int s;
+  a.A.regions <- Codec.get_list s get_region;
+  let n_pages = Codec.get_uvarint s in
+  for _ = 1 to n_pages do
+    let idx = Codec.get_int s in
+    let pid = Codec.get_uvarint s in
+    if pid < 0 || pid >= Array.length pages then
+      raise (Codec.Corrupt "snapshot: page id out of range");
+    let p = pages.(pid) in
+    Mem.incref p;
+    Hashtbl.replace a.A.pages idx p
+  done;
+  let n_text = Codec.get_uvarint s in
+  for _ = 1 to n_text do
+    let addr = Codec.get_int s in
+    Hashtbl.replace a.A.text addr (Image_codec.get_insn s)
+  done;
+  List.iter
+    (fun addr -> Hashtbl.replace a.A.written_text addr ())
+    (Codec.get_list s Codec.get_int);
+  List.iter
+    (fun addr -> Hashtbl.replace a.A.breakpoints addr ())
+    (Codec.get_list s Codec.get_int);
+  a
+
+let put_sig_info b (i : Signals.info) =
+  Codec.put_int b i.Signals.signo;
+  (match i.Signals.origin with
+  | Signals.User tid -> Codec.put_uvarint b 0; Codec.put_int b tid
+  | Signals.Fault -> Codec.put_uvarint b 1
+  | Signals.Tsc_trap r -> Codec.put_uvarint b 2; Codec.put_int b r
+  | Signals.Desched -> Codec.put_uvarint b 3
+  | Signals.Preempt -> Codec.put_uvarint b 4
+  | Signals.Bkpt -> Codec.put_uvarint b 5
+  | Signals.Step -> Codec.put_uvarint b 6);
+  Codec.put_int b i.Signals.fault_addr
+
+let get_sig_info s =
+  let signo = Codec.get_int s in
+  let origin =
+    match Codec.get_uvarint s with
+    | 0 -> Signals.User (Codec.get_int s)
+    | 1 -> Signals.Fault
+    | 2 -> Signals.Tsc_trap (Codec.get_int s)
+    | 3 -> Signals.Desched
+    | 4 -> Signals.Preempt
+    | 5 -> Signals.Bkpt
+    | 6 -> Signals.Step
+    | n -> raise (Codec.Corrupt (Printf.sprintf "signal origin tag %d" n))
+  in
+  let fault_addr = Codec.get_int s in
+  Signals.make_info ~fault_addr signo origin
+
+let put_sig_action b (a : Signals.action) =
+  (match a.Signals.disposition with
+  | Signals.Default -> Codec.put_uvarint b 0
+  | Signals.Ignore -> Codec.put_uvarint b 1
+  | Signals.Handler addr -> Codec.put_uvarint b 2; Codec.put_int b addr);
+  Codec.put_int b a.Signals.mask;
+  Codec.put_int b a.Signals.flags
+
+let get_sig_action s =
+  let disposition =
+    match Codec.get_uvarint s with
+    | 0 -> Signals.Default
+    | 1 -> Signals.Ignore
+    | 2 -> Signals.Handler (Codec.get_int s)
+    | n -> raise (Codec.Corrupt (Printf.sprintf "disposition tag %d" n))
+  in
+  let mask = Codec.get_int s in
+  let flags = Codec.get_int s in
+  { Signals.disposition; mask; flags }
+
+let put_snap_proc ids b sp =
+  Codec.put_int b sp.sp_pid;
+  Codec.put_int b sp.sp_parent;
+  put_space ids b sp.sp_space;
+  Codec.put_list b Codec.put_int sp.sp_threads;
+  (match sp.sp_exit with
+  | None -> Codec.put_uvarint b 0
+  | Some st ->
+    Codec.put_uvarint b 1;
+    Codec.put_int b st);
+  Codec.put_bool b sp.sp_reaped;
+  Codec.put_string b sp.sp_cwd;
+  Codec.put_string b sp.sp_cmd;
+  Codec.put_list b Codec.put_int sp.sp_children;
+  (match sp.sp_owner with
+  | None -> Codec.put_uvarint b 0
+  | Some tid ->
+    Codec.put_uvarint b 1;
+    Codec.put_int b tid);
+  Codec.put_list b put_sig_info sp.sp_shared_pending;
+  Codec.put_array b put_sig_action sp.sp_sighand
+
+let get_snap_proc pages s =
+  let sp_pid = Codec.get_int s in
+  let sp_parent = Codec.get_int s in
+  let sp_space = get_space pages s in
+  let sp_threads = Codec.get_list s Codec.get_int in
+  let sp_exit =
+    match Codec.get_uvarint s with
+    | 0 -> None
+    | 1 -> Some (Codec.get_int s)
+    | n -> raise (Codec.Corrupt (Printf.sprintf "exit tag %d" n))
+  in
+  let sp_reaped = Codec.get_bool s in
+  let sp_cwd = Codec.get_string s in
+  let sp_cmd = Codec.get_string s in
+  let sp_children = Codec.get_list s Codec.get_int in
+  let sp_owner =
+    match Codec.get_uvarint s with
+    | 0 -> None
+    | 1 -> Some (Codec.get_int s)
+    | n -> raise (Codec.Corrupt (Printf.sprintf "owner tag %d" n))
+  in
+  let sp_shared_pending = Codec.get_list s get_sig_info in
+  let sp_sighand = Codec.get_array s get_sig_action in
+  { sp_pid; sp_parent; sp_space; sp_threads; sp_exit; sp_reaped; sp_cwd;
+    sp_cmd; sp_children; sp_owner; sp_shared_pending; sp_sighand }
+
+let put_snap_task b sn =
+  Codec.put_int b sn.sn_tid;
+  Codec.put_int b sn.sn_pid;
+  Codec.put_array b Codec.put_int sn.sn_regs;
+  Codec.put_int b sn.sn_pc;
+  Codec.put_int b sn.sn_rcb;
+  Codec.put_int b sn.sn_insns;
+  Codec.put_int b sn.sn_branches;
+  Codec.put_int b sn.sn_sigmask;
+  Codec.put_list b Codec.put_int sn.sn_frames;
+  Codec.put_bool b sn.sn_dead;
+  Codec.put_int b sn.sn_status;
+  Codec.put_list b
+    (fun b prog -> Codec.put_array b put_bpf_insn prog)
+    sn.sn_seccomp;
+  Codec.put_bool b sn.sn_tsc;
+  Codec.put_list b
+    (fun b batch -> Codec.put_list b E.put_buf_record batch)
+    sn.sn_batches;
+  Codec.put_bytes b sn.sn_locals;
+  put_resume b sn.sn_next_resume;
+  Codec.put_bool b sn.sn_in_blocked;
+  Codec.put_int b sn.sn_tick_born;
+  Codec.put_int b sn.sn_last_wake;
+  Codec.put_list b put_sig_info sn.sn_pending
+
+let get_snap_task s =
+  let sn_tid = Codec.get_int s in
+  let sn_pid = Codec.get_int s in
+  let sn_regs = Codec.get_array s Codec.get_int in
+  let sn_pc = Codec.get_int s in
+  let sn_rcb = Codec.get_int s in
+  let sn_insns = Codec.get_int s in
+  let sn_branches = Codec.get_int s in
+  let sn_sigmask = Codec.get_int s in
+  let sn_frames = Codec.get_list s Codec.get_int in
+  let sn_dead = Codec.get_bool s in
+  let sn_status = Codec.get_int s in
+  let sn_seccomp =
+    Codec.get_list s (fun s -> Codec.get_array s get_bpf_insn)
+  in
+  let sn_tsc = Codec.get_bool s in
+  let sn_batches =
+    Codec.get_list s (fun s -> Codec.get_list s E.get_buf_record)
+  in
+  let sn_locals = Codec.get_bytes s in
+  let sn_next_resume = get_resume s in
+  let sn_in_blocked = Codec.get_bool s in
+  let sn_tick_born = Codec.get_int s in
+  let sn_last_wake = Codec.get_int s in
+  let sn_pending = Codec.get_list s get_sig_info in
+  { sn_tid; sn_pid; sn_regs; sn_pc; sn_rcb; sn_insns; sn_branches;
+    sn_sigmask; sn_frames; sn_dead; sn_status; sn_seccomp; sn_tsc;
+    sn_batches; sn_locals; sn_next_resume; sn_in_blocked; sn_tick_born;
+    sn_last_wake; sn_pending }
+
+let encode_snapshot snap =
+  let b = Codec.sink () in
+  Codec.put_uvarint b snapshot_codec_version;
+  Codec.put_uvarint b snap.snap_idx;
+  Codec.put_uvarint b snap.snap_events_applied;
+  Codec.put_int b snap.snap_root;
+  Codec.put_int b snap.snap_clock;
+  let eb = Bytes.create 8 in
+  Bytes.set_int64_le eb 0 snap.snap_entropy;
+  Codec.put_bytes b eb;
+  Codec.put_int b snap.snap_ktsc;
+  Codec.put_uvarint b snap.snap_trace_events;
+  Codec.put_uvarint b snap.snap_trace_chunks;
+  Codec.put_string b snap.snap_trace_exe;
+  Codec.put_list b
+    (fun b (path, img) ->
+      Codec.put_string b path;
+      Image_codec.put_image b img)
+    snap.snap_installed;
+  (* Two phases: assign page ids while encoding the procs into a side
+     buffer, then emit the page table first so decoding is one pass. *)
+  let ids = Page_ids.create () in
+  let procs_b = Codec.sink () in
+  Codec.put_list procs_b (put_snap_proc ids) snap.snap_procs;
+  let pages = Page_ids.pages ids in
+  Codec.put_uvarint b (Array.length pages);
+  Array.iter
+    (fun (p : Mem.page) ->
+      Codec.put_string b (Bytes.to_string p.Mem.bytes);
+      Codec.put_int b p.Mem.prot;
+      Codec.put_bool b p.Mem.shared)
+    pages;
+  Buffer.add_buffer b procs_b;
+  Codec.put_list b put_snap_task snap.snap_tasks;
+  Buffer.contents b
+
+let decode_snapshot blob =
+  let s = Codec.source blob in
+  let v = Codec.get_uvarint s in
+  if v <> snapshot_codec_version then
+    raise (Codec.Corrupt (Printf.sprintf "snapshot codec version %d" v));
+  let snap_idx = Codec.get_uvarint s in
+  let snap_events_applied = Codec.get_uvarint s in
+  let snap_root = Codec.get_int s in
+  let snap_clock = Codec.get_int s in
+  let eb = Codec.get_bytes s in
+  if Bytes.length eb <> 8 then
+    raise (Codec.Corrupt "snapshot: bad entropy state");
+  let snap_entropy = Bytes.get_int64_le eb 0 in
+  let snap_ktsc = Codec.get_int s in
+  let snap_trace_events = Codec.get_uvarint s in
+  let snap_trace_chunks = Codec.get_uvarint s in
+  let snap_trace_exe = Codec.get_string s in
+  let snap_installed =
+    Codec.get_list s (fun s ->
+        let path = Codec.get_string s in
+        let img = Image_codec.get_image s in
+        (path, img))
+  in
+  let n_pages = Codec.get_uvarint s in
+  if n_pages < 0 || n_pages > Sys.max_array_length then
+    raise (Codec.Corrupt "snapshot: bad page count");
+  let pages =
+    Array.init n_pages (fun _ ->
+        let bytes = Bytes.of_string (Codec.get_string s) in
+        let prot = Codec.get_int s in
+        let shared = Codec.get_bool s in
+        if Bytes.length bytes <> Mem.page_size then
+          raise (Codec.Corrupt "snapshot: page frame of the wrong size");
+        (* refs starts at 0: every space attachment increfs, so the
+           decoded sharing graph carries the same counts a live fork
+           chain would. *)
+        { Mem.bytes; refs = 0; prot; shared })
+  in
+  let snap_procs = Codec.get_list s (get_snap_proc pages) in
+  let snap_tasks = Codec.get_list s get_snap_task in
+  if not (Codec.eof s) then
+    raise (Codec.Corrupt "snapshot: trailing bytes");
+  { snap_idx; snap_events_applied; snap_root; snap_procs; snap_tasks;
+    snap_installed; snap_clock; snap_entropy; snap_ktsc;
+    snap_trace_events; snap_trace_chunks;
+    snap_trace_exe }
+
+let snapshot_index snap = snap.snap_idx

@@ -106,6 +106,18 @@ val restore : ?opts:opts -> Trace.t -> snapshot -> (t, restore_error) result
 val restore_exn : ?opts:opts -> Trace.t -> snapshot -> t
 (** {!restore}, raising {!Restore_error} on a mismatch. *)
 
+val encode_snapshot : snapshot -> string
+(** Flatten a snapshot to bytes (the trace's durable-checkpoint blob
+    format).  COW page sharing is preserved: each distinct page frame is
+    emitted once and referenced by id. *)
+
+val decode_snapshot : string -> snapshot
+(** Inverse of {!encode_snapshot}; the decoded snapshot restores like a
+    live one.  Raises {!Codec.Corrupt} on malformed input. *)
+
+val snapshot_index : snapshot -> int
+(** The frame position the snapshot restores to. *)
+
 (** {2 Internals exposed for tests} *)
 
 val task : t -> int -> Task.t

@@ -1,0 +1,18 @@
+(** One-shot construction of a {!Trace_index.t}: a single forward replay
+    with the {!Addr_space} write observer installed, collecting the
+    per-pc, per-page and virtual-clock tables plus durable checkpoint
+    blobs ({!Replayer.encode_snapshot}) every [checkpoint_every] frames
+    and at both ends of the trace.
+
+    Telemetry: counts [index.build], times [index.build_time]. *)
+
+val build :
+  ?opts:Replayer.opts -> ?checkpoint_every:int -> Trace.t -> Trace_index.t
+(** Replay [trace] start to end and return its index.  [checkpoint_every]
+    (clamped to ≥ 1) defaults to roughly n/16, capping durable
+    checkpoints at a handful per trace.  Raises {!Replayer.Divergence}
+    if the trace does not replay. *)
+
+val build_and_attach :
+  ?opts:Replayer.opts -> ?checkpoint_every:int -> Trace.t -> Trace_index.t
+(** {!build}, then {!Trace.set_index} — persist with {!Trace.save}. *)

@@ -130,6 +130,26 @@ let tid_of = function
     tid
   | E_clone { parent; _ } -> parent
 
+(* The pc a frame's recorded registers land on: the breakpoint-match key
+   for the debugger and the per-pc trace index.  Frames that carry no
+   register image (buffer flushes, patches, bookkeeping) have no pc. *)
+let frame_pc e =
+  let pc (regs : regs) = Some regs.(pc_slot) in
+  match e with
+  | E_syscall { regs_after; _ } -> pc regs_after
+  | E_exec { regs_after; _ } -> pc regs_after
+  | E_mmap { regs_after; _ } -> pc regs_after
+  | E_clone { parent_regs_after; _ } -> pc parent_regs_after
+  | E_sched { point; _ } -> pc point.point_regs
+  | E_signal { point; disposition; _ } -> (
+    match disposition with
+    | Sr_handler { regs_after; _ } -> pc regs_after
+    | Sr_ignored regs -> pc regs
+    | Sr_fatal _ -> pc point.point_regs)
+  | E_insn_trap _ | E_patch _ | E_buf_flush _ | E_syscall_enter _
+  | E_checksum _ | E_exit _ | E_rr_setup _ ->
+    None
+
 (* ----- encoding ---------------------------------------------------- *)
 
 let put_regs b (r : regs) = Codec.put_array b Codec.put_int r

@@ -115,8 +115,19 @@ type t =
 
 val tid_of : t -> int
 
+val frame_pc : t -> int option
+(** The program counter a frame's recorded registers land on — the
+    breakpoint-match key for the debugger and the per-pc trace index.
+    [None] for frames with no register image (flushes, patches,
+    bookkeeping). *)
+
 val encode : Codec.sink -> t -> unit
 val decode : Codec.source -> t
+
+val put_buf_record : Codec.sink -> buf_record -> unit
+val get_buf_record : Codec.source -> buf_record
+(** Syscallbuf record codec, exposed for checkpoint serialization
+    (pending flush batches are part of a snapshot). *)
 
 val num_kinds : int
 

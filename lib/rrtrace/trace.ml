@@ -143,6 +143,7 @@ type t = {
      insert decoded chunks concurrently with the main thread. *)
   mutable cache : (int * Event.t array) list;
   mutable chunk_decodes : int;
+  mutable sidecar : Trace_index.t option; (* derived index, if built *)
   mutable opts : opts;
   lock : Mutex.t;
   cv : Condition.t; (* signaled when a prefetch lands or fails *)
@@ -164,6 +165,7 @@ let make_t ?(trusted = false) ?(origin = "<memory>") ~index ~chunks
     origin;
     cache = [];
     chunk_decodes = 0;
+    sidecar = None;
     opts;
     lock = Mutex.create ();
     cv = Condition.create ();
@@ -226,6 +228,8 @@ let tag_file = 'D'
 let tag_chunk = 'C'
 let tag_journal = 'J'
 let tag_trailer = 'T'
+let tag_index = 'P' (* sidecar index tables (Trace_index meta) *)
+let tag_index_cp = 'K' (* one durable checkpoint blob *)
 
 let crc_mask = 0xffffffff
 
@@ -613,6 +617,16 @@ let initial_exe t = t.initial_exe
 
 let integrity t = if t.trusted then `Trusted else `Crc_checked
 
+let index t = t.sidecar
+
+let set_index t ix =
+  if Trace_index.n_events ix <> t.stats.n_events then
+    Fmt.invalid_arg "Trace.set_index: index covers %d frames, trace has %d"
+      (Trace_index.n_events ix) t.stats.n_events;
+  t.sidecar <- Some ix
+
+let drop_index t = t.sidecar <- None
+
 (* Reconfigure the pipeline of an already-built trace (e.g. enable
    readahead on a loaded trace before replaying it).  A live readahead
    pool with the wrong worker count is retired first. *)
@@ -987,6 +1001,21 @@ let save_io t io =
           (chunk_payload ~first_frame:ci.first_frame ~n_frames:ci.n_frames
              ~kinds:ci.kinds t.chunks.(i)))
       index;
+    (* Sidecar index records ride after the chunks, before the trailer:
+       each is independently CRC'd, so a corrupt index drops on salvage
+       while every chunk before it survives. *)
+    (match t.sidecar with
+    | None -> ()
+    | Some ix ->
+      let b = Codec.sink () in
+      Trace_index.put_meta b ix;
+      write_record io ~tag:tag_index (Buffer.contents b);
+      Array.iter
+        (fun (frame, blob) ->
+          let b = Codec.sink () in
+          Trace_index.put_checkpoint b ~frame ~blob;
+          write_record io ~tag:tag_index_cp (Buffer.contents b))
+        (Trace_index.checkpoints ix));
     let trailer_off = Io.written io in
     write_record io ~tag:tag_trailer (trailer_payload t.stats index);
     Io.write io (footer_bytes ~trailer_off);
@@ -1110,6 +1139,8 @@ type scan_state = {
   sc_files : (string, string) Hashtbl.t;
   mutable sc_journals : stats list; (* newest first *)
   mutable sc_trailer : (stats * chunk_info list) option;
+  mutable sc_index : Trace_index.t option;
+  mutable sc_rev_cps : (int * string) list; (* checkpoint records, reversed *)
 }
 
 let new_scan_state () =
@@ -1120,7 +1151,9 @@ let new_scan_state () =
     sc_images = Hashtbl.create 8;
     sc_files = Hashtbl.create 8;
     sc_journals = [];
-    sc_trailer = None }
+    sc_trailer = None;
+    sc_index = None;
+    sc_rev_cps = [] }
 
 (* Apply one CRC-valid record.  Raises [Codec.Corrupt] on a malformed
    payload and {!Format_error} on version skew; the strict loader turns
@@ -1191,7 +1224,32 @@ let apply_record st ~path tag payload =
     check_consumed ();
     st.sc_trailer <- Some (stats, index)
   end
+  else if tag = tag_index then begin
+    let ix = Trace_index.get_meta s in
+    check_consumed ();
+    st.sc_index <- Some ix
+  end
+  else if tag = tag_index_cp then begin
+    let frame, blob = Trace_index.get_checkpoint s in
+    check_consumed ();
+    st.sc_rev_cps <- (frame, blob) :: st.sc_rev_cps
+  end
   else raise (Codec.Corrupt (Fmt.str "unknown record tag %C" tag))
+
+(* Attach a scanned sidecar to a built trace, if it covers exactly the
+   frames the trace carries.  A mismatched index (a salvage kept fewer
+   chunks than the index describes) is silently dropped: the index is
+   derived data and scans still answer. *)
+let attach_scanned_index st t =
+  match st.sc_index with
+  | Some ix when Trace_index.n_events ix = t.stats.n_events ->
+    List.iter
+      (fun (frame, blob) ->
+        if frame <= t.stats.n_events then
+          Trace_index.add_checkpoint ix ~frame ~blob)
+      (List.rev st.sc_rev_cps);
+    t.sidecar <- Some ix
+  | Some _ | None -> ()
 
 let corrupt ~path detail = Corrupt { path; detail }
 
@@ -1287,10 +1345,21 @@ let load_v3 ~opts ~path data =
                (corrupt ~path
                   (Fmt.str "stream has %d chunks, stats claim %d"
                      (Array.length scanned) stats.n_chunks)));
-        Ok
-          (make_t ~origin:path ~index:(Array.map fst scanned)
-             ~chunks:(Array.map snd scanned) ~compressed ~images:st.sc_images
-             ~files:st.sc_files ~stats ~initial_exe ~opts ())
+        (match st.sc_index with
+        | Some ix when Trace_index.n_events ix <> stats.n_events ->
+          raise
+            (Stop
+               (corrupt ~path
+                  (Fmt.str "index covers %d frames, trace has %d"
+                     (Trace_index.n_events ix) stats.n_events)))
+        | Some _ | None -> ());
+        let t =
+          make_t ~origin:path ~index:(Array.map fst scanned)
+            ~chunks:(Array.map snd scanned) ~compressed ~images:st.sc_images
+            ~files:st.sc_files ~stats ~initial_exe ~opts ()
+        in
+        attach_scanned_index st t;
+        Ok t
       with Stop e -> Error e
     end
   end
@@ -1529,6 +1598,7 @@ let salvage_v3 ~opts ~path data =
         ~chunks:(Array.map snd kept) ~compressed ~images:st.sc_images
         ~files:st.sc_files ~stats ~initial_exe ~opts ()
     in
+    attach_scanned_index st t;
     let chunks_lost, frames_lost =
       match st.sc_trailer with
       | Some (ts, _) ->

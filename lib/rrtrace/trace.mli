@@ -231,6 +231,17 @@ val image : t -> string -> Image.t
 
 val file : t -> string -> string
 
+val index : t -> Trace_index.t option
+(** The trace's sidecar index, if one was built (or loaded from 'P'/'K'
+    records).  Derived data: queries must work without it. *)
+
+val set_index : t -> Trace_index.t -> unit
+(** Attach a sidecar index; persisted by {!save}.  Raises
+    [Invalid_argument] if the index does not cover exactly the trace's
+    frames. *)
+
+val drop_index : t -> unit
+
 val map_frames : (int -> Event.t -> Event.t) -> t -> t
 (** Rewrite every frame through [f], preserving chunk boundaries and
     rebuilding the index (per-chunk CRCs included).  A trace-surgery

@@ -25,6 +25,11 @@ let counter_prog _k b =
     @. emit_phase 4
     @. G.sys_exit_group 0)
 
+let dbg ?(every = 2) ?(use_index = true) trace =
+  Debugger.create
+    ~opts:(Debugger.make_opts ~checkpoint_every:every ~use_index ())
+    trace
+
 let record_counter () =
   let setup k =
     Vfs.mkdir_p (K.vfs k) "/bin";
@@ -44,7 +49,7 @@ let is_syscall nr = function
 
 let test_seek_and_inspect () =
   let trace = record_counter () in
-  let d = Debugger.create ~checkpoint_every:2 trace in
+  let d = dbg trace in
   (* Run to the second getpid; counter must be 2. *)
   let first = Debugger.continue_to d (is_syscall Sysno.getpid) in
   Alcotest.(check bool) "found first getpid" true (first <> None);
@@ -56,7 +61,7 @@ let test_seek_and_inspect () =
 
 let test_reverse_continue () =
   let trace = record_counter () in
-  let d = Debugger.create ~checkpoint_every:2 trace in
+  let d = dbg trace in
   (* Forward to the end, then reverse to the second getpid. *)
   Debugger.seek d (Debugger.n_events d);
   ignore (Debugger.reverse_continue_to d (is_syscall Sysno.gettimeofday));
@@ -74,7 +79,7 @@ let test_reverse_continue () =
 
 let test_reverse_step () =
   let trace = record_counter () in
-  let d = Debugger.create ~checkpoint_every:2 trace in
+  let d = dbg trace in
   Debugger.seek d (Debugger.n_events d);
   let last = Debugger.pos d in
   Debugger.reverse_step d;
@@ -84,13 +89,14 @@ let test_reverse_step () =
 
 let test_last_change_watchpoint () =
   let trace = record_counter () in
-  let d = Debugger.create ~checkpoint_every:2 trace in
+  let d = dbg trace in
   Debugger.seek d (Debugger.n_events d);
   (* Find when the counter last changed: during the frame before exit
      (phase 4's store happens while running toward the exit syscall). *)
-  match Debugger.last_change d ~tid:100 ~addr:counter_cell ~len:8 with
-  | None -> Alcotest.fail "no change found"
-  | Some idx ->
+  match Debugger.Query.last_write d ~tid:100 ~addr:counter_cell ~len:8 with
+  | Error e -> Alcotest.failf "last_write: %s" (Debugger.Query.error_to_string e)
+  | Ok None -> Alcotest.fail "no change found"
+  | Ok (Some idx) ->
     (* Seek just before that frame: the counter must not be 4 yet. *)
     Debugger.seek d idx;
     let v = Debugger.read_word d 100 counter_cell in
@@ -103,7 +109,7 @@ let test_last_change_watchpoint () =
 
 let test_checkpoint_restore_consistency () =
   let trace = record_counter () in
-  let d = Debugger.create ~checkpoint_every:2 trace in
+  let d = dbg trace in
   (* Walk forward collecting counter values, then re-walk after a
      reverse seek and require identical observations. *)
   let observe () =
@@ -127,7 +133,7 @@ let test_checkpoints_cheap () =
      marginal unique memory of 50 checkpoints is tiny compared to 50
      copies (paper §6.1). *)
   let trace = record_counter () in
-  let d = Debugger.create ~checkpoint_every:1 trace in
+  let d = dbg ~every:1 trace in
   Debugger.seek d (Debugger.n_events d);
   Alcotest.(check bool)
     (Printf.sprintf "many checkpoints taken (%d)" (Debugger.checkpoints_taken d))
@@ -148,7 +154,7 @@ let qcheck_random_seeks =
           ()
       in
       let recd, _ = Workload.record w in
-      let d = Debugger.create ~checkpoint_every:8 recd.Workload.trace in
+      let d = dbg ~every:8 recd.Workload.trace in
       let n = Debugger.n_events d in
       (* reference observations by linear forward replay *)
       let reference = Array.make (n + 1) 0 in
@@ -175,7 +181,7 @@ let test_debugger_on_workload () =
     Wl_cp.make ~params:{ Wl_cp.files = 3; file_kb = 32 } ()
   in
   let recd, _ = Workload.record w in
-  let d = Debugger.create ~checkpoint_every:4 recd.Workload.trace in
+  let d = dbg ~every:4 recd.Workload.trace in
   Debugger.seek d (Debugger.n_events d);
   let end_pos = Debugger.pos d in
   (* reverse to the first buf_flush, then forward to the end again *)
@@ -191,7 +197,7 @@ let test_debugger_on_workload () =
    duplicate-free, and dense out-of-order seeks keep it that way. *)
 let test_checkpoint_array_sorted () =
   let trace = record_counter () in
-  let d = Debugger.create ~checkpoint_every:2 trace in
+  let d = dbg trace in
   let n = Debugger.n_events d in
   let rng = Random.State.make [| 99 |] in
   for _ = 1 to 60 do
@@ -215,7 +221,7 @@ let test_checkpoint_array_sorted () =
    no-ops / None, never exceptions or hangs. *)
 let test_reverse_at_frame_zero () =
   let trace = record_counter () in
-  let d = Debugger.create ~checkpoint_every:2 trace in
+  let d = dbg trace in
   Alcotest.(check int) "starts at frame 0" 0 (Debugger.pos d);
   Debugger.reverse_step d;
   Alcotest.(check int) "reverse_step at 0 is a no-op" 0 (Debugger.pos d);
@@ -231,18 +237,26 @@ let test_reverse_at_frame_zero () =
   Alcotest.(check int) "position unchanged on no match" 1 (Debugger.pos d)
 
 (* checkpoint_every <= 0 is clamped to 1 (make_opts convention), not a
-   Division_by_zero at the first seek. *)
+   Division_by_zero at the first seek — both through make_opts and
+   through a hand-built literal handed straight to create. *)
 let test_checkpoint_every_clamped () =
   let trace = record_counter () in
   List.iter
     (fun every ->
-      let d = Debugger.create ~checkpoint_every:every trace in
+      let d = dbg ~every trace in
       Alcotest.(check int)
         (Printf.sprintf "checkpoint_every %d clamps to 1" every)
         1 (Debugger.checkpoint_every d);
       Debugger.seek d (Debugger.n_events d);
       Alcotest.(check bool) "replay completed" true (Debugger.at_end d))
-    [ 0; -3 ]
+    [ 0; -3 ];
+  (* A record update bypassing make_opts is re-clamped by create. *)
+  let d =
+    Debugger.create
+      ~opts:{ Debugger.default_opts with checkpoint_every = -7 } trace
+  in
+  Alcotest.(check int) "literal opts re-clamped by create" 1
+    (Debugger.checkpoint_every d)
 
 let suites =
   [ ( "rr.debugger",

@@ -177,7 +177,9 @@ let record_tiny () =
   trace
 
 let session ?(checkpoint_every = 8) trace =
-  let d = Debugger.create ~checkpoint_every trace in
+  let d =
+    Debugger.create ~opts:(Debugger.make_opts ~checkpoint_every ()) trace
+  in
   let srv_tr, cli_tr = T.pair () in
   let server = Gdb_server.create d srv_tr in
   let client = Gdb_client.create ~pump:(fun () -> Gdb_server.pump server) cli_tr in
@@ -236,7 +238,9 @@ let record_samba () =
    the same trace. *)
 let test_samba_session () =
   let trace = record_samba () in
-  let refd = Debugger.create ~checkpoint_every:8 trace in
+  let refd =
+    Debugger.create ~opts:(Debugger.make_opts ~checkpoint_every:8 ()) trace
+  in
   let n = Debugger.n_events refd in
   let check = Alcotest.(check string) in
   let _server, client, req = session trace in
@@ -334,7 +338,8 @@ let test_samba_session () =
     match
       List.find_opt
         (fun tid ->
-          Debugger.last_change refd ~tid ~addr:waddr ~len:wlen <> None)
+          Debugger.Query.last_write refd ~tid ~addr:waddr ~len:wlen
+          <> Ok None)
         (Debugger.live_tids refd)
     with
     | Some tid -> tid
@@ -343,9 +348,9 @@ let test_samba_session () =
   check "Hg" "OK" (req (Printf.sprintf "Hg%x" wtid));
   check "Z2 insert" "OK" (req (Printf.sprintf "Z2,%x,%x" waddr wlen));
   let j =
-    match Debugger.last_change refd ~tid:wtid ~addr:waddr ~len:wlen with
-    | Some j -> j
-    | None -> assert false
+    match Debugger.Query.last_write refd ~tid:wtid ~addr:waddr ~len:wlen with
+    | Ok (Some j) -> j
+    | Ok None | Error _ -> assert false
   in
   check "bc to the watch"
     (Printf.sprintf "T05watch:%x;thread:%x;" waddr

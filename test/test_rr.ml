@@ -578,7 +578,9 @@ let test_debugger_checksummed_seeks () =
     { Recorder.default_opts with checksum_every = 2; intercept = false }
   in
   let trace, _, _, _, _ = roundtrip ~rec_opts nondet_inputs_prog in
-  let d = Debugger.create ~checkpoint_every:2 trace in
+  let d =
+    Debugger.create ~opts:(Debugger.make_opts ~checkpoint_every:2 ()) trace
+  in
   let n = Debugger.n_events d in
   (* bounce around; every forward segment re-verifies the checksums *)
   List.iter
