@@ -80,7 +80,84 @@ let rep_time (r : Workload.replayed) = r.Workload.rep_stats.Replayer.wall_time
    run-time ratio — noted so the table semantics match the paper. *)
 let overhead row t = ratio row.base.Workload.wall_time t
 
-let table1 () =
+(* ---- the per-stage overhead ledger (ROADMAP item 4) ------------------
+   Record each workload once with the timeline armed and decompose the
+   record-vs-bare slowdown into stage self-times (kern.run guest
+   execution, record.syscall, record.stop bookkeeping, trace.deflate,
+   ...).  The stages must sum to >= 90% of the recorded window — an
+   attribution that loses a tenth of the time is not an attribution —
+   and the result is committed as BENCH_table1.json so every later perf
+   PR diffs against a measured baseline.  [--smoke] shrinks the
+   workload list so `dune runtest` keeps the ledger honest cheaply. *)
+
+let ledger_workloads ~smoke =
+  if smoke then
+    [ Wl_cp.make ~params:{ Wl_cp.files = 4; file_kb = 64 } ();
+      Wl_samba.make () ]
+  else workloads ()
+
+let min_coverage_pct = 90.
+
+let table1_ledger ~smoke () =
+  Fmt.pr "@.== Table 1 ledger: record slowdown, per-stage attribution ==@.";
+  let entries =
+    List.map
+      (fun w ->
+        let name = w.Workload.name in
+        Telemetry.reset ();
+        let base = Workload.baseline w in
+        (* Arm the timeline for the record pass only: the ledger
+           decomposes recording overhead, nothing else. *)
+        Timeline.start ~capacity:(1 lsl 20) ();
+        let recd, _ = Workload.record w in
+        Timeline.stop ();
+        let a = Timeline.attribution () in
+        let dropped = Timeline.dropped () in
+        if dropped > 0 then
+          Fmt.pr "  (%s: %d timeline events dropped to the buffer cap)@." name
+            dropped;
+        let base_ns = base.Workload.wall_time in
+        let rec_ns = rec_time recd in
+        let covered_pct =
+          if a.Timeline.at_total_ns = 0 then 0.
+          else
+            100.
+            *. float_of_int a.Timeline.at_covered_ns
+            /. float_of_int a.Timeline.at_total_ns
+        in
+        Fmt.pr "%-10s %.2fx slowdown; %.1f%% attributed:@." name
+          (ratio base_ns rec_ns) covered_pct;
+        List.iteri
+          (fun i s ->
+            if i < 4 && s.Timeline.st_self_ns > 0 then
+              Fmt.pr "  %-32s %5.1f%%@." s.Timeline.st_name
+                (100.
+                *. float_of_int s.Timeline.st_self_ns
+                /. float_of_int a.Timeline.at_total_ns))
+          a.Timeline.at_stages;
+        if covered_pct < min_coverage_pct then begin
+          Fmt.epr
+            "FATAL: %s attribution covers %.1f%% of the recorded window, \
+             need >= %.0f%% — an instrumentation gap opened somewhere@."
+            name covered_pct min_coverage_pct;
+          exit 1
+        end;
+        Printf.sprintf
+          "\"%s\":{\"baseline_ns\":%d,\"record_ns\":%d,\"slowdown\":%.4f,\"dropped_events\":%d,\"attribution\":%s}"
+          name base_ns rec_ns (ratio base_ns rec_ns) dropped
+          (Timeline.attribution_to_json a))
+      (ledger_workloads ~smoke)
+  in
+  let oc = open_out "BENCH_table1.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\"smoke\":%b,\"min_coverage_pct\":%.0f,\"workloads\":{%s}}\n"
+        smoke min_coverage_pct
+        (String.concat "," entries));
+  Fmt.pr "(wrote BENCH_table1.json: slowdown + attribution per workload)@."
+
+let table1_full () =
   Fmt.pr "@.== Table 1: run-time overhead (paper Table 1) ==@.";
   Fmt.pr
     "%-10s | %9s | %7s %7s | %6s | %9s %9s | %8s | %10s@."
@@ -105,6 +182,12 @@ let table1 () =
     "(octane rows are score-based as in the paper; baseline is virtual \
      milliseconds)@.";
   emit_telemetry_json ()
+
+(* `table1 --smoke` keeps only the ledger (the full table forces every
+   configuration of every workload — too heavy for runtest). *)
+let table1 ~smoke () =
+  if not smoke then table1_full ();
+  table1_ledger ~smoke ()
 
 let bar width v vmax =
   let n = int_of_float (v /. vmax *. float_of_int width) in
@@ -591,7 +674,7 @@ let () =
   let smoke = List.mem "--smoke" args in
   let args = List.filter (fun a -> a <> "--smoke") args in
   let artifacts =
-    [ ("table1", table1);
+    [ ("table1", table1 ~smoke);
       ("table2", table2);
       ("table3", table3);
       ("fig4", fig4);
@@ -606,7 +689,7 @@ let () =
   match args with
   | [] ->
     Fmt.pr "rr-repro benchmark harness — regenerating all paper artifacts@.";
-    table1 ();
+    table1 ~smoke ();
     fig4 ();
     fig5 ();
     fig6 ();

@@ -1,166 +1,44 @@
 (* json_check FILE SPEC...
 
-   Smoke-test validator for `rr_cli stats --json` output: parses the
-   file with a minimal dependency-free JSON parser and checks each SPEC.
+   Smoke-test validator for the JSON this repo emits (`rr_cli stats
+   --json`, Chrome trace exports, bench ledgers): parses the file with
+   the shared minimal parser ({!Json_min}) and checks each SPEC.
 
      section:name    the object at top-level key [section] has [name]
      +section:name   ... and its value is a number > 0, or an object
                      whose "count" member is > 0
-     +events         the top-level "events" array is non-empty
+     %section:name   ... and its value is an object carrying numeric
+                     "p50"/"p90"/"p99" quantiles with
+                     0 <= p50 <= p90 <= p99
+     name            a top-level key exists
+     +name           ... and its value is a non-empty array
 
    Exits non-zero with a message on the first failure, so a broken
    telemetry pipeline fails `dune runtest` loudly. *)
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | List of json list
-  | Obj of (string * json) list
-
-exception Parse_error of string
-
-let parse (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some x when x = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word v =
-    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      v
-    end
-    else fail ("expected " ^ word)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-        advance ();
-        match peek () with
-        | Some '"' -> Buffer.add_char b '"'; advance (); go ()
-        | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
-        | Some '/' -> Buffer.add_char b '/'; advance (); go ()
-        | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
-        | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
-        | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
-        | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
-        | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
-        | Some 'u' ->
-          advance ();
-          if !pos + 4 > n then fail "bad \\u escape";
-          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
-          pos := !pos + 4;
-          (* Non-ASCII code points are replaced; fine for validation. *)
-          Buffer.add_char b (if code < 128 then Char.chr code else '?');
-          go ()
-        | _ -> fail "bad escape")
-      | Some c ->
-        Buffer.add_char b c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let numchar = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c when numchar c -> true | _ -> false) do
-      advance ()
-    done;
-    if !pos = start then fail "expected number";
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> Num f
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '"' -> Str (parse_string ())
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin advance (); Obj [] end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let key = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((key, v) :: acc)
-          | Some '}' ->
-            advance ();
-            Obj (List.rev ((key, v) :: acc))
-          | _ -> fail "expected ',' or '}'"
-        in
-        members []
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin advance (); List [] end
-      else begin
-        let rec elements acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elements (v :: acc)
-          | Some ']' ->
-            advance ();
-            List (List.rev (v :: acc))
-          | _ -> fail "expected ',' or ']'"
-        in
-        elements []
-      end
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> parse_number ()
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing bytes";
-  v
+open Json_min
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("json_check: " ^ msg); exit 1) fmt
 
-let check_spec root spec =
-  let positive, spec =
-    if String.length spec > 0 && spec.[0] = '+' then
-      (true, String.sub spec 1 (String.length spec - 1))
-    else (false, spec)
+let check_quantiles ~section ~name members =
+  let num key =
+    match List.assoc_opt key members with
+    | Some (Num f) -> f
+    | Some _ -> die "%s:%s %S is not a number" section name key
+    | None -> die "%s:%s has no %S quantile" section name key
   in
+  let p50 = num "p50" and p90 = num "p90" and p99 = num "p99" in
+  if not (0. <= p50 && p50 <= p90 && p90 <= p99) then
+    die "%s:%s quantiles not ordered: p50=%g p90=%g p99=%g" section name p50
+      p90 p99
+
+let check_spec root spec =
+  let mode, spec =
+    if String.length spec > 0 && (spec.[0] = '+' || spec.[0] = '%') then
+      (spec.[0], String.sub spec 1 (String.length spec - 1))
+    else (' ', spec)
+  in
+  let positive = mode = '+' in
   let top =
     match root with Obj m -> m | _ -> die "top level is not a JSON object"
   in
@@ -181,6 +59,9 @@ let check_spec root spec =
     | Some (Obj members) -> (
       match List.assoc_opt name members with
       | None -> die "missing %S in section %S" name section
+      | Some (Obj m) when mode = '%' -> check_quantiles ~section ~name m
+      | Some _ when mode = '%' ->
+        die "%s:%s is not an object (no quantiles)" section name
       | Some v when not positive -> ignore v
       | Some (Num f) -> if f <= 0. then die "%s:%s = %g, want > 0" section name f
       | Some (Obj m) -> (

@@ -715,10 +715,22 @@ let stats_cmd =
       & info [ "json" ]
           ~doc:"Emit the telemetry snapshot as a single JSON object.")
   in
-  let run name no_intercept no_cloning chaos seed jobs readahead json =
+  let attribution_arg =
+    Arg.(
+      value & flag
+      & info [ "attribution" ]
+          ~doc:
+            "Trace the session on the timeline and print the per-stage \
+             overhead ledger (self-time percentages from the scope tree, \
+             not flat spans).  With --json, emits the ledger as JSON \
+             instead of the telemetry snapshot.")
+  in
+  let run name no_intercept no_cloning chaos seed jobs readahead json
+      attribution =
     let w = workload_of_name name in
     (* One clean record+replay session; the snapshot covers both phases. *)
     Telemetry.reset ();
+    if attribution then Timeline.start ();
     let recd, _ =
       Workload.record
         ~opts:(opts_of ~jobs ~no_intercept ~no_cloning ~chaos ~seed ())
@@ -726,12 +738,19 @@ let stats_cmd =
     in
     Trace.set_opts recd.Workload.trace (Trace.make_opts ~jobs ~readahead ());
     let _rep, _ = Workload.replay recd in
+    if attribution then Timeline.stop ();
     let snap = Telemetry.snapshot () in
-    if json then print_string (Telemetry.snapshot_to_json snap)
-    else begin
+    match (json, attribution) with
+    | true, false -> print_string (Telemetry.snapshot_to_json snap)
+    | true, true ->
+      print_string (Timeline.attribution_to_json (Timeline.attribution ()))
+    | false, _ ->
       Fmt.pr "telemetry for record+replay of %s:@." w.Workload.name;
-      Fmt.pr "%a@." Telemetry.pp snap
-    end
+      Fmt.pr "%a@." Telemetry.pp snap;
+      if attribution then begin
+        Fmt.pr "per-stage attribution (record+replay):@.";
+        Fmt.pr "%a@." Timeline.pp_attribution ()
+      end
   in
   Cmd.v
     (Cmd.info "stats"
@@ -740,7 +759,196 @@ let stats_cmd =
           snapshot (counters, spans, histograms, event ring).")
     Term.(
       const run $ workload_arg $ intercept_arg $ cloning_arg $ chaos_arg
-      $ seed_arg $ jobs_arg $ readahead_arg $ json_arg)
+      $ seed_arg $ jobs_arg $ readahead_arg $ json_arg $ attribution_arg)
+
+(* ---- profile: timeline tracing with Chrome trace-event export -------- *)
+
+(* Host clock for profiling runs: wall ns since the clock was installed.
+   Virtual timestamps stay primary (the cost model is the paper's
+   yardstick); host ns ride along in the exported args. *)
+let install_host_clock () =
+  let t0 = Unix.gettimeofday () in
+  Timeline.set_host_clock (fun () ->
+      int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+
+let profile_phase_of = function
+  | "record" -> `Record
+  | "replay" -> `Replay
+  | "index" -> `Index
+  | p -> Fmt.failwith "unknown profile phase %s (record, replay or index)" p
+
+(* Run one phase with the timeline armed.  For replay/index profiles the
+   recording that produces the trace runs before [Timeline.start], so
+   the buffer holds only the profiled phase. *)
+let profile_run ~phase ~w ~opts =
+  install_host_clock ();
+  Fun.protect
+    ~finally:(fun () ->
+      Timeline.stop ();
+      Timeline.clear_host_clock ())
+  @@ fun () ->
+  match phase with
+  | `Record ->
+    Timeline.start ();
+    ignore (Workload.record ~opts w)
+  | `Replay ->
+    let recd, _ = Workload.record ~opts w in
+    Timeline.start ();
+    ignore (Workload.replay recd)
+  | `Index ->
+    let recd, _ = Workload.record ~opts w in
+    Timeline.start ();
+    ignore (Trace_indexer.build_and_attach recd.Workload.trace)
+
+(* Self-contained profile check: record sambatest under the timeline and
+   verify the Chrome export in-process — the JSON parses, every B has a
+   matching E per lane, scopes nest, and the acceptance floor holds
+   (>= 4 layers including kern/rrtrace/rr/exec, >= 2 lanes). *)
+let profile_smoke () =
+  let w = workload_of_name "sambatest" in
+  profile_run ~phase:`Record ~w ~opts:(Recorder.make_opts ());
+  let doc = Timeline.to_chrome_json () in
+  let fail fmt = Fmt.kstr (fun m -> Fmt.epr "profile --smoke: %s@." m; exit 1) fmt in
+  let root =
+    match Json_min.parse doc with
+    | v -> v
+    | exception Json_min.Parse_error msg -> fail "invalid chrome JSON: %s" msg
+  in
+  let evs =
+    match root with
+    | Json_min.Obj m -> (
+      match List.assoc_opt "traceEvents" m with
+      | Some (Json_min.List (_ :: _ as l)) -> l
+      | Some _ -> fail "traceEvents is empty or not an array"
+      | None -> fail "no traceEvents key")
+    | _ -> fail "top level is not an object"
+  in
+  let str m k =
+    match List.assoc_opt k m with Some (Json_min.Str s) -> s | _ -> ""
+  in
+  let num m k =
+    match List.assoc_opt k m with
+    | Some (Json_min.Num f) -> int_of_float f
+    | _ -> min_int
+  in
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let lanes : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let cats : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let max_depth = ref 0 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Json_min.Obj m -> (
+        let ph = str m "ph" and name = str m "name" and tid = num m "tid" in
+        if ph <> "M" then Hashtbl.replace lanes tid ();
+        match ph with
+        | "B" ->
+          Hashtbl.replace cats (str m "cat") ();
+          let st = Option.value ~default:[] (Hashtbl.find_opt stacks tid) in
+          let st = name :: st in
+          max_depth := max !max_depth (List.length st);
+          Hashtbl.replace stacks tid st
+        | "E" -> (
+          match Hashtbl.find_opt stacks tid with
+          | Some (top :: rest) ->
+            if top <> name then
+              fail "lane %d: E %S closes B %S" tid name top;
+            Hashtbl.replace stacks tid rest
+          | Some [] | None -> fail "lane %d: E %S without a B" tid name)
+        | _ -> ())
+      | _ -> fail "traceEvents element is not an object")
+    evs;
+  Hashtbl.iter
+    (fun tid st ->
+      if st <> [] then fail "lane %d: %d unclosed scopes" tid (List.length st))
+    stacks;
+  List.iter
+    (fun layer ->
+      if not (Hashtbl.mem cats layer) then fail "no scopes from layer %S" layer)
+    [ "kern"; "rrtrace"; "rr"; "exec" ];
+  if Hashtbl.length lanes < 2 then
+    fail "only %d lane(s), want >= 2" (Hashtbl.length lanes);
+  if !max_depth < 2 then fail "no nested scopes (max depth %d)" !max_depth;
+  let a = Timeline.attribution () in
+  Fmt.pr
+    "profile --smoke: chrome export ok (%d events, %d lanes, %d layers, \
+     depth %d, %.1f%% attributed)@."
+    (List.length evs) (Hashtbl.length lanes) (Hashtbl.length cats) !max_depth
+    (if a.Timeline.at_total_ns = 0 then 0.
+     else
+       100.
+       *. float_of_int a.Timeline.at_covered_ns
+       /. float_of_int a.Timeline.at_total_ns)
+
+let profile_cmd =
+  let phase_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PHASE"
+          ~doc:"Pipeline phase to profile: record, replay or index.")
+  in
+  let wl_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workload to run (cp, make, octane, htmltest, sambatest).")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Run the built-in profiling check instead: record sambatest \
+             under the timeline and verify the Chrome export is valid, \
+             balanced, nested, and spans >= 4 layers on >= 2 lanes.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the Chrome trace-event JSON to FILE (load it in \
+             chrome://tracing or https://ui.perfetto.dev).")
+  in
+  let run phase wl no_intercept no_cloning chaos seed jobs smoke out =
+    with_trace_errors @@ fun () ->
+    if smoke then profile_smoke ()
+    else begin
+      match (phase, wl) with
+      | Some phase_s, Some wl_s ->
+        let phase = profile_phase_of phase_s in
+        let w = workload_of_name wl_s in
+        profile_run ~phase ~w
+          ~opts:(opts_of ~jobs ~no_intercept ~no_cloning ~chaos ~seed ());
+        (match out with
+        | Some path ->
+          Timeline.export path;
+          Fmt.pr "chrome trace written to %s (%d events%s)@." path
+            (List.length (Timeline.events ()))
+            (let d = Timeline.dropped () in
+             if d > 0 then Printf.sprintf ", %d dropped" d else "")
+        | None -> ());
+        Fmt.pr "flamegraph of %s %s:@." phase_s wl_s;
+        Fmt.pr "%a@." Timeline.pp_flamegraph ();
+        Fmt.pr "per-stage attribution:@.";
+        Fmt.pr "%a@." Timeline.pp_attribution ()
+      | _ ->
+        Fmt.epr "rr_cli: profile needs PHASE and WORKLOAD (or --smoke)@.";
+        exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one pipeline phase (record, replay or index) with timeline \
+          tracing armed; export a Chrome trace-event file (-o) and print \
+          the text flamegraph plus the per-stage overhead ledger.")
+    Term.(
+      const run $ phase_arg $ wl_arg $ intercept_arg $ cloning_arg $ chaos_arg
+      $ seed_arg $ jobs_arg $ smoke_arg $ out_arg)
 
 let list_cmd =
   let run () =
@@ -761,8 +969,9 @@ let main =
          "Record and replay simulated Linux processes (reproduction of \
           'Engineering Record and Replay for Deployability', USENIX ATC \
           2017).")
-    [ record_cmd; replay_cmd; dump_cmd; debug_cmd; stats_cmd; list_cmd;
-      replay_file_cmd; dump_file_cmd; repair_cmd; index_cmd; seek_cmd ]
+    [ record_cmd; replay_cmd; dump_cmd; debug_cmd; stats_cmd; profile_cmd;
+      list_cmd; replay_file_cmd; dump_file_cmd; repair_cmd; index_cmd;
+      seek_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

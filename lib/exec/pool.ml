@@ -58,7 +58,8 @@ let await fut =
   in
   wait ()
 
-let run_task f = try Done (f ()) with e -> Failed e
+let run_task f =
+  try Done (Timeline.scope "pool.run" f) with e -> Failed e
 
 (* A worker loops: pop a task (or sleep), run it outside the pool lock.
    Shutdown is observed only with an empty queue, so pending tasks
@@ -73,6 +74,7 @@ let worker p () =
     else begin
       let task = Queue.pop p.queue in
       Telemetry.set_gauge tm_queue_depth (Queue.length p.queue);
+      Timeline.sample "pool.queue_depth" (Queue.length p.queue);
       Condition.signal p.not_full;
       Mutex.unlock p.m;
       task ();
@@ -104,7 +106,16 @@ let create ?queue_limit ~jobs () =
       workers = [] }
   in
   if n_jobs > 1 then
-    p.workers <- List.init n_jobs (fun _ -> Domain.spawn (worker p));
+    p.workers <-
+      List.init n_jobs (fun i ->
+          Domain.spawn (fun () ->
+              (* Name the worker's timeline lane before any task runs;
+                 the default domain lane id keeps it disjoint from
+                 guest tids. *)
+              Timeline.set_lane
+                ~name:(Printf.sprintf "pool.worker-%d" i)
+                (Timeline.current_lane ());
+              worker p ()));
   p
 
 let jobs p = p.n_jobs
@@ -128,6 +139,7 @@ let submit p f =
     done;
     Queue.push task p.queue;
     Telemetry.set_gauge tm_queue_depth (Queue.length p.queue);
+    Timeline.sample "pool.queue_depth" (Queue.length p.queue);
     Condition.signal p.not_empty;
     Mutex.unlock p.m;
     fut

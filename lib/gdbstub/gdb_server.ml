@@ -147,6 +147,7 @@ let resume_forward t ~single =
 let resume_reverse t ~single =
   let d = t.dbg in
   Telemetry.incr tm_reverse;
+  Timeline.instant "gdb.reverse";
   let pos = Debugger.pos d in
   if pos = 0 then Log_begin
   else if single then begin

@@ -157,6 +157,7 @@ let enter_stop k task stop =
   task.T.last_stop <- Some stop;
   k.trace_stop_count <- k.trace_stop_count + 1;
   Telemetry.incr tm_ptrace_stop;
+  Timeline.instant ~lane:task.T.tid "kern.ptrace_stop";
   charge k (Cost.ptrace_stop k.cost);
   k.stop_queue <- k.stop_queue @ [ task.T.tid ]
 
@@ -1525,7 +1526,12 @@ let wait k =
       if live = [] then result := Some All_dead
       else
         match List.find_opt (fun t -> t.T.state = T.Runnable) live with
-        | Some t -> run_slice k t ~fuel:default_slice
+        | Some t ->
+          (* Guest execution shows up on the running task's lane. *)
+          Timeline.set_lane t.T.tid;
+          Timeline.scope "kern.run" (fun () ->
+              run_slice k t ~fuel:default_slice);
+          Timeline.set_lane 0
         | None ->
           let blocked_sleepers =
             List.filter_map
@@ -1706,6 +1712,7 @@ let run_baseline k ~cores ?(sample_every = 0) ?(on_sample = fun _ -> ()) () =
         if last_on_core.(c) <> t.T.tid then begin
           charge k k.cost.Cost.sched_switch;
           Telemetry.incr tm_sched_switch;
+          Timeline.instant ~lane:t.T.tid "kern.sched_switch";
           last_on_core.(c) <- t.T.tid
         end;
         run_slice k t ~fuel:k.cost.Cost.timeslice_insns;

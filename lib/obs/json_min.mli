@@ -1,0 +1,21 @@
+(** Minimal dependency-free JSON: the parser behind [bin/json_check]
+    and the timeline/telemetry test suites, plus the string escaper
+    shared by the tree's hand-rolled JSON emitters. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse a complete JSON document.  @raise Parse_error with an offset
+    on malformed input or trailing bytes. *)
+
+val escape : string -> string
+(** Escape a string for inclusion inside JSON double quotes: quotes,
+    backslashes, and control characters (as [\uXXXX]). *)

@@ -122,14 +122,30 @@ let span_count sp = with_reg (fun () -> sp.sp_n)
 
 (* ---- the virtual clock ---------------------------------------------- *)
 
+(* The cost-model clock doubles as the Timeline's virtual clock: every
+   installer (recorder, replayer, bench) goes through here, so the two
+   subsystems always agree on what "now" means. *)
 let no_clock () = 0
 let clock = ref no_clock
-let set_clock f = clock := f
-let clear_clock () = clock := no_clock
 
+let set_clock f =
+  clock := f;
+  Timeline.set_virtual_clock f
+
+let clear_clock () =
+  clock := no_clock;
+  Timeline.clear_virtual_clock ()
+
+(* Timed spans double as timeline scopes, so the existing [timed]
+   instrumentation shows up nested on the timeline for free. *)
 let timed sp f =
   let t0 = !clock () in
-  Fun.protect ~finally:(fun () -> span_add sp (!clock () - t0)) f
+  Timeline.begin_scope sp.sp_name;
+  Fun.protect
+    ~finally:(fun () ->
+      Timeline.end_scope sp.sp_name;
+      span_add sp (!clock () - t0))
+    f
 
 (* ---- the event ring and sinks --------------------------------------- *)
 
@@ -160,21 +176,7 @@ let close_jsonl () =
     jsonl_oc := None
   | None -> ()
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun ch ->
-      match ch with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Json_min.escape
 
 let event_to_json e =
   Printf.sprintf "{\"seq\":%d,\"tid\":%d,\"frame\":%d,\"kind\":\"%s\",\"detail\":\"%s\"}"
@@ -190,6 +192,10 @@ let set_sink s =
       current_sink := s)
 
 let note ?(tid = -1) ?(frame = -1) ~kind detail =
+  (* Mirror the event onto the timeline (on the task's lane when known)
+     so instants line up with the scopes that produced them. *)
+  if Timeline.enabled () then
+    Timeline.instant ?lane:(if tid >= 0 then Some tid else None) kind;
   with_reg (fun () ->
       let e = { seq = !next_seq; tid; frame; kind; detail } in
       ring.(!next_seq mod ring_capacity) <- e;
@@ -201,7 +207,10 @@ let note ?(tid = -1) ?(frame = -1) ~kind detail =
         match !jsonl_oc with
         | Some oc ->
           output_string oc (event_to_json e);
-          output_char oc '\n'
+          output_char oc '\n';
+          (* Flight-recorder semantics: a killed recording must leave
+             every event it noted on disk, so flush per line. *)
+          flush oc
         | None -> ()))
 
 let recent_unlocked () =
@@ -264,6 +273,34 @@ let hist_stat h =
       buckets := ((1 lsl i) - 1, h.h_counts.(i)) :: !buckets
   done;
   { h_count = h.h_n; h_sum = h.h_sum; h_buckets = !buckets }
+
+(* Estimate a quantile from the log2 buckets: walk cumulative counts to
+   the target rank, then interpolate linearly across the bucket's value
+   range [2^(i-1), 2^i - 1].  Works on diffed snapshots too, since it
+   only needs the (bound, count) list. *)
+let hist_quantile h q =
+  if h.h_count <= 0 then 0.
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    let target = q *. float_of_int (h.h_count - 1) in
+    let rec walk cum = function
+      | [] -> 0.
+      | (ub, c) :: rest ->
+        if float_of_int (cum + c) > target || rest = [] then begin
+          let lo = if ub <= 0 then 0. else float_of_int ((ub + 1) / 2) in
+          let hi = float_of_int (max ub 0) in
+          let frac =
+            if c <= 0 then 0.
+            else
+              Float.min 1.
+                (Float.max 0. ((target -. float_of_int cum) /. float_of_int c))
+          in
+          lo +. (frac *. (hi -. lo))
+        end
+        else walk (cum + c) rest
+    in
+    walk 0 h.h_buckets
+  end
 
 let snapshot () =
   with_reg (fun () ->
@@ -353,7 +390,9 @@ let pp ppf s =
     Fmt.pf ppf "histograms (log2 buckets, <=bound:count):@,";
     List.iter
       (fun (n, h) ->
-        Fmt.pf ppf "  %-34s n=%d sum=%d %a@," n h.h_count h.h_sum
+        Fmt.pf ppf "  %-34s n=%d sum=%d p50=%.0f p90=%.0f p99=%.0f %a@," n
+          h.h_count h.h_sum (hist_quantile h 0.5) (hist_quantile h 0.9)
+          (hist_quantile h 0.99)
           Fmt.(list ~sep:(any " ") (fun ppf (ub, c) -> pf ppf "<=%d:%d" ub c))
           h.h_buckets)
       hists
@@ -386,8 +425,10 @@ let snapshot_to_json s =
   obj_of
     (fun h ->
       Buffer.add_string b
-        (Printf.sprintf "{\"count\":%d,\"sum\":%d,\"buckets\":[" h.h_count
-           h.h_sum);
+        (Printf.sprintf
+           "{\"count\":%d,\"sum\":%d,\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f,\"buckets\":["
+           h.h_count h.h_sum (hist_quantile h 0.5) (hist_quantile h 0.9)
+           (hist_quantile h 0.99));
       List.iteri
         (fun i (ub, c) ->
           if i > 0 then Buffer.add_char b ',';

@@ -21,7 +21,14 @@
       [gdb.cmd] span timing every command dispatch;
     - all durations are *virtual* nanoseconds from the cost model, read
       through the installed {!set_clock} (no wall-clock dependency, so
-      telemetry never perturbs determinism).
+      telemetry never perturbs determinism);
+    - {!Timeline} scopes reuse the span namespace: every {!timed} span
+      doubles as a timeline scope of the same dotted [<layer>.<verb>]
+      name, {!set_clock} also installs the timeline's virtual clock, and
+      {!note} mirrors each event as a timeline instant on the task's
+      lane.  Scope names introduced directly via [Timeline.scope] must
+      follow the same dotted convention ([tools/check_format.sh] lints
+      this); [<layer>.session] is reserved for whole-phase roots.
 
     The registry is process-global and survives {!reset}: handles stay
     valid, only values are zeroed.  All operations on the hot path are
@@ -112,7 +119,9 @@ val recent : unit -> event list
 type sink =
   | Null (** drop (the default; zero cost beyond the ring) *)
   | Memory (** accumulate all events for {!memory_events} *)
-  | Jsonl of string (** append one JSON object per line to the file *)
+  | Jsonl of string
+      (** append one JSON object per line to the file, flushing after
+          every event so a killed process's log survives on disk *)
 
 val set_sink : sink -> unit
 (** Installing a sink closes the previous JSONL channel (if any) and
@@ -144,6 +153,13 @@ type snapshot = {
 
 val snapshot : unit -> snapshot
 
+val hist_quantile : hist_stat -> float -> float
+(** [hist_quantile h q] estimates the [q]-quantile (0 ≤ q ≤ 1) from the
+    log2 buckets: walk the cumulative counts to the target rank, then
+    interpolate linearly inside the bucket's value range.  Exact to
+    within a factor of 2 (the bucket width); monotone in [q]; [0.] on an
+    empty histogram.  Works on {!since}-diffed stats too. *)
+
 val since : snapshot -> snapshot
 (** [since base] is the current snapshot minus [base]: counters, span
     counts/totals and histogram buckets subtract; gauges and span maxima
@@ -165,7 +181,9 @@ val pp : snapshot Fmt.t
 
 val snapshot_to_json : snapshot -> string
 (** A single JSON object: [{"counters":{..},"gauges":{..},
-    "histograms":{..},"spans":{..},"events":[..]}].  Hand-rolled,
-    dependency-free, with full string escaping. *)
+    "histograms":{..},"spans":{..},"events":[..]}].  Each histogram
+    carries derived [p50]/[p90]/[p99] estimates (from {!hist_quantile})
+    alongside its raw buckets.  Hand-rolled, dependency-free, with full
+    string escaping. *)
 
 val event_to_json : event -> string

@@ -910,6 +910,11 @@ let maybe_checksum r task stop =
          { tid = task.T.tid; value = Checksum.space task.T.cpu.Cpu.space })
 
 let handle_stop r task stop =
+  (* Supervisor-side stop handling reports on the stopped task's lane,
+     so its cost lines up with the guest slice that triggered it. *)
+  Timeline.set_lane task.T.tid;
+  Fun.protect ~finally:(fun () -> Timeline.set_lane 0) @@ fun () ->
+  Timeline.scope "record.stop" @@ fun () ->
   flush_buf r task;
   match stop with
   | T.Stop_exec -> on_exec r task
@@ -936,16 +941,20 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ?journal
   (* Spans measure virtual ns against this recording's cost model. *)
   Telemetry.set_clock (fun () -> K.now k);
   let tm_base = Telemetry.snapshot () in
-  Vfs.mkdir_p (K.vfs k) "/trace/images";
-  Vfs.mkdir_p (K.vfs k) "/trace/files";
-  Vfs.mkdir_p (K.vfs k) "/trace/cloned";
-  setup k;
+  (* The whole-recording root scope: everything from setup through the
+     final trace commit nests under it on the supervisor lane. *)
+  Timeline.begin_scope "record.session";
   let w =
-    try
-      Trace.Writer.create ~compress:opts.compress
-        ~opts:(Trace.make_opts ~jobs:opts.jobs ())
-        ?journal ~initial_exe:exe ()
-    with e -> raise (reraise_typed e)
+    Timeline.scope "record.setup" (fun () ->
+        Vfs.mkdir_p (K.vfs k) "/trace/images";
+        Vfs.mkdir_p (K.vfs k) "/trace/files";
+        Vfs.mkdir_p (K.vfs k) "/trace/cloned";
+        setup k;
+        try
+          Trace.Writer.create ~compress:opts.compress
+            ~opts:(Trace.make_opts ~jobs:opts.jobs ())
+            ?journal ~initial_exe:exe ()
+        with e -> raise (reraise_typed e))
   in
   let r =
     { k;
@@ -983,7 +992,11 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ?journal
               extra_writes =
                 (fun _k task ~nr ~args ~result ->
                   fd_bitmap_writes r task ~nr ~args ~result) }));
-  let root = K.spawn k ~path:exe ~traced:true () in
+  (* Spawning the root task charges the exec cost model (image load plus
+     the initial exec stop) — time it so the attribution ledger sees it. *)
+  let root =
+    Timeline.scope "record.spawn" (fun () -> K.spawn k ~path:exe ~traced:true ())
+  in
   (get_rt r root).pending_exec <- Some exe;
   let finished = ref false in
   (try
@@ -1012,11 +1025,17 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ?journal
     (* The emergency debugger (§6.2): dump tracee state next to the
        failure so it can be diagnosed in the field. *)
     Log.err (fun m -> m "%s" (Diagnostics.dump ~msg:(Printexc.to_string exn) k));
+    Timeline.end_scope "record.session";
     Telemetry.clear_clock ();
     raise (reraise_typed exn));
-  Telemetry.clear_clock ();
+  (* The clock stays installed through [finish] so the final commit
+     (deflate drain, manifest write) is timed like everything else. *)
   let trace =
-    try Trace.Writer.finish w with e -> raise (reraise_typed e)
+    Fun.protect
+      ~finally:(fun () ->
+        Timeline.end_scope "record.session";
+        Telemetry.clear_clock ())
+      (fun () -> try Trace.Writer.finish w with e -> raise (reraise_typed e))
   in
   let root_status =
     match Hashtbl.find_opt k.K.procs root.T.tid with

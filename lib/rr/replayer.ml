@@ -548,6 +548,9 @@ let apply_frame r e =
      divergence shows the last ring_capacity frames that led up to it. *)
   Telemetry.note ~tid:(E.tid_of e) ~frame:(cursor_index r)
     ~kind:(E.kind_name e) "";
+  (* Frame application reports on the frame's task lane. *)
+  Timeline.set_lane (E.tid_of e);
+  Fun.protect ~finally:(fun () -> Timeline.set_lane 0) @@ fun () ->
   Telemetry.timed tm_span_frame @@ fun () ->
   (match e with
   | E.E_exec { tid; image_ref; regs_after } -> on_exec r ~tid ~image_ref ~regs_after
@@ -655,6 +658,7 @@ let stats_of r =
 
 let replay ?(opts = default_opts) ?(on_frame = fun (_ : K.t) -> ()) trace =
   let r = start ~opts trace in
+  Timeline.begin_scope "replay.session";
   (try
      while not (at_end r) do
        ignore (step r);
@@ -665,9 +669,11 @@ let replay ?(opts = default_opts) ?(on_frame = fun (_ : K.t) -> ()) trace =
         divergence report. *)
      Log.err (fun m ->
          m "replay diverged at frame %d:@,%a" (cursor_index r) Diagnostics.pp r.k);
+     Timeline.end_scope "replay.session";
      Telemetry.clear_clock ();
      raise exn);
   let stats = stats_of r in
+  Timeline.end_scope "replay.session";
   Telemetry.clear_clock ();
   (stats, r.k)
 
@@ -747,6 +753,7 @@ type snapshot = {
 (* Every live task must be parked at an event boundary. *)
 let snapshot r =
   Telemetry.incr tm_ckpt_save;
+  Timeline.scope "replay.ckpt_save" @@ fun () ->
   let procs =
     List.filter_map
       (fun (p : T.process) ->
@@ -850,6 +857,7 @@ let check_restore trace snap =
 let restore_unchecked ?(opts = default_opts) trace snap =
   Telemetry.incr tm_ckpt_restore;
   Telemetry.note ~frame:snap.snap_idx ~kind:"replay.checkpoint_restore" "";
+  Timeline.scope "replay.ckpt_restore" @@ fun () ->
   let k = K.create ~seed:opts.seed () in
   (* Reposition by stored frame index: a fresh cursor seeks through the
      chunk index, no frames re-applied. *)

@@ -207,6 +207,7 @@ let tm_replay_hit = Telemetry.counter "syscallbuf.replay_hit"
 
 let traced_fallback k task =
   Telemetry.incr tm_fallback;
+  Timeline.instant ~lane:task.T.tid "syscallbuf.fallback";
   let regs = task.T.cpu.Cpu.regs in
   let ss =
     { T.nr = regs.(0);
@@ -286,6 +287,7 @@ let hook mode k task =
           | Some ev -> Perf_event.disable ev
           | None -> ());
           Telemetry.incr tm_hit;
+          Timeline.instant ~lane:task.T.tid "syscallbuf.hit";
           regs.(0) <- r;
           write_tl task Layout.tl_locked 0
         | `Blocked -> () (* file reads don't block; unreachable *)
@@ -332,6 +334,7 @@ let hook mode k task =
           | Some ev -> Perf_event.disable ev
           | None -> ());
           Telemetry.incr tm_hit;
+          Timeline.instant ~lane:task.T.tid "syscallbuf.hit";
           regs.(0) <- r;
           write_tl task Layout.tl_locked 0
         | `Blocked ->

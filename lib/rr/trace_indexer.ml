@@ -20,6 +20,7 @@ let default_every n = max 1 ((n + 15) / 16)
 
 let build ?(opts = Replayer.default_opts) ?checkpoint_every trace =
   Telemetry.incr tm_build;
+  Timeline.scope "index.session" @@ fun () ->
   Telemetry.timed tm_build_span (fun () ->
       let n = Trace.n_events trace in
       let every =

@@ -501,7 +501,7 @@ module Writer = struct
         Pool.submit w.pool (fun () ->
             if compress then
               Telemetry.timed tm_deflate (fun () -> Compress.deflate raw)
-            else raw)
+            else Timeline.scope "trace.store" (fun () -> raw))
       in
       w.stats.n_chunks <- w.stats.n_chunks + 1;
       Queue.push
@@ -584,6 +584,7 @@ module Writer = struct
      error), and whatever prefix reached the journal is salvage
      input. *)
   let finish w =
+    Timeline.scope "trace.commit" @@ fun () ->
     Fun.protect
       ~finally:(fun () -> Pool.shutdown w.pool)
       (fun () ->
@@ -973,6 +974,7 @@ let map_frames f t =
 (* ---- saving ---------------------------------------------------------- *)
 
 let save_io t io =
+  Timeline.scope "trace.save" @@ fun () ->
   try
     Io.write io magic_v3;
     write_record io ~tag:tag_header

@@ -111,6 +111,67 @@ let test_jsonl_sink () =
   Alcotest.(check bool) "escaped JSON" true
     (String.length l > 0 && l.[0] = '{')
 
+(* Regression: the Jsonl sink flushes after every note, so a tail -f /
+   crashed-recorder post-mortem sees each event as soon as it is
+   emitted — without closing or switching the sink. *)
+let test_jsonl_flushes_per_note () =
+  Tm.reset ();
+  let path = Filename.temp_file "telemetry" ".jsonl" in
+  Tm.set_sink (Tm.Jsonl path);
+  Tm.note ~kind:"t.f1" "first";
+  Tm.note ~kind:"t.f2" "second";
+  let read_lines () =
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> close_in ic);
+    List.rev !lines
+  in
+  (* the channel is still open: both lines must already be on disk *)
+  let lines = read_lines () in
+  Alcotest.(check int) "visible before close" 2 (List.length lines);
+  Tm.note ~kind:"t.f3" "third";
+  Alcotest.(check int) "and after each further note" 3
+    (List.length (read_lines ()));
+  Tm.set_sink Tm.Null;
+  Sys.remove path
+
+let test_hist_quantiles () =
+  Tm.reset ();
+  let h = Tm.histogram "t.q" in
+  (* 100 samples 1..100: log2 buckets, interpolated quantiles *)
+  for i = 1 to 100 do
+    Tm.observe h i
+  done;
+  let snap = Tm.snapshot () in
+  let hs = List.assoc "t.q" snap.Tm.snap_histograms in
+  let p50 = Tm.hist_quantile hs 0.50 in
+  let p90 = Tm.hist_quantile hs 0.90 in
+  let p99 = Tm.hist_quantile hs 0.99 in
+  Alcotest.(check bool) "ordered" true (0. <= p50 && p50 <= p90 && p90 <= p99);
+  (* bucket resolution is a power of two: accept the enclosing bucket *)
+  Alcotest.(check bool) "p50 in its bucket" true (p50 >= 32. && p50 <= 63.);
+  Alcotest.(check bool) "p99 in its bucket" true (p99 >= 64. && p99 <= 127.);
+  Alcotest.(check bool) "p99 below the max bound" true (p99 <= 127.);
+  (* monotone in q and clamped at the edges *)
+  Alcotest.(check bool) "q=0 at or below p50" true (Tm.hist_quantile hs 0. <= p50);
+  Alcotest.(check bool) "q=1 at the top" true (Tm.hist_quantile hs 1. >= p99);
+  (* empty histogram: all quantiles are zero *)
+  let e = Tm.histogram "t.q.empty" in
+  ignore e;
+  let hs0 = List.assoc "t.q.empty" (Tm.snapshot ()).Tm.snap_histograms in
+  Alcotest.(check (float 0.0)) "empty -> 0" 0. (Tm.hist_quantile hs0 0.99);
+  (* a single sample answers that sample's bucket for every q *)
+  let h1 = Tm.histogram "t.q.one" in
+  Tm.observe h1 5;
+  let hs1 = List.assoc "t.q.one" (Tm.snapshot ()).Tm.snap_histograms in
+  Alcotest.(check (float 0.0)) "single sample, q-independent"
+    (Tm.hist_quantile hs1 0.1)
+    (Tm.hist_quantile hs1 0.9)
+
 let test_since_diff () =
   Tm.reset ();
   let c = Tm.counter "t.d" in
@@ -212,6 +273,9 @@ let suites =
         Alcotest.test_case "ring wraps at capacity" `Quick test_ring_wraps;
         Alcotest.test_case "memory sink" `Quick test_memory_sink;
         Alcotest.test_case "jsonl sink" `Quick test_jsonl_sink;
+        Alcotest.test_case "jsonl flushes per note" `Quick
+          test_jsonl_flushes_per_note;
+        Alcotest.test_case "histogram quantiles" `Quick test_hist_quantiles;
         Alcotest.test_case "since diff" `Quick test_since_diff;
         Alcotest.test_case "json shape" `Quick test_json_shape;
         Alcotest.test_case "record+replay populates" `Quick
