@@ -90,72 +90,171 @@ let overhead row t = ratio row.base.Workload.wall_time t
    PR diffs against a measured baseline.  [--smoke] shrinks the
    workload list so `dune runtest` keeps the ledger honest cheaply. *)
 
-let ledger_workloads ~smoke =
-  if smoke then
-    [ Wl_cp.make ~params:{ Wl_cp.files = 4; file_kb = 64 } ();
-      Wl_samba.make () ]
-  else workloads ()
-
 let min_coverage_pct = 90.
+
+(* The stop-elision tentpole's win, stated as a ratio: how many ptrace
+   stops does the recorder take per trace frame it emits?  Buffered and
+   elided syscalls push it well below one. *)
+let tm_stop_elided = Telemetry.counter "record.stop_elided"
+
+type ledger_entry = {
+  le_name : string;
+  le_slowdown : float;
+  le_json : string;
+}
+
+let ledger_measure w =
+  let name = w.Workload.name in
+  Telemetry.reset ();
+  let base = Workload.baseline w in
+  (* Arm the timeline for the record pass only: the ledger decomposes
+     recording overhead, nothing else. *)
+  Timeline.start ~capacity:(1 lsl 20) ();
+  let recd, _ = Workload.record w in
+  Timeline.stop ();
+  let a = Timeline.attribution () in
+  let dropped = Timeline.dropped () in
+  if dropped > 0 then
+    Fmt.pr "  (%s: %d timeline events dropped to the buffer cap)@." name
+      dropped;
+  let base_ns = base.Workload.wall_time in
+  let rec_ns = rec_time recd in
+  let stops = recd.Workload.rec_stats.Recorder.n_ptrace_stops in
+  let frames = recd.Workload.rec_stats.Recorder.trace_stats.Trace.n_events in
+  let elided = Telemetry.counter_value tm_stop_elided in
+  let stops_per_frame =
+    if frames = 0 then 0. else float_of_int stops /. float_of_int frames
+  in
+  let covered_pct =
+    if a.Timeline.at_total_ns = 0 then 0.
+    else
+      100.
+      *. float_of_int a.Timeline.at_covered_ns
+      /. float_of_int a.Timeline.at_total_ns
+  in
+  Fmt.pr "%-10s %.2fx slowdown; %.1f%% attributed:@." name
+    (ratio base_ns rec_ns) covered_pct;
+  List.iteri
+    (fun i s ->
+      if i < 4 && s.Timeline.st_self_ns > 0 then
+        Fmt.pr "  %-32s %5.1f%%@." s.Timeline.st_name
+          (100.
+          *. float_of_int s.Timeline.st_self_ns
+          /. float_of_int a.Timeline.at_total_ns))
+    a.Timeline.at_stages;
+  Fmt.pr "  %d stops / %d frames = %.2f stops-per-frame (%d elided)@." stops
+    frames stops_per_frame elided;
+  if covered_pct < min_coverage_pct then begin
+    Fmt.epr
+      "FATAL: %s attribution covers %.1f%% of the recorded window, \
+       need >= %.0f%% — an instrumentation gap opened somewhere@."
+      name covered_pct min_coverage_pct;
+    exit 1
+  end;
+  { le_name = name;
+    le_slowdown = ratio base_ns rec_ns;
+    le_json =
+      Printf.sprintf
+        "\"%s\":{\"baseline_ns\":%d,\"record_ns\":%d,\"slowdown\":%.4f,\"stops\":%d,\"frames\":%d,\"stops_per_frame\":%.4f,\"stop_elided\":%d,\"dropped_events\":%d,\"attribution\":%s}"
+        name base_ns rec_ns (ratio base_ns rec_ns) stops frames
+        stops_per_frame elided dropped
+        (Timeline.attribution_to_json a) }
+
+(* ---- the CI perf gate -------------------------------------------------
+   [table1 --smoke] (wired into `dune runtest`) re-measures every
+   workload's record slowdown and compares it against the committed
+   BENCH_table1.json: any workload more than 20% slower than the
+   committed number fails the build.  A legitimate perf change refreshes
+   the artifact — `dune exec bench/main.exe -- table1`, then commit the
+   regenerated BENCH_table1.json — which is the documented escape
+   hatch; quietly absorbing a regression is not. *)
+
+let gate_tolerance = 1.20
+
+(* Minimal extraction from the committed artifact: find
+   "<name>":{"baseline_ns":...  then the "slowdown": number inside it.
+   The file is machine-written by this program, so the shapes are
+   stable. *)
+let committed_slowdown ~json name =
+  let find sub from =
+    let n = String.length sub and len = String.length json in
+    let rec go i =
+      if i + n > len then None
+      else if String.sub json i n = sub then Some (i + n)
+      else go (i + 1)
+    in
+    go from
+  in
+  match find (Printf.sprintf "\"%s\":{\"baseline_ns\"" name) 0 with
+  | None -> None
+  | Some entry -> (
+    match find "\"slowdown\":" entry with
+    | None -> None
+    | Some v ->
+      let stop = ref v in
+      let len = String.length json in
+      while
+        !stop < len && (match json.[!stop] with
+                       | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+                       | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub json v (!stop - v)))
+
+let perf_gate entries =
+  match
+    let ic = open_in "BENCH_table1.json" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ ->
+    Fmt.pr
+      "(perf gate skipped: no committed BENCH_table1.json — generate one \
+       with `dune exec bench/main.exe -- table1`)@."
+  | json ->
+    let failed =
+      List.filter_map
+        (fun e ->
+          match committed_slowdown ~json e.le_name with
+          | None ->
+            Fmt.pr "(perf gate: %s not in committed artifact, skipped)@."
+              e.le_name;
+            None
+          | Some committed ->
+            let limit = committed *. gate_tolerance in
+            Fmt.pr "  perf gate %-10s %.2fx vs committed %.2fx (limit %.2fx)%s@."
+              e.le_name e.le_slowdown committed limit
+              (if e.le_slowdown > limit then "  REGRESSION" else "");
+            if e.le_slowdown > limit then Some e.le_name else None)
+        entries
+    in
+    if failed <> [] then begin
+      Fmt.epr
+        "FATAL: record slowdown regressed >%.0f%% on: %s.  If the change \
+         is intentional, refresh the artifact (`dune exec bench/main.exe \
+         -- table1`) and commit BENCH_table1.json.@."
+        ((gate_tolerance -. 1.) *. 100.)
+        (String.concat ", " failed);
+      exit 1
+    end
 
 let table1_ledger ~smoke () =
   Fmt.pr "@.== Table 1 ledger: record slowdown, per-stage attribution ==@.";
-  let entries =
-    List.map
-      (fun w ->
-        let name = w.Workload.name in
-        Telemetry.reset ();
-        let base = Workload.baseline w in
-        (* Arm the timeline for the record pass only: the ledger
-           decomposes recording overhead, nothing else. *)
-        Timeline.start ~capacity:(1 lsl 20) ();
-        let recd, _ = Workload.record w in
-        Timeline.stop ();
-        let a = Timeline.attribution () in
-        let dropped = Timeline.dropped () in
-        if dropped > 0 then
-          Fmt.pr "  (%s: %d timeline events dropped to the buffer cap)@." name
-            dropped;
-        let base_ns = base.Workload.wall_time in
-        let rec_ns = rec_time recd in
-        let covered_pct =
-          if a.Timeline.at_total_ns = 0 then 0.
-          else
-            100.
-            *. float_of_int a.Timeline.at_covered_ns
-            /. float_of_int a.Timeline.at_total_ns
-        in
-        Fmt.pr "%-10s %.2fx slowdown; %.1f%% attributed:@." name
-          (ratio base_ns rec_ns) covered_pct;
-        List.iteri
-          (fun i s ->
-            if i < 4 && s.Timeline.st_self_ns > 0 then
-              Fmt.pr "  %-32s %5.1f%%@." s.Timeline.st_name
-                (100.
-                *. float_of_int s.Timeline.st_self_ns
-                /. float_of_int a.Timeline.at_total_ns))
-          a.Timeline.at_stages;
-        if covered_pct < min_coverage_pct then begin
-          Fmt.epr
-            "FATAL: %s attribution covers %.1f%% of the recorded window, \
-             need >= %.0f%% — an instrumentation gap opened somewhere@."
-            name covered_pct min_coverage_pct;
-          exit 1
-        end;
-        Printf.sprintf
-          "\"%s\":{\"baseline_ns\":%d,\"record_ns\":%d,\"slowdown\":%.4f,\"dropped_events\":%d,\"attribution\":%s}"
-          name base_ns rec_ns (ratio base_ns rec_ns) dropped
-          (Timeline.attribution_to_json a))
-      (ledger_workloads ~smoke)
-  in
-  let oc = open_out "BENCH_table1.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "{\"smoke\":%b,\"min_coverage_pct\":%.0f,\"workloads\":{%s}}\n"
-        smoke min_coverage_pct
-        (String.concat "," entries));
-  Fmt.pr "(wrote BENCH_table1.json: slowdown + attribution per workload)@."
+  let entries = List.map ledger_measure (workloads ()) in
+  if smoke then perf_gate entries
+  else begin
+    let oc = open_out "BENCH_table1.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc
+          "{\"smoke\":%b,\"min_coverage_pct\":%.0f,\"workloads\":{%s}}\n"
+          smoke min_coverage_pct
+          (String.concat "," (List.map (fun e -> e.le_json) entries)));
+    Fmt.pr "(wrote BENCH_table1.json: slowdown + attribution per workload)@."
+  end
 
 let table1_full () =
   Fmt.pr "@.== Table 1: run-time overhead (paper Table 1) ==@.";

@@ -24,6 +24,8 @@ type t = {
   sched_switch : int; (* kernel-level task switch (not ptrace) *)
   record_event : int; (* recorder: serialize one trace frame *)
   record_syscall_work : int; (* recorder bookkeeping per traced syscall *)
+  record_elided_work : int; (* recorder bookkeeping per elided-stop syscall *)
+  record_abort_commit : int; (* commit a desched-aborted buffered syscall *)
   replay_syscall_work : int; (* replayer bookkeeping per emulated syscall *)
   record_bytes_shift : int; (* recorder: per-byte data capture cost *)
   compress_bytes_shift : int; (* deflate cost per byte of input *)
@@ -53,6 +55,16 @@ let default =
     sched_switch = 1_200;
     record_event = 250;
     record_syscall_work = 22_000;
+    (* A syscall recorded at its entry stop (§3.4): no second ptrace
+       round trip, no exit-state inspection — just result capture and
+       frame assembly, a small fraction of the two-stop bookkeeping. *)
+    record_elided_work = 4_000;
+    (* A desched-aborted buffered syscall (§3.3) completing at its traced
+       exit stop: the buffered attempt already reserved and laid out the
+       record, so the stop only snapshots registers, copies the (usually
+       small) output back and commits — well under the two-stop
+       bookkeeping, but more than a pure entry-stop elision. *)
+    record_abort_commit = 9_000;
     replay_syscall_work = 12_000;
     record_bytes_shift = 4;
     compress_bytes_shift = 3;

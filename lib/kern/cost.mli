@@ -20,6 +20,12 @@ type t = {
   sched_switch : int; (* kernel-level task switch (not ptrace) *)
   record_event : int; (* serialize one trace frame *)
   record_syscall_work : int; (* recorder bookkeeping per traced syscall *)
+  record_elided_work : int; (* bookkeeping for a syscall recorded at its
+                               entry stop, no exit stop taken (§3.4) *)
+  record_abort_commit : int; (* finish a desched-aborted buffered syscall
+                                at its traced completion (§3.3): the
+                                buffered attempt already staged the
+                                record; the exit stop only commits it *)
   replay_syscall_work : int; (* replayer bookkeeping per emulated syscall *)
   record_bytes_shift : int;
   compress_bytes_shift : int;

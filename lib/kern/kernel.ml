@@ -351,14 +351,18 @@ and close_fd_entry k e =
   | T.F_reg _ -> ()
 
 (* Linux's syscall-restart mechanism (paper §2.3.10): back the program
-   counter up to the syscall instruction and restore the syscall-number
-   register, so the instruction re-executes — visibly to a ptrace
-   supervisor, which sees a brand-new syscall entry. *)
+   counter up to the instruction that issued the syscall and restore the
+   syscall-number register, so it re-executes — visibly to a ptrace
+   supervisor, which sees a brand-new syscall entry.  The rewind targets
+   [pc - 1], not [ss.site]: a syscall issued by the interception library
+   (through the RR page's untraced or traced-fallback instruction) has a
+   synthetic [ss.site] with no stub continuation after it — the
+   instruction to re-execute is the patched hook the program ran. *)
 let restart_by_rewind task =
   if task.T.restart_wanted then
     match task.T.restart with
     | Some ss ->
-      task.T.cpu.Cpu.pc <- ss.T.site;
+      task.T.cpu.Cpu.pc <- task.T.cpu.Cpu.pc - 1;
       task.T.cpu.Cpu.regs.(0) <- ss.T.nr;
       task.T.restart <- None;
       task.T.restart_wanted <- false
@@ -732,12 +736,15 @@ let sys_rt_sigreturn k task _args =
       cpu.Cpu.pc <- A.read_u64 cpu.Cpu.space (frame + 128);
       task.T.sigmask <- A.read_u64 cpu.Cpu.space (frame + 136);
       cpu.Cpu.regs.(Insn.reg_sp) <- frame + (sigframe_words * 8);
-      (* Kernel restart machinery (paper §2.3.10): rewind to the syscall
-         instruction so it re-executes. *)
+      (* Kernel restart machinery (paper §2.3.10): rewind to the
+         instruction that issued the syscall so it re-executes.  As in
+         [restart_by_rewind], the target is the pc the frame saved minus
+         one — for a hook-issued syscall that is the patched site, not
+         the RR page's synthetic [ss.site]. *)
       (if cpu.Cpu.regs.(0) = -Errno.erestartsys then
          match task.T.restart with
          | Some ss ->
-           cpu.Cpu.pc <- ss.T.site;
+           cpu.Cpu.pc <- cpu.Cpu.pc - 1;
            cpu.Cpu.regs.(0) <- ss.T.nr;
            task.T.restart <- None
          | None -> ());
@@ -1109,7 +1116,14 @@ let sys_time k task args =
 
 (* poll(2): the guest passes an array of { fd(8) events(8) revents(8) }
    triples.  Returns the number of ready entries, writing revents; blocks
-   on every referenced object at once when nothing is ready. *)
+   on every referenced object at once when nothing is ready.
+
+   revents land in guest memory only on a completion with ready > 0: a
+   scan that ends in Block or a zero result leaves the array untouched.
+   The recorder's output model promises exactly this ("writes bounded by
+   result semantics"), so the kernel must not write more than the model
+   records — a poll that returns 0 with dirty revents would replay
+   differently than it recorded. *)
 let sys_poll k task args =
   let pfds = args.(0) and nfds = args.(1) in
   if nfds < 0 || nfds > 64 then Done (-Errno.einval)
@@ -1118,10 +1132,11 @@ let sys_poll k task args =
       let base = pfds + (24 * i) in
       (uread_u64 k task base, uread_u64 k task (base + 8), base + 16)
     in
+    let staged = Array.make (max nfds 1) 0 in
     let ready = ref 0 in
     let queues = ref [] in
     for i = 0 to nfds - 1 do
-      let fd, events, revents_addr = entry i in
+      let fd, events, _ = entry i in
       let revents =
         match T.find_fd task fd with
         | None -> Sysno.pollerr
@@ -1146,7 +1161,7 @@ let sys_poll k task args =
             (events land Sysno.pollin) lor (events land Sysno.pollout)
           | T.F_perf _ -> 0)
       in
-      uwrite_u64 k task revents_addr revents;
+      staged.(i) <- revents;
       if revents <> 0 then incr ready;
       (* collect the wait queues we would park on *)
       (match T.find_fd task fd with
@@ -1158,7 +1173,13 @@ let sys_poll k task args =
         queues := s.Chan.sock_wait :: !queues
       | Some _ | None -> ())
     done;
-    if !ready > 0 then Done !ready
+    if !ready > 0 then begin
+      for i = 0 to nfds - 1 do
+        let _, _, revents_addr = entry i in
+        uwrite_u64 k task revents_addr staged.(i)
+      done;
+      Done !ready
+    end
     else if !queues = [] then Done 0 (* nothing pollable: like timeout 0 *)
     else Block (T.W_poll !queues)
   end
@@ -1442,8 +1463,16 @@ let run_slice k task ~fuel =
 (* Supervisor interface (ptrace).                                      *)
 
 (* Resume a task from a ptrace-stop.  [sig_] is the signal to deliver
-   when resuming from a signal-delivery-stop (None = suppress). *)
-let resume k task how ?sig_ () =
+   when resuming from a signal-delivery-stop (None = suppress).
+
+   [elide], valid when resuming from a syscall entry/seccomp stop with
+   [R_syscall], asks the kernel to skip the matching exit stop if the
+   syscall completes synchronously (paper §3.4: the supervisor already
+   recorded the frame at the entry stop).  If the syscall blocks
+   instead, the exit stop is re-armed — the supervisor's pre-computed
+   frame was provisional and it falls back to the classic two-stop
+   protocol when the completion finally surfaces. *)
+let resume k task how ?sig_ ?(elide = false) () =
   if task.T.state <> T.Stopped then
     Fmt.invalid_arg "resume: task %d not stopped" task.T.tid;
   let stop = task.T.last_stop in
@@ -1474,8 +1503,25 @@ let resume k task how ?sig_ () =
         (* Supervisor chose to suppress at a regular entry stop. *)
         ()
       | T.R_cont | T.R_syscall | T.R_singlestep ->
-        task.T.want_exit_stop <- (how = T.R_syscall);
-        perform_syscall k task ss))
+        if elide && how = T.R_syscall then begin
+          task.T.want_exit_stop <- false;
+          perform_syscall k task ss;
+          match task.T.state with
+          | T.Blocked _ ->
+            (* Did not complete at the entry stop: fall back to the
+               two-stop protocol so the supervisor sees the eventual
+               completion. *)
+            task.T.want_exit_stop <- true
+          | T.Runnable | T.Stopped | T.Dead ->
+            (* Completed (or died) with no exit stop owed.  Drop the
+               R_syscall resume request so the task does not take a
+               spurious entry stop at its next ALLOW-listed syscall. *)
+            task.T.resume <- T.R_cont
+        end
+        else begin
+          task.T.want_exit_stop <- (how = T.R_syscall);
+          perform_syscall k task ss
+        end))
   | Some T.Stop_exec | Some (T.Stop_clone _) | Some (T.Stop_syscall_exit _)
   | Some T.Stop_singlestep | None ->
     task.T.state <- T.Runnable

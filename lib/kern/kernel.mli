@@ -128,9 +128,18 @@ type wait_outcome =
   | All_dead
   | Deadlocked of int list
 
-val resume : t -> T.t -> T.resume_how -> ?sig_:Signals.info -> unit -> unit
+val resume :
+  t -> T.t -> T.resume_how -> ?sig_:Signals.info -> ?elide:bool -> unit ->
+  unit
 (** Resume from a ptrace-stop.  At a signal-delivery-stop, [sig_] is the
-    signal to deliver (absent = suppressed). *)
+    signal to deliver (absent = suppressed).
+
+    [elide] (with [R_syscall] at a seccomp/entry stop) skips the
+    matching syscall-exit stop when the syscall completes without
+    blocking — the paper's §3.4 single-stop protocol, used by a
+    recorder that already wrote the frame at the entry stop.  A
+    syscall that blocks re-arms the exit stop, so the supervisor still
+    observes the completion of anything it could not pre-compute. *)
 
 val wait : t -> wait_outcome
 (** Run the world until some traced task enters a ptrace-stop. *)

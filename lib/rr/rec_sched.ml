@@ -27,6 +27,12 @@ let create ?(timeslice_rcbs = 50_000) ?(chaos = false) ~seed () =
 
 let add_task t tid = if not (List.mem tid t.order) then t.order <- t.order @ [ tid ]
 
+(* Move a tid to the front of the round-robin order: the next pick in
+   its priority class chooses it. *)
+let prefer t tid =
+  if List.mem tid t.order then
+    t.order <- tid :: List.filter (fun x -> x <> tid) t.order
+
 let remove_task t tid =
   t.order <- List.filter (fun x -> x <> tid) t.order;
   Hashtbl.remove t.chaos_prio tid

@@ -18,6 +18,11 @@ val create : ?timeslice_rcbs:int -> ?chaos:bool -> seed:int -> unit -> t
 val add_task : t -> int -> unit
 (** Register a tid at the back of the round-robin order. *)
 
+val prefer : t -> int -> unit
+(** Move a tid to the front of the round-robin order so the next pick in
+    its priority class chooses it (used to run a fresh clone child
+    first). *)
+
 val remove_task : t -> int -> unit
 
 val effective_priority : t -> int -> int -> int

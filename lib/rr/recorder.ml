@@ -42,6 +42,7 @@ let reraise_typed = function
 
 type opts = {
   intercept : bool; (* in-process syscall interception (§3) *)
+  wide : bool; (* the widened wrapper set (§3.1); replay must match *)
   scratch : bool; (* detour blocking outputs through scratch (§2.3.1) *)
   clone_blocks : bool; (* block cloning for big reads (§3.9) *)
   compress : bool;
@@ -55,6 +56,7 @@ type opts = {
 
 let default_opts =
   { intercept = true;
+    wide = true;
     scratch = true;
     clone_blocks = true;
     compress = true;
@@ -65,7 +67,7 @@ let default_opts =
     checksum_every = 0;
     jobs = 1 }
 
-let make_opts ?(intercept = default_opts.intercept)
+let make_opts ?(intercept = default_opts.intercept) ?(wide = default_opts.wide)
     ?(scratch = default_opts.scratch)
     ?(clone_blocks = default_opts.clone_blocks)
     ?(compress = default_opts.compress) ?(chaos = default_opts.chaos)
@@ -73,7 +75,7 @@ let make_opts ?(intercept = default_opts.intercept)
     ?(max_events = default_opts.max_events)
     ?(checksum_every = default_opts.checksum_every)
     ?(jobs = default_opts.jobs) () =
-  { intercept; scratch; clone_blocks; compress; chaos;
+  { intercept; wide; scratch; clone_blocks; compress; chaos;
     timeslice_rcbs = max 1 timeslice_rcbs; seed;
     max_events = max 1 max_events; checksum_every = max 0 checksum_every;
     jobs = max 1 jobs }
@@ -107,6 +109,7 @@ type t = {
   mutable events : int;
   mutable sched_events : int;
   mutable patched_sites : int;
+  mutable checksum_mark : int; (* last r.events / checksum_every digested *)
 }
 
 type stats = {
@@ -128,6 +131,7 @@ let tm_sb_flush = Telemetry.counter "syscallbuf.flush"
 let tm_sb_miss = Telemetry.counter "syscallbuf.miss"
 let tm_sb_desched = Telemetry.counter "syscallbuf.desched"
 let tm_preempt = Telemetry.counter "sched.preempt"
+let tm_stop_elided = Telemetry.counter "record.stop_elided"
 let tm_span_syscall = Telemetry.span "record.syscall"
 let tm_span_flush = Telemetry.span "record.flush"
 
@@ -180,8 +184,10 @@ let emit r e =
   let sz = Trace.Writer.event r.w e in
   K.charge r.k (r.k.K.cost.Cost.record_event + Cost.record_bytes r.k.K.cost sz)
 
+(* [A.read_bytes] returns a fresh buffer, so claiming it as an immutable
+   string is sound and skips a copy on the per-event encode path. *)
 let read_guest task addr len =
-  Bytes.to_string (A.read_bytes ~force:true task.T.cpu.Cpu.space addr len)
+  Bytes.unsafe_to_string (A.read_bytes ~force:true task.T.cpu.Cpu.space addr len)
 
 let read_guest_string task addr =
   let rec go a acc =
@@ -290,6 +296,13 @@ let clone_read r k task ~fd ~len =
    single-core affinity (§2.6).  Safe to call again after execve. *)
 let setup_task r task =
   let st = get_rt r task in
+  (* A forked/cloned task inherits the parent's RR page, seccomp filter
+     and patched text; only per-task state (scratch, buffer, desched
+     event) needs fresh syscalls.  Detect inheritance before injection
+     possibly creates the page. *)
+  let inherited =
+    A.find_region task.T.cpu.Cpu.space Layout.globals_page <> None
+  in
   Syscallbuf.inject_rr_page r.k task;
   if task.T.seccomp = [] then begin
     task.T.seccomp <-
@@ -326,8 +339,18 @@ let setup_task r task =
   task.T.affinity <- 0;
   (* Paper §4.3: "at least 80 system calls are performed before [the
      interception library is loaded]" — young tasks run fully traced
-     while rr injects pages, opens fds and configures events. *)
-  K.charge r.k (80 * (r.k.K.cost.Cost.syscall_base + Cost.ptrace_stop r.k.K.cost) / 3);
+     while rr injects pages, opens fds and configures events.  Only the
+     bootstrap (mapping the RR page, installing the seccomp filter)
+     needs real ptrace round trips; once the filter's ALLOW rule covers
+     the RR page, the remaining setup syscalls are injected through its
+     untraced instruction and never stop (§3.4 elision applied to the
+     supervisor's own calls).  A task that inherited the parent's pages
+     and filter only pays for its own mappings and the desched event. *)
+  let round_trips, injected = if inherited then (2, 6) else (8, 72) in
+  K.charge r.k
+    ((round_trips
+     * (r.k.K.cost.Cost.syscall_base + Cost.ptrace_stop r.k.K.cost))
+    + (injected * r.k.K.cost.Cost.syscall_base));
   st.set_up <- true;
   (* §2.6: RDRAND is nondeterministic and cannot be trapped; patch every
      site in the image to an emulation hook, recording the patches so
@@ -337,6 +360,18 @@ let setup_task r task =
       Syscallbuf.patch_site task ~site;
       emit r (E.E_patch { tid = task.T.tid; site }))
     (Syscallbuf.find_rdrand_sites task);
+  (* §3.2, eagerly: patch every patchable syscall site up front instead
+     of letting its first execution trap into a patch-time entry stop.
+     Each site patched here skips that stop, so it counts toward
+     [record.stop_elided]. *)
+  if r.opts.intercept then
+    List.iter
+      (fun site ->
+        Syscallbuf.patch_site task ~site;
+        r.patched_sites <- r.patched_sites + 1;
+        Telemetry.incr tm_stop_elided;
+        emit r (E.E_patch { tid = task.T.tid; site }))
+      (Syscallbuf.find_syscall_sites task);
   emit r
     (E.E_rr_setup
        { tid = task.T.tid;
@@ -443,8 +478,19 @@ let on_clone r child parent_tid =
          child_sp = child.T.cpu.Cpu.regs.(Insn.reg_sp);
          parent_regs_after = capture_regs parent;
          child_regs = capture_regs child });
-  setup_task r child
-(* parked *)
+  setup_task r child;
+  (* Run the child first after a fork.  Before clone's exit stop was
+     elided this happened by accident — the parent sat unschedulable in
+     its still-queued exit stop for one pick — and recorded schedules
+     (and tests of the fork-then-inspect pattern) rely on it; make it
+     scheduler policy. *)
+  Rec_sched.prefer r.sched child.T.tid;
+  if r.current = Some parent.T.tid then begin
+    if T.is_alive parent && parent.T.state = T.Runnable then
+      K.park r.k parent;
+    r.current <- None
+  end
+(* parked: ensure_running picks the child next *)
 
 (* §2.3.10: pop the interrupted-syscall stack when entry registers match. *)
 let note_entry_restart st (ss : T.saved_syscall) =
@@ -511,104 +557,6 @@ let emulate_tracee_ptrace r task (ss : T.saved_syscall) =
     K.resume r.k task T.R_sysemu ()
   end
 
-let on_syscall_entry r task (ss : T.saved_syscall) =
-  let st = get_rt r task in
-  ignore (note_entry_restart st ss);
-  (* A restarted aborted-buffered syscall still carries the interception
-     library's buffer-redirected arguments; the application's real
-     arguments are untouched in the registers — restore them so outputs
-     land where the program expects (§3.3). *)
-  if st.aborted_buffered then
-    for i = 0 to 5 do
-      ss.T.args.(i) <- task.T.cpu.Cpu.regs.(i + 1)
-    done;
-  st.orig_args <- Array.copy ss.T.args;
-  (* Patch tracee seccomp filters with the allow-prologue (§2.3.5). *)
-  if ss.T.nr = Sysno.seccomp then begin
-    match Hashtbl.find_opt r.k.K.filter_registry ss.T.args.(2) with
-    | Some prog ->
-      let patched =
-        Bpf.patch_with_prologue ~privileged_ip:Layout.untraced_syscall_insn
-          prog
-      in
-      let id = 1_000_000 + ss.T.args.(2) in
-      K.register_filter r.k id patched;
-      ss.T.args.(2) <- id
-    | None -> ()
-  end;
-  if ss.T.nr = Sysno.ptrace then emulate_tracee_ptrace r task ss
-  else begin
-  if ss.T.nr = Sysno.execve then begin
-    let p = read_guest_string task ss.T.args.(0) in
-    st.pending_exec <-
-      Some (if String.length p > 0 && p.[0] = '/' then p
-            else task.T.proc.T.cwd ^ "/" ^ p)
-  end;
-  if
-    r.opts.intercept && st.set_up
-    && (not st.aborted_buffered)
-    && Syscall_model.bufferable ~nr:ss.T.nr
-    && Syscallbuf.can_patch task ~site:ss.T.site
-  then begin
-    (* §3.1: rewrite the syscall site to call the interception library,
-       rewind, and re-execute through the fast path. *)
-    Syscallbuf.patch_site task ~site:ss.T.site;
-    r.patched_sites <- r.patched_sites + 1;
-    emit r (E.E_patch { tid = task.T.tid; site = ss.T.site });
-    task.T.cpu.Cpu.pc <- ss.T.site;
-    switch_locals r task;
-    K.resume r.k task T.R_sysemu ()
-  end
-  else begin
-    (* Traced path: redirect blocking outputs to scratch (§2.3.1).  The
-       paper notes it has "no evidence that the races prevented by
-       scratch buffers occur in practice"; [opts.scratch = false] is the
-       ablation that tests eliminating them. *)
-    (if r.opts.scratch then
-       match
-         Syscall_model.scratch_redirect task ~nr:ss.T.nr ~args:ss.T.args
-       with
-       | Some (arg_idx, _len) ->
-         st.scratch_redirect <- Some (ss.T.args.(arg_idx), arg_idx);
-         ss.T.args.(arg_idx) <- st.scratch
-       | None -> st.scratch_redirect <- None
-     else st.scratch_redirect <- None);
-    K.resume r.k task T.R_syscall ();
-    (* The syscall blocked: emit the entry frame now so replay knows to
-       park this task inside the kernel while other tasks' frames play. *)
-    (match task.T.state with
-    | T.Blocked _ ->
-      emit r
-        (E.E_syscall_enter
-           { tid = task.T.tid;
-             nr = ss.T.nr;
-             site = ss.T.site;
-             writable_site = A.text_was_written task.T.cpu.Cpu.space ss.T.site;
-             via_abort = st.aborted_buffered })
-    | T.Runnable | T.Stopped | T.Dead -> ());
-    (* sigreturn never produces an exit stop (the kernel diverts control
-       flow), but its register restore is an effect replay must apply:
-       capture it right after the synchronous resume. *)
-    if ss.T.nr = Sysno.rt_sigreturn && T.is_alive task then begin
-      emit r
-        (E.E_syscall
-           { tid = task.T.tid;
-             nr = ss.T.nr;
-             site = ss.T.site;
-             writable_site =
-               A.text_was_written task.T.cpu.Cpu.space ss.T.site;
-             via_abort = false;
-             regs_after = capture_regs task;
-             writes = [];
-             kind = E.K_emulate });
-      continue_or_park r task
-    end;
-    (match task.T.state with
-    | T.Blocked _ when r.current = Some task.T.tid -> r.current <- None
-    | T.Blocked _ | T.Runnable | T.Stopped | T.Dead -> ())
-  end
-  end
-
 (* Maintain the interception library's fd-cloneability bitmap (one bit
    per fd < 64; §3.9).  Updates go through the guest and into the frame's
    write list, so replay reproduces the bitmap exactly. *)
@@ -656,9 +604,166 @@ let fd_bitmap_writes r task ~nr ~args ~result =
     end
   end
 
+(* §3.4: the syscall completed at the entry stop without blocking and
+   provably wrote no user memory, so the frame the exit stop would have
+   produced is emitted right here and the exit stop never happens. *)
+let record_elided r task (ss : T.saved_syscall) =
+  let st = get_rt r task in
+  K.charge r.k r.k.K.cost.Cost.record_elided_work;
+  Telemetry.incr tm_stop_elided;
+  (* The fast path was still bypassed — a miss, same as the exit-stop
+     path would have counted. *)
+  Telemetry.incr tm_sb_miss;
+  let args =
+    if Array.length st.orig_args = 6 then st.orig_args else ss.T.args
+  in
+  let result = task.T.cpu.Cpu.regs.(0) in
+  let writes = fd_bitmap_writes r task ~nr:ss.T.nr ~args ~result in
+  let kind =
+    if Syscall_model.replay_performs ~nr:ss.T.nr then E.K_perform
+    else E.K_emulate
+  in
+  emit r
+    (E.E_syscall
+       { tid = task.T.tid;
+         nr = ss.T.nr;
+         site = ss.T.site;
+         writable_site = A.text_was_written task.T.cpu.Cpu.space ss.T.site;
+         via_abort = false;
+         regs_after = capture_regs task;
+         writes;
+         kind });
+  continue_or_park r task
+
+let on_syscall_entry r task (ss : T.saved_syscall) =
+  let st = get_rt r task in
+  ignore (note_entry_restart st ss);
+  (* A restarted aborted-buffered syscall still carries the interception
+     library's buffer-redirected arguments; the application's real
+     arguments are untouched in the registers — restore them so outputs
+     land where the program expects (§3.3). *)
+  if st.aborted_buffered then
+    for i = 0 to 5 do
+      ss.T.args.(i) <- task.T.cpu.Cpu.regs.(i + 1)
+    done;
+  st.orig_args <- Array.copy ss.T.args;
+  (* Patch tracee seccomp filters with the allow-prologue (§2.3.5). *)
+  if ss.T.nr = Sysno.seccomp then begin
+    match Hashtbl.find_opt r.k.K.filter_registry ss.T.args.(2) with
+    | Some prog ->
+      let patched =
+        Bpf.patch_with_prologue ~privileged_ip:Layout.untraced_syscall_insn
+          prog
+      in
+      let id = 1_000_000 + ss.T.args.(2) in
+      K.register_filter r.k id patched;
+      ss.T.args.(2) <- id
+    | None -> ()
+  end;
+  if ss.T.nr = Sysno.ptrace then emulate_tracee_ptrace r task ss
+  else begin
+  if ss.T.nr = Sysno.execve then begin
+    let p = read_guest_string task ss.T.args.(0) in
+    st.pending_exec <-
+      Some (if String.length p > 0 && p.[0] = '/' then p
+            else task.T.proc.T.cwd ^ "/" ^ p)
+  end;
+  if
+    r.opts.intercept && st.set_up
+    && (not st.aborted_buffered)
+    && Syscall_model.bufferable ~wide:r.opts.wide ~nr:ss.T.nr ()
+    && Syscallbuf.can_patch task ~site:ss.T.site
+  then begin
+    (* §3.1: rewrite the syscall site to call the interception library,
+       rewind, and re-execute through the fast path. *)
+    Syscallbuf.patch_site task ~site:ss.T.site;
+    r.patched_sites <- r.patched_sites + 1;
+    emit r (E.E_patch { tid = task.T.tid; site = ss.T.site });
+    task.T.cpu.Cpu.pc <- ss.T.site;
+    switch_locals r task;
+    K.resume r.k task T.R_sysemu ()
+  end
+  else begin
+    (* Traced path: redirect blocking outputs to scratch (§2.3.1).  The
+       paper notes it has "no evidence that the races prevented by
+       scratch buffers occur in practice"; [opts.scratch = false] is the
+       ablation that tests eliminating them. *)
+    (if r.opts.scratch then
+       match
+         Syscall_model.scratch_redirect task ~nr:ss.T.nr ~args:ss.T.args
+       with
+       | Some (arg_idx, _len) ->
+         st.scratch_redirect <- Some (ss.T.args.(arg_idx), arg_idx);
+         ss.T.args.(arg_idx) <- st.scratch
+       | None -> st.scratch_redirect <- None
+     else st.scratch_redirect <- None);
+    (* §3.4 stop elision: when a successful completion provably writes
+       no user memory, the whole frame is computable right here — ask
+       the kernel to skip the exit stop and record on the spot.  A
+       syscall that blocks re-arms the exit stop (the completion is not
+       pre-computable), so the two-stop protocol remains the fallback. *)
+    (* clone's frame is the child's E_clone (emitted at the child's
+       ptrace clone stop, with the parent's post-syscall registers) —
+       the parent's exit stop carries no information at all, so elide
+       it without emitting anything. *)
+    let elide_silent = ss.T.nr = Sysno.clone in
+    let elide =
+      elide_silent
+      || (not st.aborted_buffered)
+         && st.scratch_redirect = None
+         && Syscall_model.elidable ~nr:ss.T.nr ~args:ss.T.args
+    in
+    K.resume r.k task T.R_syscall ~elide ();
+    (* The syscall blocked: emit the entry frame now so replay knows to
+       park this task inside the kernel while other tasks' frames play. *)
+    (match task.T.state with
+    | T.Blocked _ ->
+      emit r
+        (E.E_syscall_enter
+           { tid = task.T.tid;
+             nr = ss.T.nr;
+             site = ss.T.site;
+             writable_site = A.text_was_written task.T.cpu.Cpu.space ss.T.site;
+             via_abort = st.aborted_buffered })
+    | (T.Runnable | T.Stopped) when elide_silent ->
+      Telemetry.incr tm_stop_elided;
+      continue_or_park r task
+    | (T.Runnable | T.Stopped) when elide ->
+      if T.is_alive task then record_elided r task ss
+    | T.Dead when elide ->
+      (* Death during the syscall (fatal tgkill to self): no syscall
+         frame, exactly as the exit-stop path (which never fires for a
+         dead task); record_new_deaths emits the E_exit frame. *)
+      ()
+    | T.Runnable | T.Stopped | T.Dead -> ());
+    (* sigreturn never produces an exit stop (the kernel diverts control
+       flow), but its register restore is an effect replay must apply:
+       capture it right after the synchronous resume. *)
+    if ss.T.nr = Sysno.rt_sigreturn && T.is_alive task then begin
+      emit r
+        (E.E_syscall
+           { tid = task.T.tid;
+             nr = ss.T.nr;
+             site = ss.T.site;
+             writable_site =
+               A.text_was_written task.T.cpu.Cpu.space ss.T.site;
+             via_abort = false;
+             regs_after = capture_regs task;
+             writes = [];
+             kind = E.K_emulate });
+      continue_or_park r task
+    end;
+    (match task.T.state with
+    | T.Blocked _ when r.current = Some task.T.tid -> r.current <- None
+    | T.Blocked _ | T.Runnable | T.Stopped | T.Dead -> ())
+  end
+  end
+
 let on_syscall_exit r task (ss : T.saved_syscall) result =
   let st = get_rt r task in
-  K.charge r.k r.k.K.cost.Cost.record_syscall_work;
+  K.charge r.k
+    (if st.aborted_buffered then r.k.K.cost.Cost.record_abort_commit
+     else r.k.K.cost.Cost.record_syscall_work);
   (* Every syscall that reaches a ptrace exit stop bypassed the
      syscallbuf fast path — by definition a miss. *)
   Telemetry.incr tm_sb_miss;
@@ -899,15 +1004,21 @@ let siblings_quiescent r task =
     (K.all_tasks r.k)
 
 let maybe_checksum r task stop =
+  (* Watermark, not exact modulus: interception and stop elision make
+     ptrace stops sparse relative to frames, so "a stop lands exactly on
+     a multiple of N" may never happen.  Digest at the first
+     synchronizing stop after every N frames instead. *)
   if
     r.opts.checksum_every > 0
-    && r.events mod r.opts.checksum_every = 0
+    && r.events / r.opts.checksum_every > r.checksum_mark
     && synchronizing_stop stop && T.is_alive task
     && siblings_quiescent r task
-  then
+  then begin
+    r.checksum_mark <- r.events / r.opts.checksum_every;
     emit r
       (E.E_checksum
          { tid = task.T.tid; value = Checksum.space task.T.cpu.Cpu.space })
+  end
 
 let handle_stop r task stop =
   (* Supervisor-side stop handling reports on the stopped task's lane,
@@ -972,7 +1083,8 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ?journal
       file_count = 0;
       events = 0;
       sched_events = 0;
-      patched_sites = 0 }
+      patched_sites = 0;
+      checksum_mark = 0 }
   in
   (* RDRAND emulation hooks: draw from kernel entropy and record the
      value, like the trapped-RDTSC path. *)
@@ -986,7 +1098,7 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ?journal
   done;
   if opts.intercept then
     K.set_hook k Syscallbuf.hook_number
-      (Syscallbuf.hook
+      (Syscallbuf.hook ~wide:opts.wide
          (Syscallbuf.Record
             { clone_read = clone_read r;
               extra_writes =

@@ -35,13 +35,15 @@ type opts = {
   seed : int; (* deliberately different from recording *)
   check_regs : bool; (* cross-check registers at every frame *)
   sysemu_all : bool; (* ablation: replay every syscall via SYSEMU *)
+  wide : bool; (* widened wrapper set; must match the recording's *)
 }
 
-let default_opts = { seed = 424242; check_regs = true; sysemu_all = false }
+let default_opts =
+  { seed = 424242; check_regs = true; sysemu_all = false; wide = true }
 
 let make_opts ?(seed = default_opts.seed) ?(check_regs = default_opts.check_regs)
-    ?(sysemu_all = default_opts.sysemu_all) () =
-  { seed; check_regs; sysemu_all }
+    ?(sysemu_all = default_opts.sysemu_all) ?(wide = default_opts.wide) () =
+  { seed; check_regs; sysemu_all; wide }
 
 type per_task = {
   batches : E.buf_record list Queue.t;
@@ -189,6 +191,19 @@ let rec run_until_stop r t =
    rather than by executing the site. *)
 let syscall_slow_path r ~site ~writable_site =
   writable_site || r.opts.sysemu_all || site >= Layout.rr_page_text
+
+(* Special frames (clone, mmap) derive the syscall site from the
+   recorded post-syscall pc.  When that site was (eagerly) patched, the
+   instruction there is the interception hook, not a syscall: at replay
+   the hook must actually execute — it charges the same deterministic
+   PMU costs it charged at record — and then falls back to a traced
+   syscall through the RR page.  Redirecting the expected site to the
+   fallback instruction routes {!run_to_syscall} onto its seccomp slow
+   path, which lets the tracee run through the hook. *)
+let effective_syscall_site t ~site =
+  match A.text_get t.T.cpu.Cpu.space site with
+  | Some (Insn.Hook _) -> Layout.traced_fallback_insn
+  | Some _ | None -> site
 
 let run_to_syscall r t ~nr ~site ~writable_site =
   K.charge r.k r.k.K.cost.Cost.replay_syscall_work;
@@ -456,7 +471,7 @@ let on_syscall r ~tid ~nr ~site ~writable_site ~via_abort ~regs_after ~writes
 let on_clone r ~parent ~child ~flags ~child_sp ~parent_regs_after ~child_regs =
   let p = task r parent in
   (* The clone syscall site is derivable from the recorded registers. *)
-  let site = parent_regs_after.(E.pc_slot) - 1 in
+  let site = effective_syscall_site p ~site:(parent_regs_after.(E.pc_slot) - 1) in
   run_to_syscall r p ~nr:Sysno.clone ~site
     ~writable_site:(A.text_was_written p.T.cpu.Cpu.space site);
   let c = K.do_clone r.k p ~flags ~child_sp ~tid:child () in
@@ -472,7 +487,7 @@ let on_clone r ~parent ~child ~flags ~child_sp ~parent_regs_after ~child_regs =
 
 let on_mmap r ~tid ~addr ~len ~prot ~shared ~source ~regs_after =
   let t = task r tid in
-  let site = regs_after.(E.pc_slot) - 1 in
+  let site = effective_syscall_site t ~site:(regs_after.(E.pc_slot) - 1) in
   run_to_syscall r t ~nr:Sysno.mmap ~site
     ~writable_site:(A.text_was_written t.T.cpu.Cpu.space site);
   (* MAP_FIXED recreation of the recorded mapping (§2.3.8). *)
@@ -600,7 +615,7 @@ let install_rdrand_hooks k =
 
 let install_hook r k =
   K.set_hook k Syscallbuf.hook_number
-    (Syscallbuf.hook
+    (Syscallbuf.hook ~wide:r.opts.wide
        (Syscallbuf.Replay
           { fetch_clone =
               (fun cref ->

@@ -27,12 +27,14 @@ type opts = {
   seed : int; (* deliberately different from the recording seed *)
   check_regs : bool; (* cross-check registers at every frame *)
   sysemu_all : bool; (* ablation: replay every syscall via SYSEMU *)
+  wide : bool; (* widened wrapper set; must match the recording's *)
 }
 
 val default_opts : opts
 
 val make_opts :
-  ?seed:int -> ?check_regs:bool -> ?sysemu_all:bool -> unit -> opts
+  ?seed:int -> ?check_regs:bool -> ?sysemu_all:bool -> ?wide:bool -> unit ->
+  opts
 (** [default_opts] with the given fields overridden. *)
 
 type t

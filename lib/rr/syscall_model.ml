@@ -31,16 +31,25 @@ let outputs ~nr ~(args : int array) ~result : output list =
   else if nr = Sysno.pipe then [ { out_addr = args.(0); out_len = 16 } ]
   else if nr = Sysno.getcwd then [ { out_addr = args.(0); out_len = result } ]
   else if nr = Sysno.wait4 then
-    if args.(1) <> 0 then [ { out_addr = args.(1); out_len = 8 } ] else []
+    (* The kernel stores a status only when it actually reaped a child
+       (result > 0); a WNOHANG miss (result = 0) leaves *status alone. *)
+    if args.(1) <> 0 && result > 0 then
+      [ { out_addr = args.(1); out_len = 8 } ]
+    else []
   else if nr = Sysno.gettimeofday || nr = Sysno.clock_gettime then
     if args.(0) <> 0 then [ { out_addr = args.(0); out_len = 8 } ] else []
   else if nr = Sysno.getrandom then [ { out_addr = args.(0); out_len = result } ]
   else if nr = Sysno.rt_sigprocmask then
     if args.(2) <> 0 then [ { out_addr = args.(2); out_len = 8 } ] else []
   else if nr = Sysno.poll then
-    (* revents slots of every entry *)
-    List.init args.(1) (fun i ->
-        { out_addr = args.(0) + (24 * i) + 16; out_len = 8 })
+    (* revents slots of every entry — but only when the kernel wrote
+       them: a poll that timed out (result = 0) writes no user memory,
+       so recording all-nfds slots unconditionally would capture (and
+       replay) bytes the kernel never touched. *)
+    if result > 0 then
+      List.init args.(1) (fun i ->
+          { out_addr = args.(0) + (24 * i) + 16; out_len = 8 })
+    else []
   else if
     nr = Sysno.write || nr = Sysno.openat || nr = Sysno.close
     || nr = Sysno.lseek || nr = Sysno.mmap || nr = Sysno.munmap
@@ -78,20 +87,56 @@ let may_block task ~nr ~(args : int array) =
     || nr = Sysno.nanosleep || nr = Sysno.poll
 
 (* The interception library's fast-path set (paper §3.1: "it only
-   contains wrappers for the most common system calls").  *)
-let bufferable ~nr =
+   contains wrappers for the most common system calls").  The narrow
+   set is the original wrapper library; [wide] is the grown set the
+   paper reached over time — every hot call the workloads make that
+   the buffer-redirect protocol can express. *)
+let bufferable ?(wide = true) ~nr () =
   nr = Sysno.read || nr = Sysno.write || nr = Sysno.lseek
   || nr = Sysno.getpid || nr = Sysno.gettid || nr = Sysno.gettimeofday
   || nr = Sysno.clock_gettime || nr = Sysno.recvfrom || nr = Sysno.sendto
   || nr = Sysno.futex || nr = Sysno.sched_yield || nr = Sysno.openat
   || nr = Sysno.close || nr = Sysno.stat
+  || (wide
+     && (nr = Sysno.getcwd || nr = Sysno.getrandom || nr = Sysno.pipe
+        || nr = Sysno.poll || nr = Sysno.wait4 || nr = Sysno.dup
+        || nr = Sysno.unlink || nr = Sysno.mkdir || nr = Sysno.fsync
+        || nr = Sysno.readlink || nr = Sysno.getppid || nr = Sysno.chdir
+        || nr = Sysno.ftruncate))
 
-(* Which buffered syscalls redirect an output pointer into the trace
-   buffer: (arg index, output length given args), per §3.8. *)
-let buffered_output ~nr ~(args : int array) =
-  if nr = Sysno.read || nr = Sysno.recvfrom then Some (1, args.(2))
-  else if nr = Sysno.stat then Some (1, 32)
-  else None
+(* One output pointer a buffered syscall redirects into the trace
+   buffer (§3.8).  [bo_copy_in] marks arguments the kernel also reads
+   (poll's pollfd array carries fds/events in), which must be staged
+   into the buffer before the untraced call runs. *)
+type buffered_out = { bo_arg : int; bo_len : int; bo_copy_in : bool }
+
+(* Which buffered syscalls redirect output pointers into the trace
+   buffer, and how many bytes each needs reserved.  The narrow list is
+   bit-compatible with the original single-output protocol; [wide]
+   adds the outputs of the widened wrapper set (and the recvfrom
+   source-address slot the narrow library never captured). *)
+let buffered_outputs ?(wide = true) ~nr ~(args : int array) () :
+    buffered_out list =
+  let out bo_arg bo_len = { bo_arg; bo_len; bo_copy_in = false } in
+  let outs =
+    if nr = Sysno.read then [ out 1 args.(2) ]
+    else if nr = Sysno.recvfrom then
+      out 1 args.(2) :: (if wide then [ out 3 8 ] else [])
+    else if nr = Sysno.stat then [ out 1 32 ]
+    else if not wide then []
+    else if nr = Sysno.getcwd then [ out 0 args.(1) ]
+    else if nr = Sysno.getrandom then [ out 0 args.(1) ]
+    else if nr = Sysno.pipe then [ out 0 16 ]
+    else if nr = Sysno.gettimeofday || nr = Sysno.clock_gettime then
+      [ out 0 8 ]
+    else if nr = Sysno.wait4 then [ out 1 8 ]
+    else if nr = Sysno.poll then
+      [ { bo_arg = 0; bo_len = 24 * args.(1); bo_copy_in = true } ]
+    else []
+  in
+  (* NULL pointers (wait4 (…, NULL, …), clock_gettime (…, NULL)) are
+     never redirected: the kernel writes nothing through them. *)
+  List.filter (fun o -> args.(o.bo_arg) <> 0 && o.bo_len > 0) outs
 
 (* Syscalls whose effects replay must re-perform rather than emulate:
    address-space operations (mmap is handled by its own event kind). *)
@@ -101,6 +146,25 @@ let replay_performs ~nr = nr = Sysno.munmap || nr = Sysno.mprotect
 let is_special ~nr =
   nr = Sysno.clone || nr = Sysno.execve || nr = Sysno.mmap || nr = Sysno.exit
   || nr = Sysno.exit_group
+
+(* Can the recorder skip the syscall-exit ptrace stop (§3.4)?  True
+   when a successful completion provably writes no user memory, so the
+   whole frame can be computed and recorded at the seccomp/entry stop.
+   Specials have their own frame kinds; sigreturn rewrites the whole
+   register file at the exit stop; ptrace is emulated by the
+   supervisor.  The probe uses [result = 1]: every modeled syscall
+   that writes memory on success reports at least one output for a
+   positive result (stat/pipe-style calls report them for any
+   [result >= 0]). *)
+let elidable ~nr ~(args : int array) =
+  (not (is_special ~nr))
+  && nr <> Sysno.rt_sigreturn
+  && nr <> Sysno.ptrace
+  &&
+  match outputs ~nr ~args ~result:1 with
+  | [] -> true
+  | _ :: _ -> false
+  | exception Unsupported _ -> false
 
 (* Traced blocking syscalls whose output buffer must detour through
    scratch memory (§2.3.1): (arg index, length-from-args). *)

@@ -16,13 +16,29 @@ val may_block : Task.t -> nr:int -> args:int array -> bool
 (** Can this call sleep in the kernel?  Inspects the fd table: regular
     file reads never block; pipe/socket reads can. *)
 
-val bufferable : nr:int -> bool
-(** The interception library's fast-path set (paper §3.1). *)
+val bufferable : ?wide:bool -> nr:int -> unit -> bool
+(** The interception library's fast-path set (paper §3.1).  [wide]
+    (default) is the grown wrapper set; [~wide:false] is the original
+    narrow read/stat-era library, kept for record-twice equivalence
+    testing. *)
 
-val buffered_output : nr:int -> args:int array -> (int * int) option
-(** For buffered syscalls that write an output buffer: (argument index
-    of the buffer pointer, its length), per §3.8's redirect-into-the-
-    trace-buffer scheme. *)
+type buffered_out = { bo_arg : int; bo_len : int; bo_copy_in : bool }
+(** One output pointer a buffered syscall redirects into the trace
+    buffer: argument index, bytes to reserve, and whether the kernel
+    also reads the pointed-to memory (poll's pollfd array), requiring a
+    copy-in before the untraced call. *)
+
+val buffered_outputs :
+  ?wide:bool -> nr:int -> args:int array -> unit -> buffered_out list
+(** The output pointers a buffered syscall redirects into the trace
+    buffer, per §3.8.  NULL-pointer and zero-length outputs are already
+    filtered out.  The narrow list is bit-compatible with the original
+    single-output protocol. *)
+
+val elidable : nr:int -> args:int array -> bool
+(** Can the recorder skip the syscall-exit ptrace stop (§3.4)?  True
+    when a successful completion provably writes no user memory, so the
+    frame can be pre-computed and recorded at the seccomp/entry stop. *)
 
 val replay_performs : nr:int -> bool
 (** Syscalls whose effects replay must re-perform rather than emulate:

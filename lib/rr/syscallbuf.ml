@@ -196,7 +196,7 @@ let charge_desched_arm task =
    cannot consult the fd table (which replay does not maintain). *)
 let statically_may_block ~nr =
   nr = Sysno.read || nr = Sysno.write || nr = Sysno.recvfrom
-  || nr = Sysno.futex
+  || nr = Sysno.futex || nr = Sysno.wait4 || nr = Sysno.poll
 
 (* Fall back to a traced syscall through the RR page's traced-fallback
    instruction: the seccomp filter will TRACE it and the recorder handles
@@ -204,6 +204,7 @@ let statically_may_block ~nr =
 let tm_hit = Telemetry.counter "syscallbuf.hit"
 let tm_fallback = Telemetry.counter "syscallbuf.fallback"
 let tm_replay_hit = Telemetry.counter "syscallbuf.replay_hit"
+let tm_widened_hit = Telemetry.counter "syscallbuf.widened_hit"
 
 let traced_fallback k task =
   Telemetry.incr tm_fallback;
@@ -217,8 +218,11 @@ let traced_fallback k task =
   in
   K.enter_syscall k task ss ~ip:Layout.traced_fallback_insn
 
-(* The hook body.  Runs when a patched site executes. *)
-let hook mode k task =
+(* The hook body.  Runs when a patched site executes.  [wide] selects
+   the widened wrapper set (§3.1's grown library); it must match
+   between recording and replay of the same trace, since it changes
+   which calls take the buffered path. *)
+let hook ?(wide = true) mode k task =
   charge_hook task;
   let regs = task.T.cpu.Cpu.regs in
   let nr = regs.(0) in
@@ -228,10 +232,9 @@ let hook mode k task =
   let buf_size = read_tl task Layout.tl_buf_size in
   let fill = if buf = 0 then 0 else read_hdr task buf Layout.sb_fill in
   let room = buf_size - Layout.sb_hdr_size - fill in
+  let outs = Syscall_model.buffered_outputs ~wide ~nr ~args () in
   let data_len_bound =
-    match Syscall_model.buffered_output ~nr ~args with
-    | Some (_, len) -> len
-    | None -> 0
+    List.fold_left (fun a o -> a + o.Syscall_model.bo_len) 0 outs
   in
   (* Block-cloning intent (§3.9) must be decided from guest-visible state
      only, so record and replay agree: the fd bitmap says whether the fd
@@ -247,11 +250,15 @@ let hook mode k task =
     nr = Sysno.read && args.(2) >= clone_threshold && fd_cloneable
   in
   let buffered_data = if clone_intent then 0 else data_len_bound in
+  (* Room slack: record header + clone ref + per-output write headers
+     and padding.  Guest-static, so record and replay fall back at the
+     same call. *)
+  let slack = 64 + (24 * List.length outs) in
   if
     locked <> 0 || buf = 0
-    || not (Syscall_model.bufferable ~nr)
+    || not (Syscall_model.bufferable ~wide ~nr ())
     || buffered_data > max_buffered_data
-    || room < 64 + buffered_data
+    || room < slack + buffered_data
   then traced_fallback k task
   else begin
     write_tl task Layout.tl_locked 1;
@@ -293,36 +300,70 @@ let hook mode k task =
         | `Blocked -> () (* file reads don't block; unreachable *)
         | `Denied -> failwith "syscallbuf: untraced syscall denied")
       | None -> (
-        (* Redirect the output pointer into the trace buffer (§3.8). *)
-        let data_area = buf + Layout.sb_hdr_size + fill + 64 in
+        (* Redirect every output pointer into the trace buffer (§3.8),
+           laying the areas out sequentially past the record slack.
+           Copy-in arguments (poll's pollfd array) are staged into the
+           buffer first so the kernel reads them from there. *)
+        let data_area = buf + Layout.sb_hdr_size + fill + slack in
         let perform_args = Array.copy args in
-        let out = Syscall_model.buffered_output ~nr ~args in
-        (match out with
-        | Some (i, _) -> perform_args.(i) <- data_area
-        | None -> ());
+        let redirects =
+          let off = ref 0 in
+          List.map
+            (fun o ->
+              let dst = data_area + !off in
+              off := !off + round8 o.Syscall_model.bo_len;
+              if o.Syscall_model.bo_copy_in then
+                A.write_bytes ~force:true (space task) dst
+                  (A.read_bytes ~force:true (space task)
+                     args.(o.Syscall_model.bo_arg)
+                     o.Syscall_model.bo_len);
+              perform_args.(o.Syscall_model.bo_arg) <- dst;
+              (args.(o.Syscall_model.bo_arg), dst, o.Syscall_model.bo_len))
+            outs
+        in
         match
           K.untraced_syscall k task ~nr ~args:perform_args
             ~ip:Layout.untraced_syscall_insn
         with
         | `Done r ->
+          (* The model, not per-nr special cases, decides what the
+             kernel wrote.  Outputs that landed in a redirected area
+             are copied out to their real destination; outputs the
+             kernel wrote directly (unredirected pointers) are read
+             back in place.  Either way the bytes go into the record
+             so replay reapplies them. *)
           let writes =
-            match out with
-            | Some (i, len) when r >= 0 ->
-              let n =
-                if nr = Sysno.stat then if r = 0 then len else 0 else max r 0
-              in
-              if n = 0 then []
-              else begin
-                let data =
-                  Bytes.to_string
-                    (A.read_bytes ~force:true (space task) perform_args.(i) n)
-                in
-                (* Copy out of the trace buffer to the real destination. *)
-                A.write_bytes ~force:true (space task) args.(i)
-                  (Bytes.of_string data);
-                [ { Event.addr = args.(i); data } ]
-              end
-            | Some _ | None -> []
+            if r < 0 then []
+            else
+              Syscall_model.outputs ~nr ~args ~result:r
+              |> List.filter_map (fun { Syscall_model.out_addr; out_len } ->
+                     if out_len <= 0 || out_addr = 0 then None
+                     else begin
+                       let data =
+                         match
+                           List.find_opt
+                             (fun (orig, _, len) ->
+                               orig <> 0 && out_addr >= orig
+                               && out_addr + out_len <= orig + len)
+                             redirects
+                         with
+                         | Some (orig, dst, _) ->
+                           let d =
+                             Bytes.unsafe_to_string
+                               (A.read_bytes ~force:true (space task)
+                                  (dst + (out_addr - orig))
+                                  out_len)
+                           in
+                           A.write_bytes ~force:true (space task) out_addr
+                             (Bytes.unsafe_of_string d);
+                           d
+                         | None ->
+                           Bytes.unsafe_to_string
+                             (A.read_bytes ~force:true (space task) out_addr
+                                out_len)
+                       in
+                       Some { Event.addr = out_addr; data }
+                     end)
           in
           append_record task
             { Event.br_nr = nr;
@@ -334,6 +375,8 @@ let hook mode k task =
           | Some ev -> Perf_event.disable ev
           | None -> ());
           Telemetry.incr tm_hit;
+          if not (Syscall_model.bufferable ~wide:false ~nr ()) then
+            Telemetry.incr tm_widened_hit;
           Timeline.instant ~lane:task.T.tid "syscallbuf.hit";
           regs.(0) <- r;
           write_tl task Layout.tl_locked 0
@@ -515,5 +558,21 @@ let find_rdrand_sites task =
   Hashtbl.fold
     (fun addr insn acc ->
       match insn with Insn.Rdrand _ -> addr :: acc | _ -> acc)
+    (space task).A.text []
+  |> List.sort compare
+
+(* Scan a freshly exec'd image for patchable syscall sites, for eager
+   patching at exec time (§3.2): patching up front means the first
+   execution of each site never takes the patch-time ptrace stop.  The
+   syscall number at a site is only known at run time, but that is
+   fine: the hook falls back to a traced syscall for anything it
+   cannot buffer, so patching is always safe when the follower shape
+   is. *)
+let find_syscall_sites task =
+  Hashtbl.fold
+    (fun addr insn acc ->
+      match insn with
+      | Insn.Syscall when can_patch task ~site:addr -> addr :: acc
+      | _ -> acc)
     (space task).A.text []
   |> List.sort compare

@@ -36,9 +36,12 @@ type mode =
 val hook_number : int
 (** The hook id patched over syscall instructions. *)
 
-val hook : mode -> Kernel.t -> Task.t -> unit
+val hook : ?wide:bool -> mode -> Kernel.t -> Task.t -> unit
 (** The interception library body, to be registered with
-    {!Kernel.set_hook}. *)
+    {!Kernel.set_hook}.  [wide] (default) enables the widened wrapper
+    set; a trace must be replayed with the same setting it was
+    recorded with, since it changes which calls take the buffered
+    path. *)
 
 (** {2 Injection and patching} *)
 
@@ -66,6 +69,11 @@ val patch_site : Task.t -> site:int -> unit
 
 val find_rdrand_sites : Task.t -> int list
 (** RDRAND instructions in the task's text (paper §2.6). *)
+
+val find_syscall_sites : Task.t -> int list
+(** Patchable syscall sites in the task's text, for eager patching at
+    exec time (§3.2): patched up front, a site's first execution never
+    takes the patch-time ptrace stop. *)
 
 val rdrand_hook_of_reg : int -> int
 val is_rdrand_hook : int -> bool

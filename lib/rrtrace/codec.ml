@@ -24,6 +24,15 @@ let put_uvarint b v =
 
 let put_int b v = put_uvarint b (zigzag v)
 
+(* Encoded width, without encoding: the writer's saved-bytes ledger
+   compares what a field would have cost against what it actually
+   cost. *)
+let uvarint_size v =
+  let rec go n v = if v = 0 then n else go (n + 1) (v lsr 7) in
+  if v = 0 then 1 else go 0 v
+
+let int_size v = uvarint_size (zigzag v)
+
 let put_string b s =
   put_uvarint b (String.length s);
   Buffer.add_string b s

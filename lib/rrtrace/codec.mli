@@ -7,6 +7,14 @@ type sink = Buffer.t
 val sink : unit -> sink
 val put_uvarint : sink -> int -> unit
 val put_int : sink -> int -> unit
+
+val uvarint_size : int -> int
+(** Bytes {!put_uvarint} would emit for this value, without emitting. *)
+
+val int_size : int -> int
+(** Bytes {!put_int} would emit for this value, without emitting — the
+    saved-bytes ledger compares hypothetical against actual cost. *)
+
 val put_string : sink -> string -> unit
 val put_bytes : sink -> bytes -> unit
 val put_list : sink -> (sink -> 'a -> unit) -> 'a list -> unit

@@ -150,19 +150,95 @@ let frame_pc e =
   | E_checksum _ | E_exit _ | E_rr_setup _ ->
     None
 
-(* ----- encoding ---------------------------------------------------- *)
+(* ----- encoding ----------------------------------------------------
 
-let put_regs b (r : regs) = Codec.put_array b Codec.put_int r
-let get_regs s : regs = Codec.get_array s Codec.get_int
+   Two event encodings share the frame schema; the trace container's
+   header says which one its chunks use.
 
-let put_point b p =
+   v1 — registers as a length-prefixed int array.
+   v2 — registers delta-coded against the same task's previous register
+   image within the chunk: a 17-bit change mask, then one zigzag delta
+   per changed slot.  Between consecutive frames of a task most slots
+   are unchanged and the pc moves by a small amount, so a typical image
+   costs a few bytes instead of ~20.  The per-task state lives in an
+   {!ectx}; encoder and decoder reset it at every chunk boundary, which
+   keeps each chunk independently decodable (seek, salvage, kind-mask
+   skipping all still work). *)
+
+let nregs = 17
+
+type ectx = { version : int; prev : (int, int array) Hashtbl.t }
+
+let ectx ?(version = 1) () =
+  if version < 1 || version > 2 then
+    Fmt.invalid_arg "Event.ectx: unknown event-encoding version %d" version;
+  { version; prev = Hashtbl.create 8 }
+
+let ectx_version c = c.version
+
+let reset_ectx c = Hashtbl.reset c.prev
+
+let tm_delta_saved = Telemetry.counter "trace.regs_delta_bytes_saved"
+
+let prev_regs c key =
+  match Hashtbl.find_opt c.prev key with
+  | Some p -> p
+  | None ->
+    let p = Array.make nregs 0 in
+    Hashtbl.add c.prev key p;
+    p
+
+(* [key] is the task the image belongs to — deltas must never cross
+   tasks, whose register sets evolve independently. *)
+let put_regs c ~key b (r : regs) =
+  if c.version = 1 then Codec.put_array b Codec.put_int r
+  else begin
+    if Array.length r <> nregs then
+      Fmt.invalid_arg "Event.put_regs: %d slots, need %d" (Array.length r)
+        nregs;
+    let prev = prev_regs c key in
+    let mask = ref 0 in
+    for i = 0 to nregs - 1 do
+      if r.(i) <> prev.(i) then mask := !mask lor (1 lsl i)
+    done;
+    let before = Buffer.length b in
+    Codec.put_uvarint b !mask;
+    for i = 0 to nregs - 1 do
+      if !mask land (1 lsl i) <> 0 then begin
+        Codec.put_int b (r.(i) - prev.(i));
+        prev.(i) <- r.(i)
+      end
+    done;
+    let v1_cost = ref (Codec.uvarint_size nregs) in
+    for i = 0 to nregs - 1 do v1_cost := !v1_cost + Codec.int_size r.(i) done;
+    Telemetry.add tm_delta_saved (!v1_cost - (Buffer.length b - before))
+  end
+
+let get_regs c ~key s : regs =
+  if c.version = 1 then Codec.get_array s Codec.get_int
+  else begin
+    let prev = prev_regs c key in
+    let mask = Codec.get_uvarint s in
+    if mask lsr nregs <> 0 then
+      raise (Codec.Corrupt (Printf.sprintf "regs change mask %#x" mask));
+    let r = Array.copy prev in
+    for i = 0 to nregs - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        r.(i) <- prev.(i) + Codec.get_int s;
+        prev.(i) <- r.(i)
+      end
+    done;
+    r
+  end
+
+let put_point c ~key b p =
   Codec.put_int b p.rcb;
-  put_regs b p.point_regs;
+  put_regs c ~key b p.point_regs;
   Codec.put_int b p.stack_extra
 
-let get_point s =
+let get_point c ~key s =
   let rcb = Codec.get_int s in
-  let point_regs = get_regs s in
+  let point_regs = get_regs c ~key s in
   let stack_extra = Codec.get_int s in
   { rcb; point_regs; stack_extra }
 
@@ -175,30 +251,30 @@ let get_write s =
   let data = Codec.get_string s in
   { addr; data }
 
-let put_disposition b = function
+let put_disposition c ~key b = function
   | Sr_handler { frame_addr; frame_data; regs_after; mask_after } ->
     Codec.put_uvarint b 0;
     Codec.put_int b frame_addr;
     Codec.put_string b frame_data;
-    put_regs b regs_after;
+    put_regs c ~key b regs_after;
     Codec.put_int b mask_after
   | Sr_fatal status ->
     Codec.put_uvarint b 1;
     Codec.put_int b status
   | Sr_ignored regs_after ->
     Codec.put_uvarint b 2;
-    put_regs b regs_after
+    put_regs c ~key b regs_after
 
-let get_disposition s =
+let get_disposition c ~key s =
   match Codec.get_uvarint s with
   | 0 ->
     let frame_addr = Codec.get_int s in
     let frame_data = Codec.get_string s in
-    let regs_after = get_regs s in
+    let regs_after = get_regs c ~key s in
     let mask_after = Codec.get_int s in
     Sr_handler { frame_addr; frame_data; regs_after; mask_after }
   | 1 -> Sr_fatal (Codec.get_int s)
-  | 2 -> Sr_ignored (get_regs s)
+  | 2 -> Sr_ignored (get_regs c ~key s)
   | n -> raise (Codec.Corrupt (Printf.sprintf "disposition tag %d" n))
 
 let put_source b = function
@@ -249,7 +325,7 @@ let get_buf_record s =
   let br_aborted = Codec.get_bool s in
   { br_nr; br_result; br_writes; br_clone; br_aborted }
 
-let encode b = function
+let encode c b = function
   | E_syscall { tid; nr; site; writable_site; via_abort; regs_after; writes; kind }
     ->
     Codec.put_uvarint b 0;
@@ -258,7 +334,7 @@ let encode b = function
     Codec.put_int b site;
     Codec.put_bool b writable_site;
     Codec.put_bool b via_abort;
-    put_regs b regs_after;
+    put_regs c ~key:tid b regs_after;
     Codec.put_list b put_write writes;
     Codec.put_uvarint b (match kind with K_emulate -> 0 | K_perform -> 1)
   | E_clone { parent; child; flags; child_sp; parent_regs_after; child_regs }
@@ -268,13 +344,13 @@ let encode b = function
     Codec.put_int b child;
     Codec.put_int b flags;
     Codec.put_int b child_sp;
-    put_regs b parent_regs_after;
-    put_regs b child_regs
+    put_regs c ~key:parent b parent_regs_after;
+    put_regs c ~key:child b child_regs
   | E_exec { tid; image_ref; regs_after } ->
     Codec.put_uvarint b 2;
     Codec.put_int b tid;
     Codec.put_string b image_ref;
-    put_regs b regs_after
+    put_regs c ~key:tid b regs_after
   | E_mmap { tid; addr; len; prot; shared; source; regs_after } ->
     Codec.put_uvarint b 3;
     Codec.put_int b tid;
@@ -283,17 +359,17 @@ let encode b = function
     Codec.put_int b prot;
     Codec.put_bool b shared;
     put_source b source;
-    put_regs b regs_after
+    put_regs c ~key:tid b regs_after
   | E_signal { tid; signo; point; disposition } ->
     Codec.put_uvarint b 4;
     Codec.put_int b tid;
     Codec.put_int b signo;
-    put_point b point;
-    put_disposition b disposition
+    put_point c ~key:tid b point;
+    put_disposition c ~key:tid b disposition
   | E_sched { tid; point } ->
     Codec.put_uvarint b 5;
     Codec.put_int b tid;
-    put_point b point
+    put_point c ~key:tid b point
   | E_insn_trap { tid; reg; value } ->
     Codec.put_uvarint b 6;
     Codec.put_int b tid;
@@ -331,7 +407,7 @@ let encode b = function
     Codec.put_int b buf;
     Codec.put_int b buf_len
 
-let decode s =
+let decode c s =
   match Codec.get_uvarint s with
   | 0 ->
     let tid = Codec.get_int s in
@@ -339,7 +415,7 @@ let decode s =
     let site = Codec.get_int s in
     let writable_site = Codec.get_bool s in
     let via_abort = Codec.get_bool s in
-    let regs_after = get_regs s in
+    let regs_after = get_regs c ~key:tid s in
     let writes = Codec.get_list s get_write in
     let kind =
       match Codec.get_uvarint s with
@@ -353,13 +429,13 @@ let decode s =
     let child = Codec.get_int s in
     let flags = Codec.get_int s in
     let child_sp = Codec.get_int s in
-    let parent_regs_after = get_regs s in
-    let child_regs = get_regs s in
+    let parent_regs_after = get_regs c ~key:parent s in
+    let child_regs = get_regs c ~key:child s in
     E_clone { parent; child; flags; child_sp; parent_regs_after; child_regs }
   | 2 ->
     let tid = Codec.get_int s in
     let image_ref = Codec.get_string s in
-    let regs_after = get_regs s in
+    let regs_after = get_regs c ~key:tid s in
     E_exec { tid; image_ref; regs_after }
   | 3 ->
     let tid = Codec.get_int s in
@@ -368,17 +444,17 @@ let decode s =
     let prot = Codec.get_int s in
     let shared = Codec.get_bool s in
     let source = get_source s in
-    let regs_after = get_regs s in
+    let regs_after = get_regs c ~key:tid s in
     E_mmap { tid; addr; len; prot; shared; source; regs_after }
   | 4 ->
     let tid = Codec.get_int s in
     let signo = Codec.get_int s in
-    let point = get_point s in
-    let disposition = get_disposition s in
+    let point = get_point c ~key:tid s in
+    let disposition = get_disposition c ~key:tid s in
     E_signal { tid; signo; point; disposition }
   | 5 ->
     let tid = Codec.get_int s in
-    let point = get_point s in
+    let point = get_point c ~key:tid s in
     E_sched { tid; point }
   | 6 ->
     let tid = Codec.get_int s in

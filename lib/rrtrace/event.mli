@@ -121,8 +121,29 @@ val frame_pc : t -> int option
     [None] for frames with no register image (flushes, patches,
     bookkeeping). *)
 
-val encode : Codec.sink -> t -> unit
-val decode : Codec.source -> t
+(** {1 Frame codec}
+
+    Two event encodings share the frame schema; the trace container's
+    header says which one its chunks use.  v1 stores each register
+    image as a length-prefixed int array; v2 delta-codes it against
+    the same task's previous image within the chunk (a 17-bit change
+    mask plus one zigzag delta per changed slot).  Both directions
+    thread an {!ectx}, which carries the version and the per-task
+    delta state; {!reset_ectx} at every chunk boundary keeps chunks
+    independently decodable.  v1 contexts are stateless, so resetting
+    is always safe. *)
+
+type ectx
+
+val ectx : ?version:int -> unit -> ectx
+(** A fresh codec context.  [version] is 1 (default) or 2; anything
+    else raises [Invalid_argument]. *)
+
+val ectx_version : ectx -> int
+val reset_ectx : ectx -> unit
+
+val encode : ectx -> Codec.sink -> t -> unit
+val decode : ectx -> Codec.source -> t
 
 val put_buf_record : Codec.sink -> buf_record -> unit
 val get_buf_record : Codec.source -> buf_record

@@ -91,6 +91,18 @@ exception Format_error of error
 
 let format_version = 3
 
+(* Same container, delta-coded registers inside the chunks (event
+   encoding v2).  The header's version field is the negotiation point:
+   3 = event-encoding v1, 4 = v2.  Builds predating v2 reject a
+   version-4 file with a clean [Version_skew] instead of misdecoding
+   its chunks. *)
+let format_version_delta = 4
+
+let header_version_of_event_version ev =
+  if ev >= 2 then format_version_delta else format_version
+
+let default_event_version = 2
+
 let pp_error ppf = function
   | Truncated { path; detail } ->
     Fmt.pf ppf "%s: truncated trace file (%s)" path detail
@@ -130,6 +142,7 @@ type t = {
   index : chunk_info array;
   chunks : string array; (* stored (possibly deflated) chunk bytes *)
   compressed : bool;
+  event_version : int; (* chunk event encoding: 1 = arrays, 2 = deltas *)
   images : (string, Image.t) Hashtbl.t; (* trace path -> executable image *)
   files : (string, string) Hashtbl.t; (* trace path -> snapshotted bytes *)
   stats : stats;
@@ -152,11 +165,12 @@ type t = {
   mutable rpool : Pool.t option; (* lazily created readahead pool *)
 }
 
-let make_t ?(trusted = false) ?(origin = "<memory>") ~index ~chunks
-    ~compressed ~images ~files ~stats ~initial_exe ~opts () =
+let make_t ?(trusted = false) ?(origin = "<memory>") ?(event_version = 1)
+    ~index ~chunks ~compressed ~images ~files ~stats ~initial_exe ~opts () =
   { index;
     chunks;
     compressed;
+    event_version;
     images;
     files;
     stats;
@@ -236,12 +250,12 @@ let crc_mask = 0xffffffff
 let write_record io ~tag payload =
   let tag_s = String.make 1 tag in
   Io.write io tag_s;
-  let lb = Codec.sink () in
+  let lb = Codec.sink () in (* chunk-lifecycle *)
   Codec.put_uvarint lb (String.length payload);
   Io.write io (Buffer.contents lb);
   Io.write io payload;
   let crc = Crc32.string ~crc:(Crc32.string tag_s) payload in
-  let cb = Bytes.create 4 in
+  let cb = Bytes.create 4 in (* chunk-lifecycle *)
   Bytes.set_int32_le cb 0 (Int32.of_int crc);
   Io.write io (Bytes.to_string cb)
 
@@ -286,28 +300,28 @@ let get_chunk_info s =
   let crc32 = Codec.get_uvarint s in
   { first_frame; n_frames; byte_offset; stored_len; kinds; crc32 }
 
-let header_payload ~compressed ~initial_exe =
-  let b = Codec.sink () in
-  Codec.put_uvarint b format_version;
+let header_payload ~compressed ~initial_exe ~event_version =
+  let b = Codec.sink () in (* chunk-lifecycle *)
+  Codec.put_uvarint b (header_version_of_event_version event_version);
   Codec.put_bool b compressed;
   Codec.put_string b initial_exe;
   Buffer.contents b
 
 let image_payload ~path img =
-  let b = Codec.sink () in
+  let b = Codec.sink () in (* chunk-lifecycle *)
   Codec.put_string b path;
   Image_codec.put_image b img;
   Buffer.contents b
 
 let file_payload ~path ~offset suffix =
-  let b = Codec.sink () in
+  let b = Codec.sink () in (* chunk-lifecycle *)
   Codec.put_string b path;
   Codec.put_uvarint b offset;
   Codec.put_string b suffix;
   Buffer.contents b
 
 let chunk_payload ~first_frame ~n_frames ~kinds stored =
-  let b = Codec.sink () in
+  let b = Codec.sink () in (* chunk-lifecycle *)
   Codec.put_uvarint b first_frame;
   Codec.put_uvarint b n_frames;
   Codec.put_uvarint b kinds;
@@ -315,18 +329,18 @@ let chunk_payload ~first_frame ~n_frames ~kinds stored =
   Buffer.contents b
 
 let journal_payload stats =
-  let b = Codec.sink () in
+  let b = Codec.sink () in (* chunk-lifecycle *)
   put_stats b stats;
   Buffer.contents b
 
 let trailer_payload stats index =
-  let b = Codec.sink () in
+  let b = Codec.sink () in (* chunk-lifecycle *)
   put_stats b stats;
   Codec.put_list b put_chunk_info (Array.to_list index);
   Buffer.contents b
 
 let footer_bytes ~trailer_off =
-  let fb = Bytes.create 16 in
+  let fb = Bytes.create 16 in (* chunk-lifecycle *)
   Bytes.set_int64_le fb 0 (Int64.of_int trailer_off);
   Bytes.blit_string footer_magic 0 fb 8 8;
   Bytes.to_string fb
@@ -362,6 +376,7 @@ module Writer = struct
     mutable acc_index : chunk_info list; (* reversed *)
     mutable acc_off : int; (* running byte_offset *)
     mutable pending : Codec.sink;
+    ectx : Event.ectx; (* frame codec state, reset at chunk boundaries *)
     mutable pending_frames : int;
     mutable pending_kinds : int;
     mutable frames_flushed : int; (* first_frame of the pending chunk *)
@@ -377,21 +392,23 @@ module Writer = struct
   }
 
   let create ?(compress = true) ?(chunk_limit = default_chunk_limit)
-      ?(opts = default_opts) ?journal ~initial_exe () =
+      ?(opts = default_opts) ?journal
+      ?(event_version = default_event_version) ~initial_exe () =
     let journal =
       match journal with
       | None -> None
       | Some jio ->
         Io.write jio magic_v3;
         write_record jio ~tag:tag_header
-          (header_payload ~compressed:compress ~initial_exe);
+          (header_payload ~compressed:compress ~initial_exe ~event_version);
         Some { jio; j_since_mark = 0; j_marks = Hashtbl.create 8 }
     in
     { sealed_q = Queue.create ();
       acc_chunks = [];
       acc_index = [];
       acc_off = 0;
-      pending = Codec.sink ();
+      pending = Codec.sink (); (* chunk-lifecycle *)
+      ectx = Event.ectx ~version:event_version ();
       pending_frames = 0;
       pending_kinds = 0;
       frames_flushed = 0;
@@ -495,6 +512,9 @@ module Writer = struct
     if w.pending_frames > 0 then begin
       let raw = Buffer.contents w.pending in
       Buffer.clear w.pending;
+      (* Delta state must not leak across the chunk boundary — the
+         decoder starts every chunk from a fresh context. *)
+      Event.reset_ectx w.ectx;
       Telemetry.incr tm_chunk_flush;
       let compress = w.compress in
       let stored =
@@ -523,7 +543,7 @@ module Writer = struct
     w.pending_frames <- w.pending_frames + 1;
     w.pending_kinds <- w.pending_kinds lor Event.kind_bit e;
     let before = Buffer.length w.pending in
-    Event.encode w.pending e;
+    Event.encode w.ectx w.pending e;
     let sz = Buffer.length w.pending - before in
     w.stats.raw_bytes <- w.stats.raw_bytes + sz;
     (match e with
@@ -600,8 +620,9 @@ module Writer = struct
           write_record j.jio ~tag:tag_trailer (trailer_payload w.stats index);
           Io.write j.jio (footer_bytes ~trailer_off);
           Io.close_writer j.jio);
-        make_t ~index ~chunks ~compressed:w.compress ~images:w.images
-          ~files:w.files ~stats:w.stats ~initial_exe:w.exe ~opts:w.opts ())
+        make_t ~event_version:(Event.ectx_version w.ectx) ~index ~chunks
+          ~compressed:w.compress ~images:w.images ~files:w.files
+          ~stats:w.stats ~initial_exe:w.exe ~opts:w.opts ())
 end
 
 let n_events t = t.stats.n_events
@@ -615,6 +636,8 @@ let decoded_chunks t = t.chunk_decodes
 let get_opts t = t.opts
 
 let initial_exe t = t.initial_exe
+
+let event_version t = t.event_version
 
 let integrity t = if t.trusted then `Trusted else `Crc_checked
 
@@ -663,9 +686,10 @@ let decode_chunk_raw t ~idx ci stored =
       else stored
     in
     let s = Codec.source raw in
+    let ectx = Event.ectx ~version:t.event_version () in
     let out = Array.make ci.n_frames Event.(E_exit { tid = 0; status = 0 }) in
     for i = 0 to ci.n_frames - 1 do
-      out.(i) <- Event.decode s
+      out.(i) <- Event.decode ectx s
     done;
     if not (Codec.eof s) then
       raise (Codec.Corrupt "trailing bytes after last frame");
@@ -924,7 +948,7 @@ end
    injection); stats carry over with the frame-stream byte counts
    recomputed, and per-chunk CRCs recomputed over the new stored
    bytes. *)
-let map_frames f t =
+let map_frames_ev ~event_version f t =
   let stats =
     { t.stats with
       raw_bytes = 0;
@@ -934,9 +958,9 @@ let map_frames f t =
       lru_evictions = 0 }
   in
   let remake ~index ~chunks =
-    make_t ~trusted:t.trusted ~index ~chunks ~compressed:t.compressed
-      ~images:t.images ~files:t.files ~stats ~initial_exe:t.initial_exe
-      ~opts:t.opts ()
+    make_t ~trusted:t.trusted ~event_version ~index ~chunks
+      ~compressed:t.compressed ~images:t.images ~files:t.files ~stats
+      ~initial_exe:t.initial_exe ~opts:t.opts ()
   in
   let n_chunks = Array.length t.index in
   if n_chunks = 0 then remake ~index:t.index ~chunks:t.chunks
@@ -944,16 +968,18 @@ let map_frames f t =
   let chunks = Array.make n_chunks "" in
   let index = Array.make n_chunks t.index.(0) in
   let byte_offset = ref 0 in
+  let ectx = Event.ectx ~version:event_version () in
   Array.iteri
     (fun ci_idx ci ->
       let frames = decode_chunk_raw t ~idx:ci_idx ci t.chunks.(ci_idx) in
       let kinds = ref 0 in
-      let b = Codec.sink () in
+      let b = Codec.sink () in (* chunk-lifecycle *)
+      Event.reset_ectx ectx;
       Array.iteri
         (fun j e ->
           let e' = f (ci.first_frame + j) e in
           kinds := !kinds lor Event.kind_bit e';
-          Event.encode b e')
+          Event.encode ectx b e')
         frames;
       let raw = Buffer.contents b in
       stats.raw_bytes <- stats.raw_bytes + String.length raw;
@@ -971,6 +997,8 @@ let map_frames f t =
   remake ~index ~chunks
   end
 
+let map_frames f t = map_frames_ev ~event_version:t.event_version f t
+
 (* ---- saving ---------------------------------------------------------- *)
 
 let save_io t io =
@@ -978,7 +1006,8 @@ let save_io t io =
   try
     Io.write io magic_v3;
     write_record io ~tag:tag_header
-      (header_payload ~compressed:t.compressed ~initial_exe:t.initial_exe);
+      (header_payload ~compressed:t.compressed ~initial_exe:t.initial_exe
+         ~event_version:t.event_version);
     let assoc tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
     let by_path (a, _) (b, _) = compare (a : string) b in
     List.iter
@@ -1009,12 +1038,12 @@ let save_io t io =
     (match t.sidecar with
     | None -> ()
     | Some ix ->
-      let b = Codec.sink () in
+      let b = Codec.sink () in (* chunk-lifecycle *)
       Trace_index.put_meta b ix;
       write_record io ~tag:tag_index (Buffer.contents b);
       Array.iter
         (fun (frame, blob) ->
-          let b = Codec.sink () in
+          let b = Codec.sink () in (* chunk-lifecycle *)
           Trace_index.put_checkpoint b ~frame ~blob;
           write_record io ~tag:tag_index_cp (Buffer.contents b))
         (Trace_index.checkpoints ix));
@@ -1040,6 +1069,12 @@ let save_exn t path =
    binary fixtures.  No CRCs, no footer: exactly what old builds
    wrote. *)
 let save_v2 t path =
+  (* v2 containers predate delta-coded chunks; transcode the chunk
+     stream back to event-encoding v1 so old readers decode it. *)
+  let t =
+    if t.event_version = 1 then t
+    else map_frames_ev ~event_version:1 (fun _ e -> e) t
+  in
   let put_chunk_info_v2 b ci =
     Codec.put_uvarint b ci.first_frame;
     Codec.put_uvarint b ci.n_frames;
@@ -1047,7 +1082,7 @@ let save_v2 t path =
     Codec.put_uvarint b ci.stored_len;
     Codec.put_uvarint b ci.kinds
   in
-  let b = Codec.sink () in
+  let b = Codec.sink () in (* chunk-lifecycle *)
   Codec.put_uvarint b 2;
   Codec.put_bool b t.compressed;
   Codec.put_string b t.initial_exe;
@@ -1076,7 +1111,7 @@ let save_v2 t path =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc magic_v2;
-      let len = Bytes.create 8 in
+      let len = Bytes.create 8 in (* chunk-lifecycle *)
       Bytes.set_int64_le len 0 (Int64.of_int (String.length payload));
       output_bytes oc len;
       output_string oc payload)
@@ -1133,7 +1168,8 @@ let parse_record data ~limit pos =
    so salvage can pick the newest one consistent with the chunks it
    kept. *)
 type scan_state = {
-  mutable sc_header : (bool * string) option; (* compressed, initial_exe *)
+  (* compressed, initial_exe, event encoding version *)
+  mutable sc_header : (bool * string * int) option;
   mutable sc_rev_chunks : (chunk_info * string) list;
   mutable sc_frames : int;
   mutable sc_off : int;
@@ -1168,14 +1204,16 @@ let apply_record st ~path tag payload =
   in
   if tag = tag_header then begin
     let version = Codec.get_uvarint s in
-    if version <> format_version then
+    if version <> format_version && version <> format_version_delta then
       raise
         (Format_error
-           (Version_skew { path; found = version; expected = format_version }));
+           (Version_skew
+              { path; found = version; expected = format_version_delta }));
+    let event_version = if version = format_version_delta then 2 else 1 in
     let compressed = Codec.get_bool s in
     let exe = Codec.get_string s in
     check_consumed ();
-    st.sc_header <- Some (compressed, exe)
+    st.sc_header <- Some (compressed, exe, event_version)
   end
   else if tag = tag_image then begin
     let p = Codec.get_string s in
@@ -1304,7 +1342,7 @@ let load_v3 ~opts ~path data =
         | R_short -> raise (Stop (corrupt ~path "trailer record truncated"))
         | R_bad_crc _ -> raise (Stop (corrupt ~path "trailer CRC mismatch"))
         | R_bad msg -> raise (Stop (corrupt ~path msg)));
-        let compressed, initial_exe =
+        let compressed, initial_exe, event_version =
           match st.sc_header with
           | Some h -> h
           | None -> raise (Stop (corrupt ~path "missing header record"))
@@ -1356,7 +1394,7 @@ let load_v3 ~opts ~path data =
                      (Trace_index.n_events ix) stats.n_events)))
         | Some _ | None -> ());
         let t =
-          make_t ~origin:path ~index:(Array.map fst scanned)
+          make_t ~origin:path ~event_version ~index:(Array.map fst scanned)
             ~chunks:(Array.map snd scanned) ~compressed ~images:st.sc_images
             ~files:st.sc_files ~stats ~initial_exe ~opts ()
         in
@@ -1547,13 +1585,13 @@ let salvage_v3 ~opts ~path data =
       (corrupt ~path
          (Fmt.str "header record unrecoverable (%s)"
             (match !damage with Some d -> d | None -> "empty stream")))
-  | Some (compressed, initial_exe) ->
+  | Some (compressed, initial_exe, event_version) ->
     let scanned = Array.of_list (List.rev st.sc_rev_chunks) in
     (* Decode-verify: keep the longest chunk prefix that inflates and
        decodes.  A probe [t] carries the compressed flag and origin for
        error context; its cache fills harmlessly and is discarded. *)
     let probe =
-      make_t ~origin:path ~index:(Array.map fst scanned)
+      make_t ~origin:path ~event_version ~index:(Array.map fst scanned)
         ~chunks:(Array.map snd scanned) ~compressed ~images:st.sc_images
         ~files:st.sc_files ~stats:(new_stats ()) ~initial_exe
         ~opts:default_opts ()
@@ -1596,7 +1634,7 @@ let salvage_v3 ~opts ~path data =
     stats.compressed_bytes <-
       Array.fold_left (fun acc (ci, _) -> acc + ci.stored_len) 0 kept;
     let t =
-      make_t ~origin:path ~index:(Array.map fst kept)
+      make_t ~origin:path ~event_version ~index:(Array.map fst kept)
         ~chunks:(Array.map snd kept) ~compressed ~images:st.sc_images
         ~files:st.sc_files ~stats ~initial_exe ~opts ()
     in

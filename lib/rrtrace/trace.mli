@@ -111,6 +111,7 @@ module Writer : sig
     ?chunk_limit:int ->
     ?opts:opts ->
     ?journal:Io.writer ->
+    ?event_version:int ->
     initial_exe:string ->
     unit ->
     w
@@ -128,7 +129,12 @@ module Writer : sig
       chunks — so killing the writer at any byte leaves a prefix that
       {!salvage} can recover and replay.  {!finish} commits the journal
       (trailer + footer) and closes it.  Journal IO failures surface as
-      {!Io.Io_error} from the writer operation that hit them. *)
+      {!Io.Io_error} from the writer operation that hit them.
+
+      [event_version] selects the chunk frame encoding (see
+      {!Event.ectx}): 2 (the default) delta-codes register images
+      against the task's previous frame; 1 writes plain arrays, for
+      compatibility tests manufacturing old-style files. *)
 
   val event : w -> Event.t -> int
   (** Append one frame; returns its serialized size (cost charging). *)
@@ -219,6 +225,12 @@ val set_opts : t -> opts -> unit
 
 val initial_exe : t -> string
 (** The executable the recording started under. *)
+
+val event_version : t -> int
+(** The event encoding the trace's chunks use: 1 = plain register
+    arrays, 2 = per-task register deltas.  Negotiated through the
+    header version field (3 → v1, 4 → v2); readers of either kind of
+    file decode transparently. *)
 
 val integrity : t -> [ `Crc_checked | `Trusted ]
 (** [`Crc_checked]: every stored chunk carries a CRC that is verified

@@ -190,6 +190,47 @@ let test_rdrand_hook_encoding () =
       (h <> Syscallbuf.hook_number)
   done
 
+(* Regression (§2.3.6): a poll that timed out (result = 0) or failed
+   writes no user memory — the model must not claim revents bytes the
+   kernel never touched, or record would capture (and replay clobber)
+   stale data. *)
+let test_poll_outputs_result_bounded () =
+  let args = [| 0x200000; 3; 100; 0; 0; 0 |] in
+  Alcotest.(check int) "timed-out poll writes nothing" 0
+    (List.length (Syscall_model.outputs ~nr:Sysno.poll ~args ~result:0));
+  Alcotest.(check int) "failed poll writes nothing" 0
+    (List.length (Syscall_model.outputs ~nr:Sysno.poll ~args ~result:(-4)));
+  let outs = Syscall_model.outputs ~nr:Sysno.poll ~args ~result:2 in
+  Alcotest.(check int) "ready poll records every revents slot" 3
+    (List.length outs);
+  List.iteri
+    (fun i { Syscall_model.out_addr; out_len } ->
+      Alcotest.(check int) "revents slot address"
+        (0x200000 + (24 * i) + 16)
+        out_addr;
+      Alcotest.(check int) "revents slot length" 8 out_len)
+    outs
+
+(* §3.4 stop elision is driven by [Syscall_model.elidable]: it must
+   only claim syscalls whose success provably writes no user memory. *)
+let test_elidable_rules () =
+  let z = [| 0; 0; 0; 0; 0; 0 |] in
+  let el nr args = Syscall_model.elidable ~nr ~args in
+  Alcotest.(check bool) "write elidable" true (el Sysno.write z);
+  Alcotest.(check bool) "close elidable" true (el Sysno.close z);
+  Alcotest.(check bool) "read not elidable" false (el Sysno.read z);
+  Alcotest.(check bool) "wait4(NULL status) elidable" true (el Sysno.wait4 z);
+  Alcotest.(check bool) "wait4(&status) not elidable" false
+    (el Sysno.wait4 [| -1; 0x130000; 0; 0; 0; 0 |]);
+  Alcotest.(check bool) "clone not elidable (special frame)" false
+    (el Sysno.clone z);
+  Alcotest.(check bool) "execve not elidable (special frame)" false
+    (el Sysno.execve z);
+  Alcotest.(check bool) "sigreturn not elidable" false
+    (el Sysno.rt_sigreturn z);
+  Alcotest.(check bool) "ptrace not elidable (emulated)" false
+    (el Sysno.ptrace z)
+
 let suites =
   [ ( "rr.syscallbuf.unit",
       [ Alcotest.test_case "guest record roundtrip" `Quick
@@ -205,4 +246,7 @@ let suites =
         Alcotest.test_case "layout slots disjoint" `Quick
           test_layout_slots_disjoint;
         Alcotest.test_case "rdrand hook encoding" `Quick
-          test_rdrand_hook_encoding ] ) ]
+          test_rdrand_hook_encoding;
+        Alcotest.test_case "poll outputs bounded by result" `Quick
+          test_poll_outputs_result_bounded;
+        Alcotest.test_case "elidable rules" `Quick test_elidable_rules ] ) ]

@@ -159,15 +159,64 @@ let sample_events =
 
 let test_event_roundtrip () =
   List.iter
-    (fun e ->
-      let b = Codec.sink () in
-      Event.encode b e;
-      let e' = Event.decode (Codec.source (Buffer.contents b)) in
-      Alcotest.(check string)
-        "event roundtrip" (Fmt.str "%a" Event.pp e)
-        (Fmt.str "%a" Event.pp e');
-      Alcotest.(check bool) "structurally equal" true (e = e'))
-    sample_events
+    (fun version ->
+      (* One context per direction over the whole sequence, exactly as
+         a chunk encodes: later frames delta against earlier ones. *)
+      let ec = Event.ectx ~version () and b = Codec.sink () in
+      List.iter (fun e -> Event.encode ec b e) sample_events;
+      let dc = Event.ectx ~version ()
+      and s = Codec.source (Buffer.contents b) in
+      List.iter
+        (fun e ->
+          let e' = Event.decode dc s in
+          Alcotest.(check string)
+            "event roundtrip" (Fmt.str "%a" Event.pp e)
+            (Fmt.str "%a" Event.pp e');
+          Alcotest.(check bool) "structurally equal" true (e = e'))
+        sample_events)
+    [ 1; 2 ]
+
+(* The v2 per-task register delta codec must round-trip any register
+   sequence.  Random sequences are padded with a none-changed pair
+   (change mask 0, no deltas) and an all-slots-changed image (full
+   mask, 17 zigzag deltas) so both extremes run on every case, and the
+   frames alternate between two tasks so the per-task delta state is
+   exercised. *)
+let qcheck_regs_delta_roundtrip =
+  let nregs = Event.pc_slot + 1 in
+  QCheck.Test.make ~name:"v2 regs delta roundtrip" ~count:100
+    QCheck.(
+      list_of_size
+        Gen.(1 -- 12)
+        (array_of_size (Gen.return nregs)
+           (oneof [ int; int_range (-4) 4; always max_int; always min_int ])))
+    (fun random_images ->
+      let last = List.nth random_images (List.length random_images - 1) in
+      let images =
+        random_images
+        @ [ Array.copy last; (* none changed *)
+            Array.map (fun v -> lnot v) last (* every slot changed *) ]
+      in
+      let frame tid regs =
+        Event.E_syscall
+          { tid;
+            nr = Sysno.read;
+            site = 0x1000;
+            writable_site = false;
+            via_abort = false;
+            regs_after = regs;
+            writes = [];
+            kind = Event.K_emulate }
+      in
+      let frames =
+        List.concat
+          (List.map (fun r -> [ frame 7 r; frame 8 (Array.map succ r) ]) images)
+      in
+      let ec = Event.ectx ~version:2 () and b = Codec.sink () in
+      List.iter (Event.encode ec b) frames;
+      let dc = Event.ectx ~version:2 ()
+      and s = Codec.source (Buffer.contents b) in
+      List.for_all (fun e -> Event.decode dc s = e) frames)
 
 let test_trace_writer_reader () =
   let w = Trace.Writer.create ~initial_exe:"/bin/x" () in
@@ -232,7 +281,7 @@ let qcheck_event_decode_robust =
   QCheck.Test.make ~name:"event decode never crashes on garbage" ~count:500
     QCheck.(string_of_size Gen.(0 -- 200))
     (fun junk ->
-      match Event.decode (Codec.source junk) with
+      match Event.decode (Event.ectx ()) (Codec.source junk) with
       | _ -> true
       | exception Codec.Corrupt _ -> true
       | exception _ -> false)
@@ -289,6 +338,7 @@ let suites =
     ( "trace.events",
       [ Alcotest.test_case "encode/decode roundtrip" `Quick
           test_event_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_regs_delta_roundtrip;
         Alcotest.test_case "writer/reader + chunks" `Quick
           test_trace_writer_reader;
         QCheck_alcotest.to_alcotest qcheck_event_decode_robust;
