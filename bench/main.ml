@@ -768,6 +768,135 @@ let micro () =
       | Some _ | None -> Fmt.pr "%-28s %14s@." name "n/a")
     rows
 
+(* ---- fleet: many concurrent recorders, one shared repository ---------
+
+   The deployability story of §7 at fleet scale: N instances of similar
+   workloads record concurrently into one content-addressed repository
+   (the handle's internal mutex serializes stores).  Measures the dedup
+   ratio (logical bytes referenced by manifests / physical object
+   bytes), store throughput, and the residency of a bounded
+   flight-recorder ring riding along.  Gates: dedup > 1.5x, and every
+   manifest must load back byte-identical to the trace that was stored
+   (same saved bytes, replayable to the same exit).  [--smoke] shrinks
+   the fleet to 3 instances for `dune runtest`. *)
+let fleet ~smoke () =
+  let n = if smoke then 3 else 8 in
+  let fail fmt = Fmt.kstr (fun m -> Fmt.epr "fleet: %s@." m; exit 1) fmt in
+  let tmp = Filename.get_temp_dir_name () in
+  let dir = Filename.concat tmp (Printf.sprintf "rr_fleet.%d" (Unix.getpid ())) in
+  let rec rm_rf p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+  @@ fun () ->
+  let repo =
+    match Repo.init dir with
+    | Ok r -> r
+    | Error e -> fail "repo init: %a" Repo.pp_error e
+  in
+  let name i = Printf.sprintf "fleet-%02d" i in
+  (* Similar-but-not-identical instances: the seed varies the schedule,
+     so chunk dedup is partial; images and cloned file blocks are shared
+     across the whole fleet. *)
+  let record_one i =
+    let w = Wl_cp.make ~params:{ Wl_cp.files = 4; file_kb = 128 } () in
+    let opts = Recorder.make_opts ~seed:(1 + (i mod 4)) () in
+    let recd, _ = Workload.record ~opts w in
+    (match Repo.store_trace repo ~name:(name i) recd.Workload.trace with
+    | Ok (_ : Repo.store_result) -> ()
+    | Error e -> raise (Repo.Repo_error e));
+    (recd.Workload.trace, recd.Workload.rec_stats.Recorder.exit_status)
+  in
+  let t0 = Unix.gettimeofday () in
+  let traces = Array.make n None in
+  (* Up to 4 concurrent recorders through the shared exec pool:
+     genuinely concurrent stores without oversubscribing small CI
+     machines. *)
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
+      List.init n (fun i -> Pool.submit pool (fun () -> (i, record_one i)))
+      |> List.iter (fun fut ->
+             let idx, r = Pool.await fut in
+             traces.(idx) <- Some r));
+  let store_s = Unix.gettimeofday () -. t0 in
+  (* Byte-identical round trip: every manifest loads back into a trace
+     whose saved bytes equal the original's, and replays to the same
+     exit status. *)
+  let bytes_of t =
+    let path = Filename.temp_file "rr_fleet" ".trace" in
+    Trace.save_exn t path;
+    let data = In_channel.with_open_bin path In_channel.input_all in
+    Sys.remove path;
+    data
+  in
+  let total_standalone = ref 0 in
+  Array.iteri
+    (fun i entry ->
+      let orig, orig_exit = Option.get entry in
+      let orig_bytes = bytes_of orig in
+      total_standalone := !total_standalone + String.length orig_bytes;
+      match Repo.load_trace repo ~name:(name i) with
+      | Error e -> fail "%s does not load: %a" (name i) Repo.pp_error e
+      | Ok loaded ->
+        if bytes_of loaded <> orig_bytes then
+          fail "%s round trip is not byte-identical" (name i);
+        let st, _ = Replayer.replay loaded in
+        if st.Replayer.exit_status <> orig_exit then
+          fail "%s replays to exit=%a, recorded %a" (name i)
+            Fmt.(Dump.option int)
+            st.Replayer.exit_status
+            Fmt.(Dump.option int)
+            orig_exit)
+    traces;
+  let stats =
+    match Repo.stats repo with
+    | Ok s -> s
+    | Error e -> fail "repo stats: %a" Repo.pp_error e
+  in
+  let dedup =
+    float_of_int stats.Repo.logical_bytes
+    /. float_of_int (max 1 stats.Repo.object_bytes)
+  in
+  if dedup <= 1.5 then
+    fail "dedup ratio %.2f, want > 1.5 (logical %d / object %d)" dedup
+      stats.Repo.logical_bytes stats.Repo.object_bytes;
+  (* A bounded flight-recorder ring riding along: its residency is the
+     memory cost of always-on recording. *)
+  let ring = Trace.ring ~chunks:4 in
+  let w = Wl_cp.make ~params:{ Wl_cp.files = 4; file_kb = 128 } () in
+  let opts =
+    Recorder.make_opts ~intercept:false ~chunk_limit:1024
+      ~sink:(Recorder.Sink_ring ring) ()
+  in
+  (match Recorder.run ~opts ~setup:w.Workload.setup ~exe:w.Workload.exe () with
+  | Ok _ -> ()
+  | Error e -> fail "ring instance: %a" Recorder.pp_error e);
+  let _window, report = Trace.ring_trace ring in
+  let mb_per_s =
+    float_of_int !total_standalone /. 1048576. /. max 1e-6 store_s
+  in
+  let oc = open_out "BENCH_fleet.json" in
+  Printf.fprintf oc
+    "{\"smoke\":%b,\"instances\":%d,\"dedup_ratio\":%.2f,\n\
+    \ \"object_bytes\":%d,\"logical_bytes\":%d,\"manifest_bytes\":%d,\n\
+    \ \"shared_objects\":%d,\"standalone_bytes\":%d,\"store_mb_per_s\":%.1f,\n\
+    \ \"ring\":{\"chunks\":%d,\"resident_bytes\":%d,\"dropped_chunks\":%d}}\n"
+    smoke n dedup stats.Repo.object_bytes stats.Repo.logical_bytes
+    stats.Repo.manifest_bytes stats.Repo.shared_objects !total_standalone
+    mb_per_s report.Trace.rr_chunks report.Trace.rr_resident_bytes
+    report.Trace.rr_dropped_chunks;
+  close_out oc;
+  Fmt.pr
+    "fleet: %d instances into one repo; dedup %.2fx (logical %d / object \
+     %d), %.1f MB/s store, ring resident %dB after %d dropped chunks@."
+    n dedup stats.Repo.logical_bytes stats.Repo.object_bytes mb_per_s
+    report.Trace.rr_resident_bytes report.Trace.rr_dropped_chunks;
+  Fmt.pr "(wrote BENCH_fleet.json)@."
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let smoke = List.mem "--smoke" args in
@@ -783,6 +912,7 @@ let () =
       ("ablation", ablations);
       ("wallclock", wallclock ~smoke);
       ("seek", seek_bench ~smoke);
+      ("fleet", fleet ~smoke);
       ("micro", micro) ]
   in
   match args with
@@ -797,6 +927,7 @@ let () =
     ablations ();
     wallclock ~smoke ();
     seek_bench ~smoke ();
+    fleet ~smoke ();
     micro ()
   | names ->
     List.iter

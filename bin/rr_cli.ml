@@ -22,44 +22,90 @@ let workload_of_name = function
   | "sambatest" -> Wl_samba.make ()
   | n -> Fmt.failwith "unknown workload %s (try: rr_cli list)" n
 
-let workload_arg =
-  let doc = "Workload to run (cp, make, octane, htmltest, sambatest)." in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+(* ---- shared flag table ------------------------------------------------
 
-let intercept_arg =
-  let doc = "Disable in-process syscall interception (paper §3)." in
-  Arg.(value & flag & info [ "no-intercept" ] ~doc)
+   Every flag that more than one subcommand accepts is declared here
+   exactly once: names, docv and help text live in this table and
+   nowhere else, so subcommands cannot drift apart in spelling or
+   semantics (record/replay/index/seek/profile used to hand-roll
+   --jobs/--readahead/-o separately).  --help output is generated from
+   these declarations and smoke-rendered for every subcommand by the
+   CLI lint in bin/dune. *)
+module Flags = struct
+  let workload_doc = "Workload to run (cp, make, octane, htmltest, sambatest)."
 
-let cloning_arg =
-  let doc = "Disable block cloning for large reads (paper §3.9)." in
-  Arg.(value & flag & info [ "no-cloning" ] ~doc)
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:workload_doc)
 
-let chaos_arg =
-  let doc = "Chaos mode: randomized scheduling to surface races (paper §8)." in
-  Arg.(value & flag & info [ "chaos" ] ~doc)
+  (* For subcommands where --smoke replaces the positional argument. *)
+  let opt_workload =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:workload_doc)
 
-let seed_arg =
-  let doc = "Recording seed (scheduling and entropy)." in
-  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+  let trace_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"A saved trace file.")
 
-let jobs_arg =
-  let doc =
-    "Worker domains that deflate trace chunks in the background while \
-     recording continues (1 = serial; output is byte-identical either \
-     way)."
-  in
-  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  let opt_trace_file ~doc =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
 
-let readahead_arg =
-  let doc =
-    "Chunks the replay reader prefetches and inflates in the background \
-     (0 = inflate on demand)."
-  in
-  Arg.(value & opt int 0 & info [ "readahead" ] ~docv:"N" ~doc)
+  let no_intercept =
+    let doc = "Disable in-process syscall interception (paper §3)." in
+    Arg.(value & flag & info [ "no-intercept" ] ~doc)
 
-let opts_of ?(jobs = 1) ~no_intercept ~no_cloning ~chaos ~seed () =
-  Recorder.make_opts ~intercept:(not no_intercept)
-    ~clone_blocks:(not no_cloning) ~chaos ~seed ~jobs ()
+  let no_cloning =
+    let doc = "Disable block cloning for large reads (paper §3.9)." in
+    Arg.(value & flag & info [ "no-cloning" ] ~doc)
+
+  let chaos =
+    let doc =
+      "Chaos mode: randomized scheduling to surface races (paper §8)."
+    in
+    Arg.(value & flag & info [ "chaos" ] ~doc)
+
+  let seed =
+    let doc = "Recording seed (scheduling and entropy)." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+  let jobs =
+    let doc =
+      "Worker domains that deflate trace chunks in the background while \
+       recording continues (1 = serial; output is byte-identical either \
+       way)."
+    in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+  let readahead =
+    let doc =
+      "Chunks the replay reader prefetches and inflates in the background \
+       (0 = inflate on demand)."
+    in
+    Arg.(value & opt int 0 & info [ "readahead" ] ~docv:"N" ~doc)
+
+  let out ~doc =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+  let smoke ~doc = Arg.(value & flag & info [ "smoke" ] ~doc)
+
+  let repo_dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"A trace repository directory.")
+
+  (* The recording options every recording subcommand accepts, combined
+     into one term: parsed once, clamped once (Recorder.make_opts). *)
+  let record_opts =
+    let combine no_intercept no_cloning chaos seed jobs =
+      Recorder.make_opts ~intercept:(not no_intercept)
+        ~clone_blocks:(not no_cloning) ~chaos ~seed ~jobs ()
+    in
+    Term.(const combine $ no_intercept $ no_cloning $ chaos $ seed $ jobs)
+end
 
 let do_record w opts =
   let recd, _k = Workload.record ~opts w in
@@ -75,17 +121,183 @@ let do_record w opts =
   Fmt.pr "  trace          : %a@." Trace.pp_stats (Trace.stats recd.Workload.trace);
   recd
 
-let out_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Save the trace to FILE.")
+(* Saved-trace commands get CLI-grade errors: a bad file is user error,
+   not a crash.  Format_error can also surface after open, when a lazily
+   decoded chunk turns out corrupt. *)
+let with_trace_errors f =
+  try f () with
+  | Trace.Format_error e ->
+    Fmt.epr "rr_cli: %a@." Trace.pp_error e;
+    exit 1
+  | Repo.Repo_error e ->
+    Fmt.epr "rr_cli: %a@." Repo.pp_error e;
+    exit 1
+  | Io.Io_error e ->
+    Fmt.epr "rr_cli: %a@." Io.pp_error e;
+    exit 1
+  | Sys_error msg | Failure msg ->
+    Fmt.epr "rr_cli: %s@." msg;
+    exit 1
+
+let open_repo dir =
+  match Repo.open_ dir with
+  | Ok r -> r
+  | Error e ->
+    Fmt.epr "rr_cli: %a@." Repo.pp_error e;
+    exit 1
+
+(* Self-contained flight-recorder check (`record --smoke`): record a
+   reference trace, then (a) kill a roomy-ring recording mid-run via the
+   event-limit guard and require the retained window to be a replayable
+   prefix of the reference whose last frame matches the live run, and
+   (b) run a 2-chunk ring to completion and require the dropped-oldest
+   window to equal the reference's tail, watermark-aligned. *)
+let record_ring_smoke () =
+  let wl () = Wl_cp.make ~params:{ Wl_cp.files = 16; file_kb = 64 } () in
+  let fail fmt =
+    Fmt.kstr
+      (fun m ->
+        Fmt.epr "record --smoke: %s@." m;
+        exit 1)
+      fmt
+  in
+  (* Small chunks and no syscall interception, so the trace is many
+     small frames and the ring turns over on a small workload. *)
+  let mk ?max_events ?sink () =
+    Recorder.make_opts ~intercept:false ~chunk_limit:256 ?max_events ?sink ()
+  in
+  let w = wl () in
+  let ref_trace, _, _ =
+    Recorder.record ~opts:(mk ()) ~setup:w.Workload.setup ~exe:w.Workload.exe
+      ()
+  in
+  let reference = Trace.Reader.to_array ref_trace in
+  let total = Array.length reference in
+  if Array.length (Trace.chunk_index ref_trace) < 4 then
+    fail "reference trace too small to exercise the ring (%d chunks, %d frames, %a)"
+      (Array.length (Trace.chunk_index ref_trace))
+      total Trace.pp_stats (Trace.stats ref_trace);
+  (* (a) killed mid-run, no drops: the window is a pure prefix. *)
+  let ring = Trace.ring ~chunks:4096 in
+  let w = wl () in
+  let opts =
+    mk ~max_events:(total / 2) ~sink:(Recorder.Sink_ring ring) ()
+  in
+  (match Recorder.run ~opts ~setup:w.Workload.setup ~exe:w.Workload.exe () with
+  | Error (Recorder.Rec_failure _) -> ()
+  | Error (Recorder.Rec_trace e) ->
+    fail "kill run: wrong error class: %s" (Trace.error_to_string e)
+  | Ok _ -> fail "kill run: the event-limit guard never fired");
+  let window, report = Trace.ring_trace ring in
+  if report.Trace.rr_dropped_chunks <> 0 || report.Trace.rr_base_frame <> 0 then
+    fail "kill run: roomy ring dropped chunks (%a)" Trace.pp_ring_report report;
+  let frames = Trace.Reader.to_array window in
+  let n = Array.length frames in
+  if n = 0 then fail "kill run: empty window";
+  Array.iteri
+    (fun i e ->
+      if e <> reference.(i) then fail "kill run: window frame %d diverges" i)
+    frames;
+  (match Replayer.replay window with
+  | (_ : Replayer.stats * Kernel.t) -> ()
+  | exception e ->
+    fail "kill run: salvaged window does not replay: %s" (Printexc.to_string e));
+  Fmt.pr
+    "record --smoke: killed at event %d/%d; window of %d frames is a \
+     replayable prefix (last frame matches the live run)@."
+    (total / 2) total n;
+  (* (b) bounded ring on a full run: drop-oldest, watermark-aligned. *)
+  let ring = Trace.ring ~chunks:2 in
+  let w = wl () in
+  let opts = mk ~sink:(Recorder.Sink_ring ring) () in
+  (match Recorder.run ~opts ~setup:w.Workload.setup ~exe:w.Workload.exe () with
+  | Ok _ -> ()
+  | Error e -> fail "bounded run failed: %s" (Recorder.error_to_string e));
+  let window, report = Trace.ring_trace ring in
+  if report.Trace.rr_dropped_chunks = 0 || report.Trace.rr_base_frame = 0 then
+    fail "bounded run: 2-chunk ring never dropped (%a)" Trace.pp_ring_report
+      report;
+  let frames = Trace.Reader.to_array window in
+  let base_frame = report.Trace.rr_base_frame in
+  if base_frame + Array.length frames <> total then
+    fail "bounded run: window [%d, %d) does not end at the live run's end (%d)"
+      base_frame
+      (base_frame + Array.length frames)
+      total;
+  Array.iteri
+    (fun i e ->
+      if e <> reference.(base_frame + i) then
+        fail "bounded run: window frame %d diverges from live frame %d" i
+          (base_frame + i))
+    frames;
+  Fmt.pr "record --smoke: 2-chunk ring retained the tail [%d, %d) of %d \
+          frames; %a@."
+    base_frame total total Trace.pp_ring_report report
 
 let record_cmd =
-  let run name no_intercept no_cloning chaos seed jobs out =
-    let w = workload_of_name name in
+  let ring_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ring" ] ~docv:"N"
+          ~doc:
+            "Flight-recorder mode: stream the trace into a bounded \
+             in-memory ring of $(docv) chunks (drop-oldest, \
+             journal-watermark aligned) instead of keeping it all; \
+             persist the window only when a --dump-on trigger fires.")
+  in
+  let dump_on_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "dump-on" ] ~docv:"TRIGGER"
+          ~doc:
+            "Persist the ring window when $(docv) fires: signal (the \
+             recording died), exit!=0, divergence (a verification replay \
+             of the window diverged), or always.  Repeatable; default \
+             always.")
+  in
+  let repo_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repo" ] ~docv:"DIR"
+          ~doc:
+            "Store the trace (or the dumped ring window) \
+             content-addressed in the repository at $(docv), created if \
+             missing; shared chunks dedup against what is already there.")
+  in
+  let smoke_arg =
+    Flags.smoke
+      ~doc:
+        "Run the built-in flight-recorder check instead: a recording \
+         killed mid-run must salvage its ring window into a replayable \
+         prefix, and a 2-chunk ring must retain exactly the live run's \
+         tail."
+  in
+  let record_plain w opts out repo =
     let recd =
-      do_record w (opts_of ~jobs ~no_intercept ~no_cloning ~chaos ~seed ())
+      match repo with
+      | None -> do_record w opts
+      | Some dir -> (
+        let repo =
+          match Repo.init dir with
+          | Ok r -> r
+          | Error e ->
+            Fmt.epr "rr_cli: %a@." Repo.pp_error e;
+            exit 1
+        in
+        let opts =
+          Recorder.with_sink opts (Recorder.Sink_repo (repo, w.Workload.name))
+        in
+        let recd = do_record w opts in
+        match Repo.stats repo with
+        | Ok s ->
+          Fmt.pr "stored '%s' in %s:@.%a@." w.Workload.name (Repo.path repo)
+            Repo.pp_stats s;
+          recd
+        | Error e ->
+          Fmt.epr "rr_cli: %a@." Repo.pp_error e;
+          exit 1)
     in
     match out with
     | Some path -> (
@@ -96,19 +308,96 @@ let record_cmd =
         exit 1)
     | None -> ()
   in
+  let record_flight w opts out repo chunks dump_on =
+    let triggers =
+      match dump_on with
+      | [] -> [ Recorder.On_always ]
+      | l ->
+        List.map
+          (fun s ->
+            match Flight.parse_trigger s with
+            | Some t -> t
+            | None ->
+              Fmt.epr
+                "rr_cli: unknown --dump-on trigger %S (signal, exit!=0, \
+                 divergence, always)@."
+                s;
+              exit 2)
+          l
+    in
+    let opts = Recorder.with_dump_on opts triggers in
+    let ring = Trace.ring ~chunks in
+    let dump =
+      match (repo, out) with
+      | Some dir, _ ->
+        let repo =
+          match Repo.init dir with
+          | Ok r -> r
+          | Error e ->
+            Fmt.epr "rr_cli: %a@." Repo.pp_error e;
+            exit 1
+        in
+        Some (Flight.To_repo (repo, w.Workload.name))
+      | None, Some path -> Some (Flight.To_file path)
+      | None, None -> None
+    in
+    match
+      Flight.record ~opts ?dump ~ring ~setup:w.Workload.setup
+        ~exe:w.Workload.exe ()
+    with
+    | Error e ->
+      Fmt.epr "rr_cli: dump failed: %a@." Recorder.pp_error e;
+      exit 1
+    | Ok o ->
+      (match o.Flight.result with
+      | Ok (st, _) ->
+        Fmt.pr "recorded %s (flight): exit=%a@." w.Workload.name
+          Fmt.(option ~none:(any "?") int)
+          st.Recorder.exit_status
+      | Error e ->
+        Fmt.pr "recording died: %a@." Recorder.pp_error e);
+      Fmt.pr "  ring           : %a@." Trace.pp_ring_report o.Flight.report;
+      (match o.Flight.cause with
+      | Some c -> Fmt.pr "  trigger fired  : %a@." Flight.pp_cause c
+      | None -> Fmt.pr "  trigger fired  : none@.");
+      (match o.Flight.dumped_to with
+      | Some where -> Fmt.pr "  window dumped  : %s@." where
+      | None -> ())
+  in
+  let run name opts out ring dump_on repo smoke =
+    with_trace_errors @@ fun () ->
+    if smoke then record_ring_smoke ()
+    else begin
+      let w =
+        match name with
+        | Some n -> workload_of_name n
+        | None ->
+          Fmt.epr "rr_cli: record needs a WORKLOAD argument (or --smoke)@.";
+          exit 2
+      in
+      match ring with
+      | Some chunks -> record_flight w opts out repo chunks dump_on
+      | None -> record_plain w opts out repo
+    end
+  in
   Cmd.v
-    (Cmd.info "record" ~doc:"Record a workload and print trace statistics.")
+    (Cmd.info "record"
+       ~doc:
+         "Record a workload and print trace statistics.  With --ring, \
+          flight-recorder mode: a bounded in-memory window persisted only \
+          when a --dump-on trigger fires.  With --repo, the trace is \
+          stored content-addressed.")
     Term.(
-      const run $ workload_arg $ intercept_arg $ cloning_arg $ chaos_arg
-      $ seed_arg $ jobs_arg $ out_arg)
+      const run $ Flags.opt_workload $ Flags.record_opts
+      $ Flags.out ~doc:"Save the trace (or the dumped ring window) to FILE."
+      $ ring_arg $ dump_on_arg $ repo_arg $ smoke_arg)
 
 let replay_cmd =
-  let run name no_intercept no_cloning chaos seed jobs readahead =
+  let run name opts readahead =
     let w = workload_of_name name in
-    let recd =
-      do_record w (opts_of ~jobs ~no_intercept ~no_cloning ~chaos ~seed ())
-    in
-    Trace.set_opts recd.Workload.trace (Trace.make_opts ~jobs ~readahead ());
+    let recd = do_record w opts in
+    Trace.set_opts recd.Workload.trace
+      (Trace.make_opts ~jobs:opts.Recorder.jobs ~readahead ());
     let rep, _ = Workload.replay recd in
     let st = rep.Workload.rep_stats in
     Fmt.pr "replayed %s: exit=%a (events applied: %d, wall %d)@."
@@ -122,9 +411,7 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Record a workload, replay the trace, verify equivalence.")
-    Term.(
-      const run $ workload_arg $ intercept_arg $ cloning_arg $ chaos_arg
-      $ seed_arg $ jobs_arg $ readahead_arg)
+    Term.(const run $ Flags.workload $ Flags.record_opts $ Flags.readahead)
 
 let dump_cmd =
   let n_arg =
@@ -150,22 +437,7 @@ let dump_cmd =
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"Record a workload and print its trace frames.")
-    Term.(const run $ workload_arg $ n_arg)
-
-(* Saved-trace commands get CLI-grade errors: a bad file is user error,
-   not a crash.  Format_error can also surface after open, when a lazily
-   decoded chunk turns out corrupt. *)
-let with_trace_errors f =
-  try f () with
-  | Trace.Format_error e ->
-    Fmt.epr "rr_cli: %a@." Trace.pp_error e;
-    exit 1
-  | Io.Io_error e ->
-    Fmt.epr "rr_cli: %a@." Io.pp_error e;
-    exit 1
-  | Sys_error msg | Failure msg ->
-    Fmt.epr "rr_cli: %s@." msg;
-    exit 1
+    Term.(const run $ Flags.workload $ n_arg)
 
 (* debug TARGET: TARGET is a saved trace file, or a workload name that
    is recorded on the spot (interception off so every syscall is its own
@@ -331,9 +603,6 @@ let debug_cmd =
       const run $ target_arg $ watch_arg $ port_arg $ sockpath_arg
       $ script_arg $ cp_every_arg)
 
-let file_arg =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"A saved trace file.")
-
 let replay_file_cmd =
   let run path =
     with_trace_errors @@ fun () ->
@@ -345,7 +614,7 @@ let replay_file_cmd =
   in
   Cmd.v
     (Cmd.info "replay-file" ~doc:"Replay a trace saved with record -o.")
-    Term.(const run $ file_arg)
+    Term.(const run $ Flags.trace_file)
 
 let dump_file_cmd =
   let n_arg =
@@ -375,7 +644,7 @@ let dump_file_cmd =
   in
   Cmd.v
     (Cmd.info "dump-file" ~doc:"Print the frames of a saved trace.")
-    Term.(const run $ file_arg $ n_arg)
+    Term.(const run $ Flags.trace_file $ n_arg)
 
 (* Self-contained durability check: record sambatest, save it, guillotine
    the file at several offsets inside the record stream, and require
@@ -445,18 +714,14 @@ let repair_smoke () =
 
 let repair_cmd =
   let smoke_arg =
-    let doc =
-      "Run the built-in crash-recovery check instead of repairing a file: \
-       record the sambatest workload, truncate its saved trace at three \
-       offsets, and verify each cut salvages into a replayable prefix."
-    in
-    Arg.(value & flag & info [ "smoke" ] ~doc)
+    Flags.smoke
+      ~doc:
+        "Run the built-in crash-recovery check instead of repairing a file: \
+         record the sambatest workload, truncate its saved trace at three \
+         offsets, and verify each cut salvages into a replayable prefix."
   in
   let opt_file_arg =
-    Arg.(
-      value
-      & pos 0 (some string) None
-      & info [] ~docv:"TRACE" ~doc:"A (possibly damaged) saved trace file.")
+    Flags.opt_trace_file ~doc:"A (possibly damaged) saved trace file."
   in
   let run path smoke out =
     with_trace_errors @@ fun () ->
@@ -483,11 +748,8 @@ let repair_cmd =
     end
   in
   let out_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "o"; "out" ] ~docv:"FILE"
-          ~doc:"Save the salvaged trace to FILE (re-written, fully committed).")
+    Flags.out
+      ~doc:"Save the salvaged trace to FILE (re-written, fully committed)."
   in
   Cmd.v
     (Cmd.info "repair"
@@ -589,19 +851,13 @@ let index_smoke () =
 
 let index_cmd =
   let smoke_arg =
-    let doc =
-      "Run the built-in index round-trip check instead of indexing a file: \
-       record sambatest, index and save it, reopen cold, and verify deep \
-       seeks restore durable checkpoints and indexed answers match scans."
-    in
-    Arg.(value & flag & info [ "smoke" ] ~doc)
+    Flags.smoke
+      ~doc:
+        "Run the built-in index round-trip check instead of indexing a file: \
+         record sambatest, index and save it, reopen cold, and verify deep \
+         seeks restore durable checkpoints and indexed answers match scans."
   in
-  let opt_file_arg =
-    Arg.(
-      value
-      & pos 0 (some string) None
-      & info [] ~docv:"TRACE" ~doc:"A saved trace file to index.")
-  in
+  let opt_file_arg = Flags.opt_trace_file ~doc:"A saved trace file to index." in
   let every_arg =
     Arg.(
       value
@@ -612,11 +868,7 @@ let index_cmd =
              about n/16).")
   in
   let out_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "o"; "out" ] ~docv:"FILE"
-          ~doc:"Write the indexed trace to FILE (default: rewrite TRACE).")
+    Flags.out ~doc:"Write the indexed trace to FILE (default: rewrite TRACE)."
   in
   let run path smoke every out =
     with_trace_errors @@ fun () ->
@@ -706,7 +958,7 @@ let seek_cmd =
          "Open a saved trace and seek to a frame (--frame) or virtual-clock \
           time (--time), reporting whether the persistent index made the \
           jump O(delta).")
-    Term.(const run $ file_arg $ frame_arg $ time_arg $ no_index_arg)
+    Term.(const run $ Flags.trace_file $ frame_arg $ time_arg $ no_index_arg)
 
 let stats_cmd =
   let json_arg =
@@ -725,19 +977,62 @@ let stats_cmd =
              not flat spans).  With --json, emits the ledger as JSON \
              instead of the telemetry snapshot.")
   in
-  let run name no_intercept no_cloning chaos seed jobs readahead json
-      attribution =
+  (* Exercise the flight-recorder and repository instruments inside the
+     session so the snapshot always carries ring.* and repo.* metrics: a
+     tiny 2-chunk ring recording (guaranteed drops), then the same trace
+     stored twice into a throwaway repo (the second store is all shared
+     objects). *)
+  let exercise_ring_and_repo () =
+    let w = Wl_cp.make ~params:{ Wl_cp.files = 2; file_kb = 16 } () in
+    let ring = Trace.ring ~chunks:2 in
+    (* Unbuffered + tiny chunks: enough chunk turnover to overflow a
+       2-chunk ring even on this small workload. *)
+    let opts =
+      Recorder.make_opts ~intercept:false ~chunk_limit:256
+        ~sink:(Recorder.Sink_ring ring) ()
+    in
+    (match
+       Recorder.run ~opts ~setup:w.Workload.setup ~exe:w.Workload.exe ()
+     with
+    | Ok _ -> ()
+    | Error e -> Fmt.failwith "ring session failed: %a" Recorder.pp_error e);
+    let window, _report = Trace.ring_trace ring in
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "rr_stats_repo.%d" (Unix.getpid ()))
+    in
+    let rec rm_rf p =
+      if Sys.is_directory p then begin
+        Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+    in
+    Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    @@ fun () ->
+    let repo =
+      match Repo.init dir with
+      | Ok r -> r
+      | Error e -> Fmt.failwith "repo session failed: %a" Repo.pp_error e
+    in
+    List.iter
+      (fun name ->
+        match Repo.store_trace repo ~name window with
+        | Ok (_ : Repo.store_result) -> ()
+        | Error e -> Fmt.failwith "repo store failed: %a" Repo.pp_error e)
+      [ "stats-a"; "stats-b" ]
+  in
+  let run name opts readahead json attribution =
     let w = workload_of_name name in
     (* One clean record+replay session; the snapshot covers both phases. *)
     Telemetry.reset ();
     if attribution then Timeline.start ();
-    let recd, _ =
-      Workload.record
-        ~opts:(opts_of ~jobs ~no_intercept ~no_cloning ~chaos ~seed ())
-        w
-    in
-    Trace.set_opts recd.Workload.trace (Trace.make_opts ~jobs ~readahead ());
+    let recd, _ = Workload.record ~opts w in
+    Trace.set_opts recd.Workload.trace
+      (Trace.make_opts ~jobs:opts.Recorder.jobs ~readahead ());
     let _rep, _ = Workload.replay recd in
+    exercise_ring_and_repo ();
     if attribution then Timeline.stop ();
     let snap = Telemetry.snapshot () in
     match (json, attribution) with
@@ -756,10 +1051,11 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:
          "Record and replay a workload, then print the unified telemetry \
-          snapshot (counters, spans, histograms, event ring).")
+          snapshot (counters, spans, histograms, event ring), including \
+          the flight-recorder ring and trace-repository instruments.")
     Term.(
-      const run $ workload_arg $ intercept_arg $ cloning_arg $ chaos_arg
-      $ seed_arg $ jobs_arg $ readahead_arg $ json_arg $ attribution_arg)
+      const run $ Flags.workload $ Flags.record_opts $ Flags.readahead
+      $ json_arg $ attribution_arg)
 
 (* ---- profile: timeline tracing with Chrome trace-event export -------- *)
 
@@ -896,24 +1192,19 @@ let profile_cmd =
           ~doc:"Workload to run (cp, make, octane, htmltest, sambatest).")
   in
   let smoke_arg =
-    Arg.(
-      value & flag
-      & info [ "smoke" ]
-          ~doc:
-            "Run the built-in profiling check instead: record sambatest \
-             under the timeline and verify the Chrome export is valid, \
-             balanced, nested, and spans >= 4 layers on >= 2 lanes.")
+    Flags.smoke
+      ~doc:
+        "Run the built-in profiling check instead: record sambatest under \
+         the timeline and verify the Chrome export is valid, balanced, \
+         nested, and spans >= 4 layers on >= 2 lanes."
   in
   let out_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "o"; "out" ] ~docv:"FILE"
-          ~doc:
-            "Write the Chrome trace-event JSON to FILE (load it in \
-             chrome://tracing or https://ui.perfetto.dev).")
+    Flags.out
+      ~doc:
+        "Write the Chrome trace-event JSON to FILE (load it in \
+         chrome://tracing or https://ui.perfetto.dev)."
   in
-  let run phase wl no_intercept no_cloning chaos seed jobs smoke out =
+  let run phase wl opts smoke out =
     with_trace_errors @@ fun () ->
     if smoke then profile_smoke ()
     else begin
@@ -921,8 +1212,7 @@ let profile_cmd =
       | Some phase_s, Some wl_s ->
         let phase = profile_phase_of phase_s in
         let w = workload_of_name wl_s in
-        profile_run ~phase ~w
-          ~opts:(opts_of ~jobs ~no_intercept ~no_cloning ~chaos ~seed ());
+        profile_run ~phase ~w ~opts;
         (match out with
         | Some path ->
           Timeline.export path;
@@ -947,8 +1237,80 @@ let profile_cmd =
           tracing armed; export a Chrome trace-event file (-o) and print \
           the text flamegraph plus the per-stage overhead ledger.")
     Term.(
-      const run $ phase_arg $ wl_arg $ intercept_arg $ cloning_arg $ chaos_arg
-      $ seed_arg $ jobs_arg $ smoke_arg $ out_arg)
+      const run $ phase_arg $ wl_arg $ Flags.record_opts $ smoke_arg
+      $ out_arg)
+
+(* ---- repo: the content-addressed trace repository -------------------- *)
+
+let repo_cmd =
+  let init_cmd =
+    let run dir =
+      match Repo.init dir with
+      | Ok r -> Fmt.pr "initialized trace repository at %s@." (Repo.path r)
+      | Error e ->
+        Fmt.epr "rr_cli: %a@." Repo.pp_error e;
+        exit 1
+    in
+    Cmd.v
+      (Cmd.info "init"
+         ~doc:
+           "Create a trace repository at DIR (objects/, traces/, format \
+            marker); succeeds on an existing repository.")
+      Term.(const run $ Flags.repo_dir)
+  in
+  let ls_cmd =
+    let run dir =
+      let repo = open_repo dir in
+      let names = Repo.list repo in
+      List.iter (fun n -> Fmt.pr "%s@." n) names;
+      if names = [] then Fmt.pr "(no traces)@."
+    in
+    Cmd.v
+      (Cmd.info "ls" ~doc:"List the traces stored in a repository.")
+      Term.(const run $ Flags.repo_dir)
+  in
+  let gc_cmd =
+    let run dir =
+      let repo = open_repo dir in
+      match Repo.gc repo with
+      | Ok g ->
+        Fmt.pr "gc: %d live objects, swept %d (%d bytes)@." g.Repo.live_objects
+          g.Repo.swept_objects g.Repo.swept_bytes
+      | Error e ->
+        Fmt.epr "rr_cli: %a@." Repo.pp_error e;
+        exit 1
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Refcount objects from the manifests, rewrite the refs ledger, \
+            and sweep unreferenced objects.  Refuses to sweep if any \
+            manifest is damaged.")
+      Term.(const run $ Flags.repo_dir)
+  in
+  let stats_cmd =
+    let run dir =
+      let repo = open_repo dir in
+      match Repo.stats repo with
+      | Ok s -> Fmt.pr "%a@." Repo.pp_stats s
+      | Error e ->
+        Fmt.epr "rr_cli: %a@." Repo.pp_error e;
+        exit 1
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Print repository statistics: traces, objects, physical vs. \
+            logical bytes, and the dedup ratio.")
+      Term.(const run $ Flags.repo_dir)
+  in
+  Cmd.group
+    (Cmd.info "repo"
+       ~doc:
+         "Manage a content-addressed trace repository: traces stored as \
+          shared chunk/image/file-block objects keyed by crc32-length, \
+          with refcounted gc.")
+    [ init_cmd; ls_cmd; gc_cmd; stats_cmd ]
 
 let list_cmd =
   let run () =
@@ -971,7 +1333,7 @@ let main =
           2017).")
     [ record_cmd; replay_cmd; dump_cmd; debug_cmd; stats_cmd; profile_cmd;
       list_cmd; replay_file_cmd; dump_file_cmd; repair_cmd; index_cmd;
-      seek_cmd ]
+      seek_cmd; repo_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

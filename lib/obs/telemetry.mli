@@ -19,6 +19,12 @@
       [gdb.packets] (RSP packets served), [gdb.reverse_seeks] (reverse
       continue/step resolutions and checkpoint restarts), and the
       [gdb.cmd] span timing every command dispatch;
+    - the flight-recorder ring and the trace repository report as the
+      [ring] and [repo] layers: [ring.dropped_chunks] and the
+      [ring.resident_bytes] gauge (window memory cost),
+      [repo.objects_stored] / [repo.objects_shared] /
+      [repo.bytes_stored] / [repo.bytes_deduped] (the dedup economy)
+      and [repo.gc_swept];
     - all durations are *virtual* nanoseconds from the cost model, read
       through the installed {!set_clock} (no wall-clock dependency, so
       telemetry never perturbs determinism);

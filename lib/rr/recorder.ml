@@ -40,6 +40,14 @@ let reraise_typed = function
   | Io.Io_error e -> Record_error (Rec_trace (Trace.Io e))
   | e -> e
 
+type sink_spec =
+  | Sink_memory
+  | Sink_file of string
+  | Sink_ring of Trace.ring
+  | Sink_repo of Repo.t * string
+
+type trigger = On_signal | On_exit_nonzero | On_divergence | On_always
+
 type opts = {
   intercept : bool; (* in-process syscall interception (§3) *)
   wide : bool; (* the widened wrapper set (§3.1); replay must match *)
@@ -52,6 +60,9 @@ type opts = {
   max_events : int; (* runaway-recording guard *)
   checksum_every : int; (* emit memory checksums every N frames; 0 = off *)
   jobs : int; (* worker domains deflating trace chunks in the background *)
+  chunk_limit : int; (* pending bytes that seal a chunk (Trace.Writer) *)
+  sink : sink_spec; (* where the trace streams while recording *)
+  dump_on : trigger list; (* flight-recorder dump triggers (Flight) *)
 }
 
 let default_opts =
@@ -65,7 +76,10 @@ let default_opts =
     seed = 1;
     max_events = 5_000_000;
     checksum_every = 0;
-    jobs = 1 }
+    jobs = 1;
+    chunk_limit = 1 lsl 16;
+    sink = Sink_memory;
+    dump_on = [] }
 
 let make_opts ?(intercept = default_opts.intercept) ?(wide = default_opts.wide)
     ?(scratch = default_opts.scratch)
@@ -74,11 +88,16 @@ let make_opts ?(intercept = default_opts.intercept) ?(wide = default_opts.wide)
     ?(timeslice_rcbs = default_opts.timeslice_rcbs) ?(seed = default_opts.seed)
     ?(max_events = default_opts.max_events)
     ?(checksum_every = default_opts.checksum_every)
-    ?(jobs = default_opts.jobs) () =
+    ?(jobs = default_opts.jobs) ?(chunk_limit = default_opts.chunk_limit)
+    ?(sink = default_opts.sink) ?(dump_on = default_opts.dump_on) () =
   { intercept; wide; scratch; clone_blocks; compress; chaos;
     timeslice_rcbs = max 1 timeslice_rcbs; seed;
     max_events = max 1 max_events; checksum_every = max 0 checksum_every;
-    jobs = max 1 jobs }
+    jobs = max 1 jobs; chunk_limit = max 256 chunk_limit; sink;
+    dump_on = List.sort_uniq compare dump_on }
+
+let with_sink opts sink = { opts with sink }
+let with_dump_on opts dump_on = { opts with dump_on = List.sort_uniq compare dump_on }
 
 type per_task = {
   mutable slot : int;
@@ -1046,6 +1065,18 @@ let handle_stop r task stop =
       fail "unexpected trap signal while recording"
     | Signals.Fault | Signals.User _ -> on_app_signal r task info)
 
+(* Resolve [opts.sink] to a concrete {!Trace.Sink.t}.  An explicit
+   [?journal] (the deprecated calling convention) takes precedence. *)
+let resolve_sink opts journal =
+  match journal with
+  | Some io -> Some (Trace.Sink.of_io io)
+  | None -> (
+    match opts.sink with
+    | Sink_memory -> None
+    | Sink_file path -> Some (Trace.Sink.of_io (Io.file_writer path))
+    | Sink_ring r -> Some (Trace.ring_sink r)
+    | Sink_repo (repo, name) -> Some (Repo.sink repo ~name))
+
 let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ?journal
     ~setup ~exe () =
   let k = K.create ~seed:opts.seed () in
@@ -1063,8 +1094,9 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ?journal
         setup k;
         try
           Trace.Writer.create ~compress:opts.compress
+            ~chunk_limit:opts.chunk_limit
             ~opts:(Trace.make_opts ~jobs:opts.jobs ())
-            ?journal ~initial_exe:exe ()
+            ?sink:(resolve_sink opts journal) ~initial_exe:exe ()
         with e -> raise (reraise_typed e))
   in
   let r =
@@ -1137,6 +1169,11 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ?journal
     (* The emergency debugger (§6.2): dump tracee state next to the
        failure so it can be diagnosed in the field. *)
     Log.err (fun m -> m "%s" (Diagnostics.dump ~msg:(Printexc.to_string exn) k));
+    (* Release the writer without committing: the deflate pool and the
+       sink's fd must not outlive a recording that died (a killed file
+       journal leaves its salvageable prefix on disk; a ring keeps its
+       window live in the caller-owned handle). *)
+    Trace.Writer.abort w;
     Timeline.end_scope "record.session";
     Telemetry.clear_clock ();
     raise (reraise_typed exn));
@@ -1147,7 +1184,11 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ?journal
       ~finally:(fun () ->
         Timeline.end_scope "record.session";
         Telemetry.clear_clock ())
-      (fun () -> try Trace.Writer.finish w with e -> raise (reraise_typed e))
+      (fun () ->
+        try Trace.Writer.finish w
+        with e ->
+          Trace.Writer.abort w;
+          raise (reraise_typed e))
   in
   let root_status =
     match Hashtbl.find_opt k.K.procs root.T.tid with
@@ -1165,7 +1206,9 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ?journal
       telemetry = Telemetry.since tm_base },
     k )
 
-let record_result ?opts ?on_stop ?journal ~setup ~exe () =
+let run ?opts ?on_stop ?journal ~setup ~exe () =
   match record ?opts ?on_stop ?journal ~setup ~exe () with
   | v -> Ok v
   | exception Record_error e -> Error e
+
+let record_result = run

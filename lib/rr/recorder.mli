@@ -32,6 +32,29 @@ exception Record_error of error
 val pp_error : error Fmt.t
 val error_to_string : error -> string
 
+(** Where the trace streams while recording (resolved to a
+    {!Trace.Sink.t} at [record] entry). *)
+type sink_spec =
+  | Sink_memory  (** build the trace in memory only (the default) *)
+  | Sink_file of string
+      (** stream the incremental v3 journal to this path; a recorder
+          killed mid-run leaves a salvageable file *)
+  | Sink_ring of Trace.ring
+      (** flight-recorder mode: the bounded in-memory window.  The ring
+          handle is caller-owned and survives a recording that dies —
+          dump it afterwards with {!Trace.ring_trace}. *)
+  | Sink_repo of Repo.t * string
+      (** store chunks and images content-addressed as they stream out;
+          the manifest lands under this name at commit *)
+
+(** When a flight recording's ring window should be persisted
+    (interpreted by {!Flight.record}). *)
+type trigger =
+  | On_signal  (** the recording died on an error / was killed *)
+  | On_exit_nonzero  (** the root process exited with a non-zero status *)
+  | On_divergence  (** a verification replay of the window diverged *)
+  | On_always
+
 type opts = {
   intercept : bool; (* in-process syscall interception (§3) *)
   wide : bool; (* widened wrapper set (§3.1); replay must use the same *)
@@ -44,6 +67,10 @@ type opts = {
   max_events : int; (* runaway-recording guard *)
   checksum_every : int; (* memory digests every N frames (§6.2); 0 = off *)
   jobs : int; (* worker domains deflating trace chunks in the background *)
+  chunk_limit : int; (* pending bytes that seal a chunk; flight recordings
+                        shrink it so the ring turns over in small steps *)
+  sink : sink_spec; (* where the trace streams while recording *)
+  dump_on : trigger list; (* flight-recorder dump triggers (Flight) *)
 }
 
 val default_opts : opts
@@ -60,11 +87,23 @@ val make_opts :
   ?max_events:int ->
   ?checksum_every:int ->
   ?jobs:int ->
+  ?chunk_limit:int ->
+  ?sink:sink_spec ->
+  ?dump_on:trigger list ->
   unit ->
   opts
 (** [default_opts] with the given fields overridden, clamped to sane
     ranges ([timeslice_rcbs ≥ 1], [max_events ≥ 1], [checksum_every ≥
-    0], [jobs ≥ 1]).  The only supported way to build an {!opts}. *)
+    0], [jobs ≥ 1], [chunk_limit ≥ 256]; [dump_on] deduplicated).  The only supported way to
+    build an {!opts}. *)
+
+val with_sink : opts -> sink_spec -> opts
+(** [opts] with the sink replaced — how {!Flight.record} routes an
+    arbitrary configuration through its ring. *)
+
+val with_dump_on : opts -> trigger list -> opts
+(** [opts] with the dump triggers replaced (deduplicated) — how the CLI
+    applies repeated [--dump-on] flags to an already-built [opts]. *)
 
 type stats = {
   wall_time : int; (* virtual ns *)
@@ -98,7 +137,24 @@ val record :
 
     Raises {!Record_error} on unsupported syscalls (§2.3.6 — the model
     must be extended), recording deadlock, the event-count guard
-    ([Rec_failure]), or a trace-store/journal failure ([Rec_trace]). *)
+    ([Rec_failure]), or a trace-store/journal failure ([Rec_trace]).
+    On any failure the writer is aborted first: the deflate pool is
+    shut down and the sink closed, so a journaling recorder that dies
+    never leaks its journal fd (the salvageable prefix stays on disk).
+
+    [journal] is the deprecated spelling of [Sink_file]; it overrides
+    [opts.sink] when given.  New code selects the output through
+    [opts.sink]. *)
+
+val run :
+  ?opts:opts ->
+  ?on_stop:(Kernel.t -> unit) ->
+  ?journal:Io.writer ->
+  setup:(Kernel.t -> unit) ->
+  exe:string ->
+  unit ->
+  (Trace.t * stats * Kernel.t, error) result
+(** {!record} with the failure as a value instead of an exception. *)
 
 val record_result :
   ?opts:opts ->
@@ -108,4 +164,4 @@ val record_result :
   exe:string ->
   unit ->
   (Trace.t * stats * Kernel.t, error) result
-(** {!record} with the failure as a value instead of an exception. *)
+[@@deprecated "use Recorder.run (same signature); confined to lib/rr"]

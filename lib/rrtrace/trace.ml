@@ -76,6 +76,8 @@ let tm_salvage_runs = Telemetry.counter "salvage.runs"
 let tm_salvage_chunks = Telemetry.counter "salvage.chunks_recovered"
 let tm_salvage_frames = Telemetry.counter "salvage.frames_recovered"
 let tm_salvage_lost = Telemetry.counter "salvage.bytes_lost"
+let tm_ring_dropped = Telemetry.counter "ring.dropped_chunks"
+let tm_ring_resident = Telemetry.gauge "ring.resident_bytes"
 
 (* ---- typed errors ---------------------------------------------------- *)
 
@@ -345,6 +347,245 @@ let footer_bytes ~trailer_off =
   Bytes.blit_string footer_magic 0 fb 8 8;
   Bytes.to_string fb
 
+(* ---- sinks -----------------------------------------------------------
+
+   A {!Sink.t} is the one place frames, chunks, images and file
+   snapshots leave a {!Writer}: the streaming file journal, the bounded
+   in-memory flight-recorder ring, and the content-addressed repository
+   (repo.ml) are all implementations of the same five-event interface.
+   Events arrive in trace-stream order — header first, every image and
+   file delta before the first chunk that references it, a stats
+   journal mark every few chunks — so a sink that persists events as
+   they arrive reproduces exactly the v3 record stream, and any prefix
+   it manages to persist is salvageable. *)
+
+type trace = t
+(* Alias so submodules defining their own [t] can still name the trace
+   type. *)
+
+module Sink = struct
+  type event =
+    | Header of { compressed : bool; initial_exe : string; event_version : int }
+    | Image of { path : string; img : Image.t }
+    | File_delta of { path : string; offset : int; data : string }
+    | Chunk of { first_frame : int; n_frames : int; kinds : int; stored : string }
+    | Journal of stats
+
+  type t = {
+    sk_name : string;
+    sk_put : event -> unit;
+    sk_commit : stats -> chunk_info array -> unit;
+    sk_close : unit -> unit; (* abort: release resources, commit nothing *)
+    sk_bounded : bool; (* the writer need not retain consumed chunks *)
+    sk_result : unit -> trace option; (* bounded sinks build the result *)
+  }
+
+  let make ?(bounded = false) ~name ~put ~commit ~close () =
+    { sk_name = name;
+      sk_put = put;
+      sk_commit = commit;
+      sk_close = close;
+      sk_bounded = bounded;
+      sk_result = (fun () -> None) }
+
+  let name s = s.sk_name
+
+  (* The streaming file sink — exactly the incremental v3 journal.  The
+     magic and header go out on the first event, every image/file/chunk
+     record as it arrives, and [commit] writes the trailer and footer
+     before closing the writer: a sink killed at any byte leaves a
+     salvageable prefix. *)
+  let of_io io =
+    let put = function
+      | Header { compressed; initial_exe; event_version } ->
+        Io.write io magic_v3;
+        write_record io ~tag:tag_header
+          (header_payload ~compressed ~initial_exe ~event_version)
+      | Image { path; img } ->
+        write_record io ~tag:tag_image (image_payload ~path img)
+      | File_delta { path; offset; data } ->
+        write_record io ~tag:tag_file (file_payload ~path ~offset data)
+      | Chunk { first_frame; n_frames; kinds; stored } ->
+        write_record io ~tag:tag_chunk
+          (chunk_payload ~first_frame ~n_frames ~kinds stored)
+      | Journal stats -> write_record io ~tag:tag_journal (journal_payload stats)
+    in
+    let commit stats index =
+      let trailer_off = Io.written io in
+      write_record io ~tag:tag_trailer (trailer_payload stats index);
+      Io.write io (footer_bytes ~trailer_off);
+      Io.close_writer io
+    in
+    let close () = try Io.close_writer io with Io.Io_error _ -> () in
+    make ~name:(Io.writer_path io) ~put ~commit ~close ()
+end
+
+(* ---- flight-recorder ring --------------------------------------------
+
+   A bounded in-memory sink: at most [budget] resident chunks, dropped
+   oldest-first in whole journal-watermark groups (every chunk between
+   two 'J' marks shares a group), so the retained window always starts
+   right after a journal mark and the stats snapshot paired with it is
+   never newer than the chunks it describes.  Header, images and file
+   snapshots are always retained — they are tiny next to the chunk
+   stream and every retained chunk may reference them — which is what
+   makes the dumped window decodable on its own. *)
+
+type ring_entry = {
+  re_first : int;
+  re_n : int;
+  re_kinds : int;
+  re_stored : string;
+  re_group : int; (* journal-watermark group the chunk belongs to *)
+}
+
+type ring = {
+  r_budget : int; (* max resident chunks *)
+  r_q : ring_entry Queue.t; (* oldest first *)
+  mutable r_bytes : int; (* resident stored bytes *)
+  mutable r_dropped_chunks : int;
+  mutable r_dropped_frames : int;
+  mutable r_group : int; (* current (still-open) watermark group *)
+  mutable r_header : (bool * string * int) option;
+  r_images : (string, Image.t) Hashtbl.t;
+  r_files : (string, string) Hashtbl.t;
+  mutable r_stats : stats option; (* newest journaled stats snapshot *)
+}
+
+type ring_report = {
+  rr_base_frame : int; (* trace index of the window's first frame *)
+  rr_chunks : int;
+  rr_frames : int;
+  rr_dropped_chunks : int;
+  rr_dropped_frames : int;
+  rr_resident_bytes : int;
+}
+
+let pp_ring_report ppf r =
+  Fmt.pf ppf
+    "ring: %d chunks (%d frames) resident (%d bytes) from frame %d; dropped \
+     %d chunks (%d frames)"
+    r.rr_chunks r.rr_frames r.rr_resident_bytes r.rr_base_frame
+    r.rr_dropped_chunks r.rr_dropped_frames
+
+let ring ~chunks =
+  { r_budget = max 1 chunks;
+    r_q = Queue.create ();
+    r_bytes = 0;
+    r_dropped_chunks = 0;
+    r_dropped_frames = 0;
+    r_group = 0;
+    r_header = None;
+    r_images = Hashtbl.create 8;
+    r_files = Hashtbl.create 8;
+    r_stats = None }
+
+let ring_drop_front r =
+  let e = Queue.pop r.r_q in
+  r.r_bytes <- r.r_bytes - String.length e.re_stored;
+  r.r_dropped_chunks <- r.r_dropped_chunks + 1;
+  r.r_dropped_frames <- r.r_dropped_frames + e.re_n;
+  Telemetry.incr tm_ring_dropped
+
+let ring_put r = function
+  | Sink.Header { compressed; initial_exe; event_version } ->
+    r.r_header <- Some (compressed, initial_exe, event_version)
+  | Sink.Image { path; img } -> Hashtbl.replace r.r_images path img
+  | Sink.File_delta { path; offset; data } ->
+    let current =
+      match Hashtbl.find_opt r.r_files path with Some d -> d | None -> ""
+    in
+    let offset = min offset (String.length current) in
+    Hashtbl.replace r.r_files path (String.sub current 0 offset ^ data)
+  | Sink.Chunk { first_frame; n_frames; kinds; stored } ->
+    Queue.push
+      { re_first = first_frame;
+        re_n = n_frames;
+        re_kinds = kinds;
+        re_stored = stored;
+        re_group = r.r_group }
+      r.r_q;
+    r.r_bytes <- r.r_bytes + String.length stored;
+    (* Drop-oldest, whole watermark groups at a time.  Degenerate case:
+       if the budget is smaller than one group, chunks of the open group
+       drop singly — alignment is best-effort there. *)
+    while Queue.length r.r_q > r.r_budget do
+      let g = (Queue.peek r.r_q).re_group in
+      if g = r.r_group then ring_drop_front r
+      else
+        while
+          (not (Queue.is_empty r.r_q)) && (Queue.peek r.r_q).re_group = g
+        do
+          ring_drop_front r
+        done
+    done;
+    Telemetry.set_gauge tm_ring_resident r.r_bytes
+  | Sink.Journal stats ->
+    r.r_stats <- Some (copy_stats stats);
+    r.r_group <- r.r_group + 1
+
+(* Snapshot the retained window as a standalone trace: chunk indexes
+   rebased to frame 0 (the loader's contiguity invariant), per-chunk
+   CRCs minted over the resident bytes, images and files copied.  The
+   window replays from its own frame 0 only when nothing was dropped
+   ([rr_base_frame = 0]); a truncated window is still decodable,
+   saveable and salvageable — DESIGN.md §4j spells out the
+   limitation. *)
+let ring_trace ?(opts = default_opts) r =
+  let compressed, initial_exe, event_version =
+    match r.r_header with
+    | Some h -> h
+    | None -> (true, "", default_event_version)
+  in
+  let entries = Array.of_seq (Queue.to_seq r.r_q) in
+  let n = Array.length entries in
+  let base = if n = 0 then 0 else entries.(0).re_first in
+  let off = ref 0 and frames = ref 0 in
+  let index =
+    Array.map
+      (fun e ->
+        let ci =
+          { first_frame = e.re_first - base;
+            n_frames = e.re_n;
+            byte_offset = !off;
+            stored_len = String.length e.re_stored;
+            kinds = e.re_kinds;
+            crc32 = Crc32.string e.re_stored }
+        in
+        off := !off + ci.stored_len;
+        frames := !frames + e.re_n;
+        ci)
+      entries
+  in
+  let chunks = Array.map (fun e -> e.re_stored) entries in
+  let stats =
+    match r.r_stats with Some s -> copy_stats s | None -> new_stats ()
+  in
+  stats.n_events <- !frames;
+  stats.n_chunks <- n;
+  stats.compressed_bytes <- !off;
+  let t =
+    make_t ~origin:"<ring>" ~event_version ~index ~chunks ~compressed
+      ~images:(Hashtbl.copy r.r_images) ~files:(Hashtbl.copy r.r_files)
+      ~stats ~initial_exe ~opts ()
+  in
+  ( t,
+    { rr_base_frame = base;
+      rr_chunks = n;
+      rr_frames = !frames;
+      rr_dropped_chunks = r.r_dropped_chunks;
+      rr_dropped_frames = r.r_dropped_frames;
+      rr_resident_bytes = r.r_bytes } )
+
+let ring_sink r =
+  { (Sink.make ~bounded:true ~name:"<ring>" ~put:(ring_put r)
+       ~commit:(fun stats _index -> r.r_stats <- Some (copy_stats stats))
+       ~close:(fun () -> ())
+       ())
+    with
+    Sink.sk_result = (fun () -> Some (fst (ring_trace r)))
+  }
+
 module Writer = struct
   (* A sealed chunk: its frames are fixed, its stored bytes may still be
      in flight on a worker domain.  Sealed chunks are consumed — index
@@ -358,15 +599,16 @@ module Writer = struct
     s_stored : string Pool.future;
   }
 
-  (* Incremental-journal state: the trace streams to [jio] *while it is
+  (* Incremental-sink state: the trace streams to [s_sink] *while it is
      being recorded*, so a writer killed mid-record leaves a salvageable
-     record-stream prefix instead of nothing.  [j_marks] remembers the
-     (length, crc) of every file snapshot already journaled, so the
-     growing per-task cloned-data files emit suffix deltas rather than
-     full rewrites. *)
-  type jstate = {
-    jio : Io.writer;
-    mutable j_since_mark : int; (* chunks streamed since the last 'J' *)
+     record-stream prefix (file sink), a live ring window (ring sink) or
+     a set of content-addressed objects (repo sink) instead of nothing.
+     [j_marks] remembers the (length, crc) of every file snapshot
+     already streamed, so the growing per-task cloned-data files emit
+     suffix deltas rather than full rewrites. *)
+  type sstate = {
+    s_sink : Sink.t;
+    mutable j_since_mark : int; (* chunks streamed since the last mark *)
     j_marks : (string, int * int) Hashtbl.t; (* path -> (len, crc) *)
   }
 
@@ -388,20 +630,33 @@ module Writer = struct
     compress : bool;
     opts : opts;
     pool : Pool.t; (* inline when opts.jobs = 1: the serial path *)
-    journal : jstate option;
+    sink : sstate option;
+    bounded : bool; (* bounded sink: consumed chunk bytes are not kept *)
+    mutable closed : bool; (* finish or abort already ran *)
   }
 
   let create ?(compress = true) ?(chunk_limit = default_chunk_limit)
-      ?(opts = default_opts) ?journal
+      ?(opts = default_opts) ?journal ?sink
       ?(event_version = default_event_version) ~initial_exe () =
-    let journal =
-      match journal with
+    (* [?journal] remains as sugar for the streaming file sink; an
+       explicit [?sink] wins when both are given. *)
+    let sink =
+      match (sink, journal) with
+      | Some s, _ -> Some s
+      | None, Some jio -> Some (Sink.of_io jio)
+      | None, None -> None
+    in
+    let bounded =
+      match sink with Some s -> s.Sink.sk_bounded | None -> false
+    in
+    let sink =
+      match sink with
       | None -> None
-      | Some jio ->
-        Io.write jio magic_v3;
-        write_record jio ~tag:tag_header
-          (header_payload ~compressed:compress ~initial_exe ~event_version);
-        Some { jio; j_since_mark = 0; j_marks = Hashtbl.create 8 }
+      | Some s ->
+        s.Sink.sk_put
+          (Sink.Header
+             { compressed = compress; initial_exe; event_version });
+        Some { s_sink = s; j_since_mark = 0; j_marks = Hashtbl.create 8 }
     in
     { sealed_q = Queue.create ();
       acc_chunks = [];
@@ -420,13 +675,16 @@ module Writer = struct
       compress;
       opts;
       pool = Pool.create ~jobs:opts.jobs ();
-      journal }
+      sink;
+      bounded;
+      closed = false }
 
-  (* Journal every file snapshot that changed since its last mark.  A
+  (* Stream every file snapshot that changed since its last mark.  A
      pure append (old bytes are a prefix, by length+CRC) emits only the
      suffix; anything else rewrites from offset 0.  Runs before each
-     'C' record so any salvaged prefix satisfies the ordering invariant
-     (chunks never reference file state the stream has not shown). *)
+     chunk event so any persisted prefix satisfies the ordering
+     invariant (chunks never reference file state the stream has not
+     shown). *)
   let journal_files w j =
     let paths =
       Hashtbl.fold (fun p _ acc -> p :: acc) w.files []
@@ -443,22 +701,21 @@ module Writer = struct
           | None -> (0, 0)
         in
         if len <> old_len || crc <> old_crc then begin
-          let payload =
+          let offset, data =
             if len > old_len
                && Crc32.sub data ~pos:0 ~len:old_len = old_crc
-            then
-              file_payload ~path ~offset:old_len
-                (String.sub data old_len (len - old_len))
-            else file_payload ~path ~offset:0 data
+            then (old_len, String.sub data old_len (len - old_len))
+            else (0, data)
           in
-          write_record j.jio ~tag:tag_file payload;
+          j.s_sink.Sink.sk_put (Sink.File_delta { path; offset; data });
           Hashtbl.replace j.j_marks path (len, crc)
         end)
       paths
 
   (* Consume one sealed chunk whose stored bytes are ready: build its
-     index entry (with CRC), account compression, and — when journaling
-     — stream it out behind its file deltas. *)
+     index entry (with CRC), account compression, and — with a sink —
+     stream it out behind its file deltas.  A bounded sink owns the
+     chunk bytes from here on; the writer keeps only the index entry. *)
   let consume w s stored =
     let stored_len = String.length stored in
     w.stats.compressed_bytes <- w.stats.compressed_bytes + stored_len;
@@ -473,18 +730,21 @@ module Writer = struct
         crc32 = Crc32.string stored }
     in
     w.acc_off <- w.acc_off + stored_len;
-    w.acc_chunks <- stored :: w.acc_chunks;
+    if not w.bounded then w.acc_chunks <- stored :: w.acc_chunks;
     w.acc_index <- ci :: w.acc_index;
-    match w.journal with
+    match w.sink with
     | None -> ()
     | Some j ->
       journal_files w j;
-      write_record j.jio ~tag:tag_chunk
-        (chunk_payload ~first_frame:ci.first_frame ~n_frames:ci.n_frames
-           ~kinds:ci.kinds stored);
+      j.s_sink.Sink.sk_put
+        (Sink.Chunk
+           { first_frame = ci.first_frame;
+             n_frames = ci.n_frames;
+             kinds = ci.kinds;
+             stored });
       j.j_since_mark <- j.j_since_mark + 1;
       if j.j_since_mark >= journal_interval then begin
-        write_record j.jio ~tag:tag_journal (journal_payload w.stats);
+        j.s_sink.Sink.sk_put (Sink.Journal w.stats);
         j.j_since_mark <- 0
       end
 
@@ -534,7 +794,7 @@ module Writer = struct
       w.frames_flushed <- w.frames_flushed + w.pending_frames;
       w.pending_frames <- 0;
       w.pending_kinds <- 0;
-      if w.journal <> None then drain ~block:false w
+      if Option.is_some w.sink then drain ~block:false w
     end
 
   (* Append one frame; returns the serialized size (for cost charging). *)
@@ -571,8 +831,8 @@ module Writer = struct
       w.stats.cloned_bytes <- w.stats.cloned_bytes + size;
       w.stats.cloned_blocks <-
         w.stats.cloned_blocks + ((size + 4095) / 4096);
-      match w.journal with
-      | Some j -> write_record j.jio ~tag:tag_image (image_payload ~path img)
+      match w.sink with
+      | Some j -> j.s_sink.Sink.sk_put (Sink.Image { path; img })
       | None -> ()
     end
 
@@ -597,12 +857,14 @@ module Writer = struct
   let find_file w path = Hashtbl.find_opt w.files path
 
   (* Await every in-flight deflate in chunk order, assemble the index,
-     and — when journaling — commit: final file deltas, trailer record,
-     footer.  The pool is shut down even if the journal IO fails
-     mid-commit, so worker domains never leak; the {!Io.Io_error}
-     propagates to the caller (the recorder wraps it in its own typed
-     error), and whatever prefix reached the journal is salvage
-     input. *)
+     and — with a sink — commit: final file deltas, then the sink's own
+     commit step (trailer + footer + close for the file sink, the
+     manifest for the repo sink).  The pool is shut down even if the
+     sink fails mid-commit, so worker domains never leak; the
+     {!Io.Io_error} propagates to the caller (the recorder wraps it in
+     its own typed error), and whatever prefix reached the sink is
+     salvage input.  A bounded sink supplies the resulting trace — the
+     retained ring window — since the writer kept no chunk bytes. *)
   let finish w =
     Timeline.scope "trace.commit" @@ fun () ->
     Fun.protect
@@ -612,17 +874,37 @@ module Writer = struct
         drain ~block:true w;
         let index = Array.of_list (List.rev w.acc_index) in
         let chunks = Array.of_list (List.rev w.acc_chunks) in
-        (match w.journal with
+        (match w.sink with
         | None -> ()
         | Some j ->
           journal_files w j;
-          let trailer_off = Io.written j.jio in
-          write_record j.jio ~tag:tag_trailer (trailer_payload w.stats index);
-          Io.write j.jio (footer_bytes ~trailer_off);
-          Io.close_writer j.jio);
-        make_t ~event_version:(Event.ectx_version w.ectx) ~index ~chunks
-          ~compressed:w.compress ~images:w.images ~files:w.files
-          ~stats:w.stats ~initial_exe:w.exe ~opts:w.opts ())
+          j.s_sink.Sink.sk_commit w.stats index);
+        w.closed <- true;
+        let bounded_result =
+          match w.sink with
+          | Some j when w.bounded -> j.s_sink.Sink.sk_result ()
+          | Some _ | None -> None
+        in
+        match bounded_result with
+        | Some t -> t
+        | None ->
+          make_t ~event_version:(Event.ectx_version w.ectx) ~index ~chunks
+            ~compressed:w.compress ~images:w.images ~files:w.files
+            ~stats:w.stats ~initial_exe:w.exe ~opts:w.opts ())
+
+  (* Release a writer without committing: shut the deflate pool down and
+     close the sink (for the file sink, the journal fd — the leak a
+     killed recording used to leave behind).  Idempotent, and safe after
+     a failed [finish]; never raises on sink close errors, because abort
+     runs on error paths. *)
+  let abort w =
+    if not w.closed then begin
+      w.closed <- true;
+      (match w.sink with
+      | Some j -> (try j.s_sink.Sink.sk_close () with _ -> ())
+      | None -> ());
+      Pool.shutdown w.pool
+    end
 end
 
 let n_events t = t.stats.n_events
@@ -638,6 +920,8 @@ let get_opts t = t.opts
 let initial_exe t = t.initial_exe
 
 let event_version t = t.event_version
+
+let compressed t = t.compressed
 
 let integrity t = if t.trusted then `Trusted else `Crc_checked
 
@@ -998,6 +1282,72 @@ let map_frames_ev ~event_version f t =
   end
 
 let map_frames f t = map_frames_ev ~event_version:t.event_version f t
+
+(* ---- parts access (the repository layer's view) ---------------------- *)
+
+let chunk_stored t i = t.chunks.(i)
+
+let images t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.images []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+
+let files t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.files []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+
+(* Validating assembly from externally stored parts (the repository's
+   manifest + object store): the same structural invariants the strict
+   loader enforces — chunk contiguity from frame 0, no empty chunks,
+   stats agreeing with the chunk stream — checked up front, with
+   byte_offset/stored_len/crc32 recomputed from the actual bytes. *)
+let of_parts ?(opts = default_opts) ?(event_version = default_event_version)
+    ?(origin = "<parts>") ~compressed ~initial_exe ~chunks:parts
+    ~images:imgs ~files:fls ~stats:st () =
+  let exception Bad of string in
+  try
+    let n = Array.length parts in
+    let index =
+      Array.make n
+        { first_frame = 0;
+          n_frames = 0;
+          byte_offset = 0;
+          stored_len = 0;
+          kinds = 0;
+          crc32 = 0 }
+    in
+    let chunks = Array.make n "" in
+    let off = ref 0 and frame = ref 0 in
+    Array.iteri
+      (fun i (first_frame, n_frames, kinds, stored) ->
+        if first_frame <> !frame then
+          raise (Bad (Fmt.str "chunk index gap at frame %d" !frame));
+        if n_frames <= 0 then raise (Bad "empty chunk record");
+        index.(i) <-
+          { first_frame;
+            n_frames;
+            byte_offset = !off;
+            stored_len = String.length stored;
+            kinds;
+            crc32 = Crc32.string stored };
+        chunks.(i) <- stored;
+        off := !off + String.length stored;
+        frame := !frame + n_frames)
+      parts;
+    if st.n_events <> !frame then
+      raise
+        (Bad
+           (Fmt.str "stats claim %d frames, chunks cover %d" st.n_events
+              !frame));
+    let stats = copy_stats st in
+    stats.n_chunks <- n;
+    stats.compressed_bytes <- !off;
+    let images = Hashtbl.create 8 and files = Hashtbl.create 8 in
+    List.iter (fun (p, img) -> Hashtbl.replace images p img) imgs;
+    List.iter (fun (p, d) -> Hashtbl.replace files p d) fls;
+    Ok
+      (make_t ~origin ~event_version ~index ~chunks ~compressed ~images
+         ~files ~stats ~initial_exe ~opts ())
+  with Bad detail -> Error (Corrupt { path = origin; detail })
 
 (* ---- saving ---------------------------------------------------------- *)
 

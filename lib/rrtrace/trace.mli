@@ -103,6 +103,88 @@ exception Format_error of error
 val pp_error : error Fmt.t
 val error_to_string : error -> string
 
+(** {1 Sinks}
+
+    A {!Sink.t} is the one place frames, chunks, images and file
+    snapshots leave a {!Writer}.  Three implementations exist: the
+    streaming file journal ({!Sink.of_io}), the bounded in-memory
+    flight-recorder ring ({!ring_sink}), and the content-addressed
+    repository ({!Repo.sink}).  Events arrive in trace-stream order —
+    header first, every image and file delta before the first chunk
+    referencing it, a stats journal mark every few chunks — so a sink
+    persisting events as they arrive reproduces the v3 record stream,
+    and any prefix it persists is salvageable. *)
+
+module Sink : sig
+  type event =
+    | Header of { compressed : bool; initial_exe : string; event_version : int }
+    | Image of { path : string; img : Image.t }
+    | File_delta of { path : string; offset : int; data : string }
+        (** bytes [data] replace the file's contents from [offset];
+            a pure append when [offset] equals the previous length *)
+    | Chunk of { first_frame : int; n_frames : int; kinds : int; stored : string }
+        (** one sealed chunk's stored (possibly deflated) bytes *)
+    | Journal of stats
+        (** watermark: a stats snapshot covering every chunk above *)
+
+  type t
+
+  val make :
+    ?bounded:bool ->
+    name:string ->
+    put:(event -> unit) ->
+    commit:(stats -> chunk_info array -> unit) ->
+    close:(unit -> unit) ->
+    unit ->
+    t
+  (** Build a custom sink.  [put] receives every event in stream order;
+      [commit] runs once from {!Writer.finish} with the final stats and
+      chunk index; [close] runs from {!Writer.abort} and must release
+      resources without committing (idempotent).  [bounded] declares
+      that the sink owns the chunk bytes and the writer need not retain
+      them (the ring); external sinks should leave it [false]. *)
+
+  val name : t -> string
+
+  val of_io : Io.writer -> t
+  (** The streaming file sink — the incremental v3 journal.  [commit]
+      writes the trailer and footer and closes the writer, so the
+      footer's presence proves completion; a sink killed at any byte
+      leaves a salvageable prefix. *)
+end
+
+type ring
+(** A bounded in-memory flight-recorder sink: at most [chunks] resident
+    chunks, dropped oldest-first in whole journal-watermark groups, so
+    the retained window always starts just past a 'J' mark.  Header,
+    images and file snapshots are always retained.  Telemetry:
+    [ring.dropped_chunks] (counter), [ring.resident_bytes] (gauge). *)
+
+type ring_report = {
+  rr_base_frame : int; (** trace index of the window's first frame *)
+  rr_chunks : int;
+  rr_frames : int;
+  rr_dropped_chunks : int;
+  rr_dropped_frames : int;
+  rr_resident_bytes : int;
+}
+
+val ring : chunks:int -> ring
+(** A fresh ring with a budget of [max 1 chunks] resident chunks.  The
+    handle is caller-owned: it outlives a recording killed mid-run, so
+    the window can still be dumped afterwards. *)
+
+val ring_sink : ring -> Sink.t
+
+val ring_trace : ?opts:opts -> ring -> t * ring_report
+(** Snapshot the retained window as a standalone trace: chunk indexes
+    rebased to frame 0, per-chunk CRCs minted, images and files copied.
+    The window replays from its own frame 0 only when nothing was
+    dropped ([rr_base_frame = 0]); a truncated window is still
+    decodable, saveable and salvageable (DESIGN.md §4j). *)
+
+val pp_ring_report : ring_report Fmt.t
+
 module Writer : sig
   type w
 
@@ -111,6 +193,7 @@ module Writer : sig
     ?chunk_limit:int ->
     ?opts:opts ->
     ?journal:Io.writer ->
+    ?sink:Sink.t ->
     ?event_version:int ->
     initial_exe:string ->
     unit ->
@@ -123,13 +206,17 @@ module Writer : sig
       outrun the compressors); chunks are consumed in submission order,
       so the file is byte-identical to the serial one.
 
-      With [journal], the trace streams to that writer {e while being
-      recorded}: images and file snapshots always precede the chunks
-      that reference them, and a stats journal record lands every few
-      chunks — so killing the writer at any byte leaves a prefix that
-      {!salvage} can recover and replay.  {!finish} commits the journal
-      (trailer + footer) and closes it.  Journal IO failures surface as
-      {!Io.Io_error} from the writer operation that hit them.
+      With [sink] (or [journal], sugar for [Sink.of_io]; [sink] wins
+      when both are given), the trace streams to that sink {e while
+      being recorded}: images and file snapshots always precede the
+      chunks that reference them, and a stats journal mark lands every
+      few chunks — so killing the writer at any byte leaves a prefix
+      that {!salvage} can recover and replay (file sink), a live ring
+      window ({!ring_sink}), or content-addressed objects a later gc
+      collects ([Repo.sink]).  {!finish} commits the sink; for a
+      bounded sink it returns the sink's own result (the ring window).
+      Sink IO failures surface as {!Io.Io_error} from the writer
+      operation that hit them.
 
       [event_version] selects the chunk frame encoding (see
       {!Event.ectx}): 2 (the default) delta-codes register images
@@ -148,6 +235,13 @@ module Writer : sig
 
   val find_file : w -> string -> string option
   val finish : w -> t
+
+  val abort : w -> unit
+  (** Release the writer without committing: shut the deflate pool down
+      and close the sink (for the file sink, the journal fd a killed
+      recording used to leak).  Idempotent; safe after a failed
+      {!finish}; never raises.  Call exactly one of {!finish} or
+      [abort]. *)
 end
 
 (** Cursor-based frame access — the only way to read frames. *)
@@ -232,6 +326,10 @@ val event_version : t -> int
     header version field (3 → v1, 4 → v2); readers of either kind of
     file decode transparently. *)
 
+val compressed : t -> bool
+(** Whether the trace's chunks are stored deflated — preserved verbatim
+    by the repository manifest so a loaded trace decodes identically. *)
+
 val integrity : t -> [ `Crc_checked | `Trusted ]
 (** [`Crc_checked]: every stored chunk carries a CRC that is verified
     before decoding.  [`Trusted]: the trace predates per-chunk CRCs (a
@@ -242,6 +340,35 @@ val image : t -> string -> Image.t
 (** Raises [Invalid_argument] for unknown paths. *)
 
 val file : t -> string -> string
+
+val images : t -> (string * Image.t) list
+(** Every snapshotted executable image, sorted by trace path. *)
+
+val files : t -> (string * string) list
+(** Every snapshotted file, sorted by trace path. *)
+
+val chunk_stored : t -> int -> string
+(** Chunk [i]'s stored (possibly deflated) bytes — the unit of
+    content-addressed storage in the trace repository. *)
+
+val of_parts :
+  ?opts:opts ->
+  ?event_version:int ->
+  ?origin:string ->
+  compressed:bool ->
+  initial_exe:string ->
+  chunks:(int * int * int * string) array ->
+  images:(string * Image.t) list ->
+  files:(string * string) list ->
+  stats:stats ->
+  unit ->
+  (t, error) result
+(** Validating assembly from externally stored parts (the repository's
+    manifest plus object store).  Each chunk is
+    [(first_frame, n_frames, kinds, stored_bytes)]; the same structural
+    invariants the strict loader enforces are checked (contiguity from
+    frame 0, no empty chunks, stats agreeing with the stream), and
+    byte offsets and per-chunk CRCs are recomputed from the bytes. *)
 
 val index : t -> Trace_index.t option
 (** The trace's sidecar index, if one was built (or loaded from 'P'/'K'

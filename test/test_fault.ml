@@ -207,7 +207,7 @@ let test_killed_recording_salvages () =
       let buf = Buffer.create 65536 in
       let journal = Io.inject [ Io.Write_crash_at cut ] (Io.buffer_writer buf) in
       (match
-         Recorder.record_result ~journal ~setup:wl.Workload.setup
+         Recorder.run ~journal ~setup:wl.Workload.setup
            ~exe:wl.Workload.exe ()
        with
       | Error (Recorder.Rec_trace _) -> ()

@@ -4,4 +4,5 @@ let () =
      @ Test_syscallbuf.suites @ Test_kernel_edge.suites @ Test_telemetry.suites
      @ Test_timeline.suites
      @ Test_exec.suites @ Test_diagnostics.suites @ Test_fault.suites
+     @ Test_repo.suites @ Test_flight.suites
      @ Test_gdbstub.suites @ Test_query.suites)
