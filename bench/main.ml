@@ -897,6 +897,174 @@ let fleet ~smoke () =
     report.Trace.rr_resident_bytes report.Trace.rr_dropped_chunks;
   Fmt.pr "(wrote BENCH_fleet.json)@."
 
+(* ---- serve: heavy-traffic server recording + per-connection shards --
+
+   The deployability scenario of a server under load: one recording of
+   the multi-process serve workload (fork-per-connection workers, mixed
+   request sizes, slow clients, injected errors), every frame tagged
+   live by the connection tracker, then split into standalone
+   per-connection sub-traces in a content-addressed repository.  The
+   payoff measured is time-to-first-replay: reaching one connection's
+   last request through its shard vs through the whole trace.  Gates:
+   every request is served, the shard reaches the target in >= 5x fewer
+   frames (>= 2x under --smoke's small fleet), and the shard replay's
+   worker and client state at the target frame is byte-identical to the
+   full-trace replay's. *)
+let serve_bench ~smoke () =
+  let conns = if smoke then 8 else 32 in
+  let requests = if smoke then 8 else 32 in
+  let min_frame_ratio = if smoke then 2. else 5. in
+  let fail fmt = Fmt.kstr (fun m -> Fmt.epr "serve: %s@." m; exit 1) fmt in
+  Fmt.pr "@.== Served traffic: per-connection trace shards ==@.";
+  let w =
+    Wl_serve.make
+      ~params:{ Wl_serve.default with Wl_serve.conns; requests }
+      ()
+  in
+  let ct = Conn_track.create () in
+  let (trace, stats, _k), record_s =
+    host_time (fun () ->
+        Recorder.record ~on_event:(Conn_track.observe ct)
+          ~setup:w.Workload.setup ~exe:w.Workload.exe ())
+  in
+  if stats.Recorder.exit_status <> Some 0 then
+    fail "serve exited %a" Fmt.(Dump.option int) stats.Recorder.exit_status;
+  let served = Conn_track.requests ct in
+  if served < conns * requests then
+    fail "served %d requests, want >= %d" served (conns * requests);
+  let tags = Conn_track.tags ct in
+  let infos = Conn_track.connections ct in
+  if List.length infos <> conns then
+    fail "tracked %d connections, want %d" (List.length infos) conns;
+  let path = Filename.temp_file "rr_serve" ".trace" in
+  Trace.save_exn trace path;
+  let trace_bytes = (Unix.stat path).Unix.st_size in
+  Sys.remove path;
+  let bytes_per_request = float_of_int trace_bytes /. float_of_int served in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rr_serve.%d" (Unix.getpid ()))
+  in
+  let rec rm_rf p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+  @@ fun () ->
+  let repo =
+    match Repo.init dir with
+    | Ok r -> r
+    | Error e -> fail "repo init: %a" Repo.pp_error e
+  in
+  (match Repo.store_trace repo ~name:"serve" trace with
+  | Ok (_ : Repo.store_result) -> ()
+  | Error e -> fail "store: %a" Repo.pp_error e);
+  let split, split_s =
+    host_time (fun () -> Shard.split ~repo ~base:"serve" ~tags trace)
+  in
+  let split =
+    match split with
+    | Ok r -> r
+    | Error e -> fail "split: %a" Repo.pp_error e
+  in
+  let rstats =
+    match Repo.stats repo with
+    | Ok s -> s
+    | Error e -> fail "repo stats: %a" Repo.pp_error e
+  in
+  let dedup =
+    float_of_int rstats.Repo.logical_bytes
+    /. float_of_int (max 1 rstats.Repo.object_bytes)
+  in
+  (* Time-to-first-replay: the middle connection's last owned frame,
+     reached through its shard vs through the whole trace. *)
+  let target = List.nth infos (conns / 2) in
+  let c = target.Conn_track.conn in
+  let i_last = ref (-1) in
+  Array.iteri (fun k t -> if t = c then i_last := k) tags;
+  (* the target frame's position among the frames the shard keeps *)
+  let j_last = ref (-1) in
+  for k = 0 to !i_last do
+    if tags.(k) = 0 || tags.(k) = c then incr j_last
+  done;
+  let shard =
+    match Shard.load repo ~base:"serve" ~conn:c with
+    | Ok s -> s
+    | Error e -> fail "load conn %d: %a" c Repo.pp_error e
+  in
+  let replay_to t upto =
+    let r = Replayer.start t in
+    while Replayer.cursor_index r <= upto && not (Replayer.at_end r) do
+      ignore (Replayer.step r)
+    done;
+    r
+  in
+  let r_shard, shard_s = host_time (fun () -> replay_to shard !j_last) in
+  let r_full, full_s = host_time (fun () -> replay_to trace !i_last) in
+  let frame_ratio =
+    float_of_int (!i_last + 1) /. float_of_int (!j_last + 1)
+  in
+  let speedup = full_s /. Float.max shard_s 1e-9 in
+  let digest r tid =
+    match Kernel.find_task (Replayer.kernel r) tid with
+    | None -> fail "task %d missing at the target frame" tid
+    | Some t ->
+      (Checksum.space t.Task.cpu.Cpu.space, Array.copy t.Task.cpu.Cpu.regs)
+  in
+  let identical =
+    digest r_shard target.Conn_track.worker_tid
+    = digest r_full target.Conn_track.worker_tid
+    && digest r_shard target.Conn_track.client_tid
+       = digest r_full target.Conn_track.client_tid
+  in
+  if not identical then
+    fail "shard replay state differs from the full trace at conn %d" c;
+  if frame_ratio < min_frame_ratio then
+    fail "targeted replay reaches conn %d in only %.1fx fewer frames, want \
+          >= %.0fx"
+      c frame_ratio min_frame_ratio;
+  Fmt.pr "served %d requests over %d connections in %.3fs (%.0f req/s host)@."
+    served conns record_s
+    (float_of_int served /. max 1e-6 record_s);
+  Fmt.pr
+    "trace: %d frames, %d B (%.1f B/request); %d shards in %.3fs, dedup \
+     %.2fx@."
+    (Trace.n_events trace) trace_bytes bytes_per_request
+    (List.length split.Shard.shards)
+    split_s dedup;
+  Fmt.pr
+    "time-to-first-replay (conn %d, frame %d): full %.4fs vs shard %.4fs — \
+     %.1fx faster, %.1fx fewer frames, state identical@."
+    c !i_last full_s shard_s speedup frame_ratio;
+  (* The smoke (wired into runtest) never overwrites the committed
+     artifact; only a full run refreshes it. *)
+  if not smoke then begin
+    let oc = open_out "BENCH_serve.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc
+          "{\"smoke\":%b,\"conns\":%d,\"requests_per_conn\":%d,\"served\":%d,\n\
+          \ \"record_s\":%.6f,\"req_per_s\":%.1f,\"frames\":%d,\"trace_bytes\":%d,\n\
+          \ \"bytes_per_request\":%.2f,\"shards\":%d,\"split_s\":%.6f,\n\
+          \ \"new_bytes\":%d,\"shared_bytes\":%d,\"dedup_ratio\":%.2f,\n\
+          \ \"ttfr\":{\"conn\":%d,\"full_frames\":%d,\"shard_frames\":%d,\n\
+          \ \"frame_ratio\":%.2f,\"full_s\":%.6f,\"shard_s\":%.6f,\n\
+          \ \"speedup\":%.2f,\"state_identical\":true}}\n"
+          smoke conns requests served record_s
+          (float_of_int served /. max 1e-6 record_s)
+          (Trace.n_events trace) trace_bytes bytes_per_request
+          (List.length split.Shard.shards)
+          split_s split.Shard.total_new_bytes split.Shard.total_shared_bytes
+          dedup c (!i_last + 1) (!j_last + 1) frame_ratio full_s shard_s
+          speedup);
+    Fmt.pr "(wrote BENCH_serve.json)@."
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let smoke = List.mem "--smoke" args in
@@ -913,6 +1081,7 @@ let () =
       ("wallclock", wallclock ~smoke);
       ("seek", seek_bench ~smoke);
       ("fleet", fleet ~smoke);
+      ("serve", serve_bench ~smoke);
       ("micro", micro) ]
   in
   match args with
@@ -928,6 +1097,7 @@ let () =
     wallclock ~smoke ();
     seek_bench ~smoke ();
     fleet ~smoke ();
+    serve_bench ~smoke ();
     micro ()
   | names ->
     List.iter

@@ -20,6 +20,7 @@ let workload_of_name = function
   | "octane" -> Wl_octane.make ()
   | "htmltest" -> Wl_htmltest.make ()
   | "sambatest" -> Wl_samba.make ()
+  | "serve" -> Wl_serve.make ()
   | n -> Fmt.failwith "unknown workload %s (try: rr_cli list)" n
 
 (* ---- shared flag table ------------------------------------------------
@@ -32,7 +33,8 @@ let workload_of_name = function
    these declarations and smoke-rendered for every subcommand by the
    CLI lint in bin/dune. *)
 module Flags = struct
-  let workload_doc = "Workload to run (cp, make, octane, htmltest, sambatest)."
+  let workload_doc =
+    "Workload to run (cp, make, octane, htmltest, sambatest, serve)."
 
   let workload =
     Arg.(
@@ -392,26 +394,8 @@ let record_cmd =
       $ Flags.out ~doc:"Save the trace (or the dumped ring window) to FILE."
       $ ring_arg $ dump_on_arg $ repo_arg $ smoke_arg)
 
-let replay_cmd =
-  let run name opts readahead =
-    let w = workload_of_name name in
-    let recd = do_record w opts in
-    Trace.set_opts recd.Workload.trace
-      (Trace.make_opts ~jobs:opts.Recorder.jobs ~readahead ());
-    let rep, _ = Workload.replay recd in
-    let st = rep.Workload.rep_stats in
-    Fmt.pr "replayed %s: exit=%a (events applied: %d, wall %d)@."
-      w.Workload.name
-      Fmt.(option ~none:(any "?") int)
-      st.Replayer.exit_status st.Replayer.events_applied st.Replayer.wall_time;
-    if st.Replayer.exit_status = recd.Workload.rec_stats.Recorder.exit_status
-    then Fmt.pr "replay matches the recording.@."
-    else Fmt.failwith "replay DIVERGED from the recording"
-  in
-  Cmd.v
-    (Cmd.info "replay"
-       ~doc:"Record a workload, replay the trace, verify equivalence.")
-    Term.(const run $ Flags.workload $ Flags.record_opts $ Flags.readahead)
+(* replay_cmd is defined after the shard helpers below: its --conn mode
+   extracts and replays a single connection's sub-trace. *)
 
 let dump_cmd =
   let n_arg =
@@ -977,11 +961,12 @@ let stats_cmd =
              not flat spans).  With --json, emits the ledger as JSON \
              instead of the telemetry snapshot.")
   in
-  (* Exercise the flight-recorder and repository instruments inside the
-     session so the snapshot always carries ring.* and repo.* metrics: a
-     tiny 2-chunk ring recording (guaranteed drops), then the same trace
-     stored twice into a throwaway repo (the second store is all shared
-     objects). *)
+  (* Exercise the flight-recorder, repository and shard instruments
+     inside the session so the snapshot always carries ring.*, repo.*,
+     shard.* and serve.* metrics: a tiny 2-chunk ring recording
+     (guaranteed drops), the same trace stored twice into a throwaway
+     repo (the second store is all shared objects), then a small served
+     recording split into per-connection shards. *)
   let exercise_ring_and_repo () =
     let w = Wl_cp.make ~params:{ Wl_cp.files = 2; file_kb = 16 } () in
     let ring = Trace.ring ~chunks:2 in
@@ -1021,7 +1006,28 @@ let stats_cmd =
         match Repo.store_trace repo ~name window with
         | Ok (_ : Repo.store_result) -> ()
         | Error e -> Fmt.failwith "repo store failed: %a" Repo.pp_error e)
-      [ "stats-a"; "stats-b" ]
+      [ "stats-a"; "stats-b" ];
+    (* And the shard instruments: a tiny served recording tagged live by
+       the connection tracker, then split per connection into the same
+       throwaway repo (shard.* and serve.* counters). *)
+    let sw =
+      Wl_serve.make
+        ~params:{ Wl_serve.default with Wl_serve.conns = 2; requests = 2 }
+        ()
+    in
+    let ct = Conn_track.create () in
+    let strace, (_ : Recorder.stats), (_ : Kernel.t) =
+      Recorder.record ~on_event:(Conn_track.observe ct)
+        ~setup:sw.Workload.setup ~exe:sw.Workload.exe ()
+    in
+    (match Repo.store_trace repo ~name:"stats-serve" strace with
+    | Ok (_ : Repo.store_result) -> ()
+    | Error e -> Fmt.failwith "repo store failed: %a" Repo.pp_error e);
+    match
+      Shard.split ~repo ~base:"stats-serve" ~tags:(Conn_track.tags ct) strace
+    with
+    | Ok (_ : Shard.result_) -> ()
+    | Error e -> Fmt.failwith "shard split failed: %a" Repo.pp_error e
   in
   let run name opts readahead json attribution =
     let w = workload_of_name name in
@@ -1242,6 +1248,419 @@ let profile_cmd =
 
 (* ---- repo: the content-addressed trace repository -------------------- *)
 
+(* ---- serve / shard: served traffic and per-connection shards (§4k) --- *)
+
+let pp_conn_table conns =
+  Fmt.pr "  conn  client_port  client_tid  worker_tid  frames  requests@.";
+  List.iter
+    (fun (i : Conn_track.info) ->
+      Fmt.pr "  %4d  %11d  %10d  %10d  %6d  %8d@." i.Conn_track.conn
+        i.Conn_track.client_port i.Conn_track.client_tid
+        i.Conn_track.worker_tid i.Conn_track.frames i.Conn_track.requests)
+    conns
+
+let pp_shard_table shards =
+  Fmt.pr "  %-20s  %6s  %6s  %9s  %9s@." "SHARD" "FRAMES" "OWN" "NEW_B"
+    "SHARED_B";
+  List.iter
+    (fun (s : Shard.info) ->
+      Fmt.pr "  %-20s  %6d  %6d  %9d  %9d@." s.Shard.si_name s.Shard.si_frames
+        s.Shard.si_own_frames s.Shard.si_new_bytes s.Shard.si_shared_bytes)
+    shards
+
+(* Record the serve workload with the connection tracker attached: the
+   only record path that tags frames live. *)
+let record_serve ~params opts =
+  let w = Wl_serve.make ~params () in
+  let ct = Conn_track.create () in
+  let trace, stats, _k =
+    Recorder.record ~opts ~on_event:(Conn_track.observe ct)
+      ~setup:w.Workload.setup ~exe:w.Workload.exe ()
+  in
+  (trace, stats, ct)
+
+let shard_repo_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "repo" ] ~docv:"DIR"
+        ~doc:
+          "Store the full trace and its per-connection shards in this \
+           repository (created if missing).")
+
+let serve_cmd =
+  let conns_arg =
+    Arg.(
+      value
+      & opt int Wl_serve.default.Wl_serve.conns
+      & info [ "conns" ] ~docv:"N"
+          ~doc:"Connections (one forked worker and one client each).")
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt int Wl_serve.default.Wl_serve.requests
+      & info [ "requests" ] ~docv:"N" ~doc:"Data requests per connection.")
+  in
+  let run conns requests opts out repo_dir =
+    with_trace_errors @@ fun () ->
+    let params = { Wl_serve.default with Wl_serve.conns; requests } in
+    let trace, stats, ct = record_serve ~params opts in
+    let tags = Conn_track.tags ct in
+    let tagged =
+      Array.fold_left (fun a t -> if t <> 0 then a + 1 else a) 0 tags
+    in
+    Fmt.pr "served %d connections, %d requests (exit=%a)@."
+      (List.length (Conn_track.connections ct))
+      (Conn_track.requests ct)
+      Fmt.(option ~none:(any "?") int)
+      stats.Recorder.exit_status;
+    Fmt.pr "  frames: %d (%d connection-tagged, %d control)@."
+      (Trace.n_events trace) tagged
+      (Trace.n_events trace - tagged);
+    pp_conn_table (Conn_track.connections ct);
+    (match out with
+    | Some path -> (
+      match Trace.save trace path with
+      | Ok () -> Fmt.pr "saved to %s@." path
+      | Error e -> Fmt.failwith "save failed: %a" Trace.pp_error e)
+    | None -> ());
+    match repo_dir with
+    | None -> ()
+    | Some dir -> (
+      let repo =
+        match Repo.init dir with
+        | Ok r -> r
+        | Error e -> Fmt.failwith "repo: %a" Repo.pp_error e
+      in
+      (match Repo.store_trace repo ~name:"serve" trace with
+      | Ok (_ : Repo.store_result) -> ()
+      | Error e -> Fmt.failwith "store: %a" Repo.pp_error e);
+      match Shard.split ~repo ~base:"serve" ~tags trace with
+      | Ok r ->
+        Fmt.pr "sharded into %d sub-traces (%d new bytes, %d shared)@."
+          (List.length r.Shard.shards)
+          r.Shard.total_new_bytes r.Shard.total_shared_bytes;
+        pp_shard_table r.Shard.shards
+      | Error e -> Fmt.failwith "shard: %a" Repo.pp_error e)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Record the multi-process server workload under load, tagging \
+          every frame with its owning connection; optionally save the \
+          trace and shard it into a repository.")
+    Term.(
+      const run $ conns_arg $ requests_arg $ Flags.record_opts
+      $ Flags.out ~doc:"Save the recorded trace to FILE."
+      $ shard_repo_arg)
+
+(* The replayed state a targeted shard must reproduce exactly: one
+   task's registers plus its address-space digest (scratch and
+   rr-private pages excluded by Checksum.space). *)
+let task_digest k tid =
+  match Kernel.find_task k tid with
+  | None -> None
+  | Some t ->
+    Some (Checksum.space t.Task.cpu.Cpu.space, Array.copy t.Task.cpu.Cpu.regs)
+
+let replay_to trace upto =
+  let r = Replayer.start trace in
+  while Replayer.cursor_index r <= upto && not (Replayer.at_end r) do
+    ignore (Replayer.step r)
+  done;
+  r
+
+(* Self-contained shard check (`shard --smoke`): record serve, require
+   the live tags to match an offline derivation, split into a throwaway
+   repo, and for every connection (a) the shard reloads and replays to
+   its end without divergence, and (b) at a mid-stream frame of that
+   connection the shard replay's worker and client state is
+   byte-identical (registers + address-space digest) to the full-trace
+   replay at the corresponding frame. *)
+let shard_smoke () =
+  let fail fmt =
+    Fmt.kstr
+      (fun m ->
+        Fmt.epr "shard --smoke: %s@." m;
+        exit 1)
+      fmt
+  in
+  let params = { Wl_serve.default with Wl_serve.conns = 4; requests = 6 } in
+  let trace, _stats, ct = record_serve ~params Recorder.default_opts in
+  let tags = Conn_track.tags ct in
+  if tags <> Conn_track.tags (Conn_track.derive trace) then
+    fail "offline tag derivation disagrees with the live observer";
+  let conns = Conn_track.connections ct in
+  if List.length conns <> 4 then
+    fail "expected 4 connections, got %d" (List.length conns);
+  if Conn_track.requests ct <> 24 then
+    fail "expected 24 requests, got %d" (Conn_track.requests ct);
+  List.iter
+    (fun (i : Conn_track.info) ->
+      if i.Conn_track.client_tid < 0 || i.Conn_track.worker_tid < 0 then
+        fail "connection %d missing client or worker task" i.Conn_track.conn)
+    conns;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rr_shard_smoke.%d" (Unix.getpid ()))
+  in
+  let rec rm_rf p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+  @@ fun () ->
+  let repo =
+    match Repo.init dir with
+    | Ok r -> r
+    | Error e -> fail "repo init: %s" (Repo.error_to_string e)
+  in
+  (match Repo.store_trace repo ~name:"serve" trace with
+  | Ok (_ : Repo.store_result) -> ()
+  | Error e -> fail "store: %s" (Repo.error_to_string e));
+  let res =
+    match Shard.split ~repo ~base:"serve" ~tags trace with
+    | Ok r -> r
+    | Error e -> fail "split: %s" (Repo.error_to_string e)
+  in
+  (match Shard.list repo ~base:"serve" with
+  | Ok listed when listed = res.Shard.shards -> ()
+  | Ok _ -> fail "shard catalog round-trip mismatch"
+  | Error e -> fail "list: %s" (Repo.error_to_string e));
+  (* Each connection's mid-stream target frame, and the digest of its
+     tasks there in one full-trace replay pass (ascending targets). *)
+  let targets =
+    List.map
+      (fun (i : Conn_track.info) ->
+        let c = i.Conn_track.conn in
+        let own = ref [] in
+        Array.iteri (fun k t -> if t = c then own := k :: !own) tags;
+        let own = Array.of_list (List.rev !own) in
+        if Array.length own = 0 then fail "connection %d owns no frames" c;
+        (own.(Array.length own / 2), i))
+      conns
+    |> List.sort compare
+  in
+  let full = Replayer.start trace in
+  let full_digests =
+    List.map
+      (fun (i_star, (i : Conn_track.info)) ->
+        while Replayer.cursor_index full <= i_star do
+          ignore (Replayer.step full)
+        done;
+        let k = Replayer.kernel full in
+        ( i.Conn_track.conn,
+          (i_star, i, task_digest k i.Conn_track.worker_tid,
+           task_digest k i.Conn_track.client_tid) ))
+      targets
+  in
+  List.iter
+    (fun (c, (i_star, (i : Conn_track.info), dw, dc)) ->
+      let shard =
+        match Shard.load repo ~base:"serve" ~conn:c with
+        | Ok s -> s
+        | Error e -> fail "load conn %d: %s" c (Repo.error_to_string e)
+      in
+      if Trace.n_events shard >= Trace.n_events trace then
+        fail "conn %d shard did not shrink (%d >= %d frames)" c
+          (Trace.n_events shard) (Trace.n_events trace);
+      (* corresponding frame: position of i_star among the kept frames *)
+      let j_star = ref (-1) in
+      for k = 0 to i_star do
+        if tags.(k) = 0 || tags.(k) = c then incr j_star
+      done;
+      let r = replay_to shard !j_star in
+      let k = Replayer.kernel r in
+      if task_digest k i.Conn_track.worker_tid <> dw then
+        fail "conn %d worker state differs from the full replay" c;
+      if task_digest k i.Conn_track.client_tid <> dc then
+        fail "conn %d client state differs from the full replay" c;
+      (* and the shard replays to its end without divergence *)
+      match Replayer.replay shard with
+      | (_ : Replayer.stats * Kernel.t) -> ()
+      | exception Replayer.Divergence m -> fail "conn %d diverged: %s" c m)
+    full_digests;
+  Fmt.pr
+    "shard --smoke ok: 4 connections, 24 requests, %d-frame trace sharded \
+     (%d shared bytes); per-connection state byte-identical to the full \
+     replay@."
+    (Trace.n_events trace) res.Shard.total_shared_bytes
+
+let shard_cmd =
+  let conn_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "conn" ] ~docv:"ID"
+          ~doc:"Split only connection ID (default: every connection).")
+  in
+  let trace_arg =
+    Flags.opt_trace_file
+      ~doc:"A saved serve trace to shard (omit with --smoke)."
+  in
+  let run tracefile conn repo_dir smoke =
+    if smoke then shard_smoke ()
+    else
+      match tracefile with
+      | None ->
+        Fmt.epr "rr_cli: shard needs a TRACE file (or --smoke)@.";
+        exit 124
+      | Some path ->
+        with_trace_errors @@ fun () ->
+        let trace = Trace.load_exn path in
+        let ct = Conn_track.derive trace in
+        let conns = Conn_track.connections ct in
+        Fmt.pr "%s: %d frames, %d connections, %d requests@." path
+          (Trace.n_events trace) (List.length conns)
+          (Conn_track.requests ct);
+        pp_conn_table conns;
+        (match conn with
+        | Some c
+          when not
+                 (List.exists (fun i -> i.Conn_track.conn = c) conns) ->
+          Fmt.failwith "no such connection %d (trace has %d)" c
+            (List.length conns)
+        | _ -> ());
+        (match repo_dir with
+        | None -> ()
+        | Some dir -> (
+          let repo =
+            match Repo.init dir with
+            | Ok r -> r
+            | Error e -> Fmt.failwith "repo: %a" Repo.pp_error e
+          in
+          let base = Filename.basename path in
+          (match Repo.store_trace repo ~name:base trace with
+          | Ok (_ : Repo.store_result) -> ()
+          | Error e -> Fmt.failwith "store: %a" Repo.pp_error e);
+          match
+            Shard.split ?only:conn ~repo ~base ~tags:(Conn_track.tags ct)
+              trace
+          with
+          | Ok r ->
+            Fmt.pr "sharded into %d sub-traces (%d new bytes, %d shared)@."
+              (List.length r.Shard.shards)
+              r.Shard.total_new_bytes r.Shard.total_shared_bytes;
+            pp_shard_table r.Shard.shards
+          | Error e -> Fmt.failwith "shard: %a" Repo.pp_error e))
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Derive connection tags for a saved serve trace, list its \
+          connections, and optionally split it into per-connection \
+          sub-traces stored in a repository.  With --smoke, run the \
+          self-contained shard correctness check.")
+    Term.(
+      const run $ trace_arg $ conn_arg $ shard_repo_arg
+      $ Flags.smoke
+          ~doc:
+            "Run the self-contained shard check (records serve, splits, \
+             verifies per-connection replay state against the full trace).")
+
+let replay_cmd =
+  let conn_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "conn" ] ~docv:"ID"
+          ~doc:
+            "Targeted replay (serve workload only): extract connection \
+             ID's shard from the recording and replay just that \
+             sub-trace to the connection's last frame, reporting \
+             time-to-first-replay against the full trace.")
+  in
+  (* Targeted replay: how much cheaper is reaching one connection's
+     final state through its shard than through the whole trace? *)
+  let replay_conn opts readahead conn =
+    let trace, _stats, ct = record_serve ~params:Wl_serve.default opts in
+    let topts = Trace.make_opts ~jobs:opts.Recorder.jobs ~readahead () in
+    Trace.set_opts trace topts;
+    let tags = Conn_track.tags ct in
+    let info =
+      match
+        List.find_opt
+          (fun (i : Conn_track.info) -> i.Conn_track.conn = conn)
+          (Conn_track.connections ct)
+      with
+      | Some i -> i
+      | None ->
+        Fmt.failwith "no connection %d (the recording has %d)" conn
+          (List.length (Conn_track.connections ct))
+    in
+    let shard, (_ : int array) = Shard.extract ~tags ~conn trace in
+    Trace.set_opts shard topts;
+    (* the connection's last owned frame, and its position among the
+       frames the shard kept *)
+    let i_last = ref (-1) in
+    Array.iteri (fun k t -> if t = conn then i_last := k) tags;
+    let j_last = ref (-1) in
+    for k = 0 to !i_last do
+      if tags.(k) = 0 || tags.(k) = conn then incr j_last
+    done;
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let r_shard, t_shard = time (fun () -> replay_to shard !j_last) in
+    let r_full, t_full = time (fun () -> replay_to trace !i_last) in
+    Fmt.pr "conn %d: client port %d, %d owned frames, %d requests@." conn
+      info.Conn_track.client_port info.Conn_track.frames
+      info.Conn_track.requests;
+    Fmt.pr "  full trace  : %6d frames to target, %.3f ms@." (!i_last + 1)
+      (t_full *. 1e3);
+    Fmt.pr "  shard       : %6d frames to target, %.3f ms (%.1fx fewer \
+            frames, %.1fx faster)@."
+      (!j_last + 1) (t_shard *. 1e3)
+      (float_of_int (!i_last + 1) /. float_of_int (!j_last + 1))
+      (t_full /. Float.max t_shard 1e-9);
+    let digest r = task_digest (Replayer.kernel r) info.Conn_track.worker_tid in
+    if digest r_shard = digest r_full then
+      Fmt.pr "  worker state at the target frame is byte-identical.@."
+    else Fmt.failwith "shard replay state DIVERGED from the full trace"
+  in
+  let run name opts readahead conn =
+    with_trace_errors @@ fun () ->
+    match conn with
+    | Some c ->
+      if name <> "serve" then
+        Fmt.failwith "--conn targets a connection: it requires the serve \
+                      workload";
+      replay_conn opts readahead c
+    | None ->
+      let w = workload_of_name name in
+      let recd = do_record w opts in
+      Trace.set_opts recd.Workload.trace
+        (Trace.make_opts ~jobs:opts.Recorder.jobs ~readahead ());
+      let rep, _ = Workload.replay recd in
+      let st = rep.Workload.rep_stats in
+      Fmt.pr "replayed %s: exit=%a (events applied: %d, wall %d)@."
+        w.Workload.name
+        Fmt.(option ~none:(any "?") int)
+        st.Replayer.exit_status st.Replayer.events_applied
+        st.Replayer.wall_time;
+      if
+        st.Replayer.exit_status
+        = recd.Workload.rec_stats.Recorder.exit_status
+      then Fmt.pr "replay matches the recording.@."
+      else Fmt.failwith "replay DIVERGED from the recording"
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Record a workload, replay the trace, verify equivalence.  With \
+          --conn, replay a single connection's shard and report \
+          time-to-first-replay.")
+    Term.(
+      const run $ Flags.workload $ Flags.record_opts $ Flags.readahead
+      $ conn_arg)
+
 let repo_cmd =
   let init_cmd =
     let run dir =
@@ -1261,12 +1680,28 @@ let repo_cmd =
   let ls_cmd =
     let run dir =
       let repo = open_repo dir in
-      let names = Repo.list repo in
-      List.iter (fun n -> Fmt.pr "%s@." n) names;
-      if names = [] then Fmt.pr "(no traces)@."
+      match Repo.list_info repo with
+      | Error e ->
+        Fmt.epr "rr_cli: %a@." Repo.pp_error e;
+        exit 1
+      | Ok [] -> Fmt.pr "(no traces)@."
+      | Ok infos ->
+        let width =
+          List.fold_left (fun w (n, _) -> max w (String.length n)) 5 infos
+        in
+        Fmt.pr "%-*s  %10s  %7s  %12s@." width "TRACE" "FRAMES" "CHUNKS"
+          "BYTES";
+        List.iter
+          (fun (n, i) ->
+            Fmt.pr "%-*s  %10d  %7d  %12d@." width n i.Repo.ti_frames
+              i.Repo.ti_chunks i.Repo.ti_bytes)
+          infos
     in
     Cmd.v
-      (Cmd.info "ls" ~doc:"List the traces stored in a repository.")
+      (Cmd.info "ls"
+         ~doc:
+           "List the traces stored in a repository, sorted by name, with \
+            per-trace frame and logical-byte totals.")
       Term.(const run $ Flags.repo_dir)
   in
   let gc_cmd =
@@ -1320,7 +1755,9 @@ let list_cmd =
         ("make", "parallel fork/exec of short-lived compilers");
         ("octane", "multi-threaded JIT compute (score-based)");
         ("htmltest", "browser driven by an unrecorded harness over IPC");
-        ("sambatest", "UDP echo client/server: blocking syscalls, desched") ]
+        ("sambatest", "UDP echo client/server: blocking syscalls, desched");
+        ("serve", "multi-process server under load: fork-per-connection, \
+                   shardable") ]
   in
   Cmd.v (Cmd.info "list" ~doc:"List available workloads.") Term.(const run $ const ())
 
@@ -1331,9 +1768,9 @@ let main =
          "Record and replay simulated Linux processes (reproduction of \
           'Engineering Record and Replay for Deployability', USENIX ATC \
           2017).")
-    [ record_cmd; replay_cmd; dump_cmd; debug_cmd; stats_cmd; profile_cmd;
-      list_cmd; replay_file_cmd; dump_file_cmd; repair_cmd; index_cmd;
-      seek_cmd; repo_cmd ]
+    [ record_cmd; replay_cmd; serve_cmd; shard_cmd; dump_cmd; debug_cmd;
+      stats_cmd; profile_cmd; list_cmd; replay_file_cmd; dump_file_cmd;
+      repair_cmd; index_cmd; seek_cmd; repo_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

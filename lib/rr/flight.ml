@@ -5,6 +5,7 @@ type cause =
   | Signal of Recorder.error
   | Exit_nonzero of int
   | Diverged of string
+  | Partial_window of { base_frame : int }
   | Always
 
 type dump_target = To_file of string | To_repo of Repo.t * string
@@ -21,6 +22,9 @@ let pp_cause ppf = function
   | Signal e -> Fmt.pf ppf "signal (%a)" Recorder.pp_error e
   | Exit_nonzero code -> Fmt.pf ppf "exit!=0 (%d)" code
   | Diverged msg -> Fmt.pf ppf "divergence (%s)" msg
+  | Partial_window { base_frame } ->
+    Fmt.pf ppf "partial window (base frame %d, divergence unverifiable)"
+      base_frame
   | Always -> Fmt.string ppf "always"
 
 let parse_trigger = function
@@ -39,7 +43,10 @@ let trigger_to_string = function
 (* Evaluate [dump_on] against the run, most severe first.  The
    divergence check replays the window and is only meaningful when the
    window still starts at frame 0 — a truncated window has no initial
-   state to replay from. *)
+   state to replay from.  Asking for divergence verification on a
+   truncated window is classified explicitly (Partial_window) rather
+   than silently skipped: the window still dumps, and the cause says
+   why it was not verified. *)
 let first_cause ~dump_on ~result ~window ~(report : Trace.ring_report) =
   let want t = List.mem t dump_on in
   let signal =
@@ -57,8 +64,9 @@ let first_cause ~dump_on ~result ~window ~(report : Trace.ring_report) =
     | _ -> None
   in
   let divergence () =
-    if not (want Recorder.On_divergence && report.Trace.rr_base_frame = 0) then
-      None
+    if not (want Recorder.On_divergence) then None
+    else if report.Trace.rr_base_frame > 0 then
+      Some (Partial_window { base_frame = report.Trace.rr_base_frame })
     else
       match Replayer.replay window with
       | (_ : Replayer.stats * Kernel.t) -> None

@@ -9,14 +9,22 @@
 
     Triggers come from [opts.dump_on] ({!Recorder.trigger}); the most
     severe firing trigger names the {!cause}.  [On_divergence] runs a
-    verification replay of the window and only when nothing was dropped
-    ([rr_base_frame = 0]) — a truncated window has no frame-0 initial
-    state to replay from (the documented flight-recorder limitation). *)
+    verification replay of the window, but only when nothing was
+    dropped ([rr_base_frame = 0]) — a truncated window has no frame-0
+    initial state to replay from (the documented flight-recorder
+    limitation).  When divergence verification is requested on a
+    truncated window the cause is {!Partial_window}: the window still
+    dumps, explicitly classified as unverifiable rather than silently
+    passing. *)
 
 type cause =
   | Signal of Recorder.error  (** the recording itself died *)
   | Exit_nonzero of int
   | Diverged of string  (** verification replay raised [Divergence] *)
+  | Partial_window of { base_frame : int }
+      (** divergence verification was requested but the ring dropped
+          frames ([rr_base_frame > 0]): the window is dumped but cannot
+          be replay-verified *)
   | Always
 
 type dump_target = To_file of string | To_repo of Repo.t * string

@@ -119,6 +119,7 @@ type t = {
   sched : Rec_sched.t;
   opts : opts;
   rts : (int, per_task) Hashtbl.t;
+  on_event : E.t -> unit; (* live frame observer (Conn_track et al.) *)
   locals_owner : (int, int) Hashtbl.t; (* space id -> tid owning the page *)
   known_dead : (int, unit) Hashtbl.t;
   mutable current : int option;
@@ -200,6 +201,7 @@ let emit r e =
   Telemetry.incr tm_frames;
   r.events <- r.events + 1;
   if r.events > r.opts.max_events then fail "event limit exceeded";
+  r.on_event e;
   let sz = Trace.Writer.event r.w e in
   K.charge r.k (r.k.K.cost.Cost.record_event + Cost.record_bytes r.k.K.cost sz)
 
@@ -1077,8 +1079,8 @@ let resolve_sink opts journal =
     | Sink_ring r -> Some (Trace.ring_sink r)
     | Sink_repo (repo, name) -> Some (Repo.sink repo ~name))
 
-let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ?journal
-    ~setup ~exe () =
+let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ())
+    ?(on_event = fun (_ : E.t) -> ()) ?journal ~setup ~exe () =
   let k = K.create ~seed:opts.seed () in
   (* Spans measure virtual ns against this recording's cost model. *)
   Telemetry.set_clock (fun () -> K.now k);
@@ -1107,6 +1109,7 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ?journal
           ~seed:(opts.seed * 7919) ();
       opts;
       rts = Hashtbl.create 16;
+      on_event;
       locals_owner = Hashtbl.create 8;
       known_dead = Hashtbl.create 16;
       current = None;
@@ -1206,8 +1209,8 @@ let record ?(opts = default_opts) ?(on_stop = fun (_ : K.t) -> ()) ?journal
       telemetry = Telemetry.since tm_base },
     k )
 
-let run ?opts ?on_stop ?journal ~setup ~exe () =
-  match record ?opts ?on_stop ?journal ~setup ~exe () with
+let run ?opts ?on_stop ?on_event ?journal ~setup ~exe () =
+  match record ?opts ?on_stop ?on_event ?journal ~setup ~exe () with
   | v -> Ok v
   | exception Record_error e -> Error e
 

@@ -121,6 +121,7 @@ type stats = {
 val record :
   ?opts:opts ->
   ?on_stop:(Kernel.t -> unit) ->
+  ?on_event:(Event.t -> unit) ->
   ?journal:Io.writer ->
   setup:(Kernel.t -> unit) ->
   exe:string ->
@@ -130,6 +131,9 @@ val record :
     filters, and optionally spawn {e untraced} helper processes), spawn
     [exe] under supervision, and record it to completion.  [on_stop] is
     invoked after every handled ptrace stop (used for PSS sampling).
+    [on_event] observes every frame as it is emitted, before it reaches
+    the trace writer — the live half of {!Conn_track}; it must not
+    raise.
     With [journal], the trace is streamed to that {!Io.writer} while
     recording (see {!Trace.Writer.create}), so a recorder killed
     mid-run leaves a salvageable file.  Returns the trace, recording
@@ -149,6 +153,7 @@ val record :
 val run :
   ?opts:opts ->
   ?on_stop:(Kernel.t -> unit) ->
+  ?on_event:(Event.t -> unit) ->
   ?journal:Io.writer ->
   setup:(Kernel.t -> unit) ->
   exe:string ->
@@ -159,6 +164,7 @@ val run :
 val record_result :
   ?opts:opts ->
   ?on_stop:(Kernel.t -> unit) ->
+  ?on_event:(Event.t -> unit) ->
   ?journal:Io.writer ->
   setup:(Kernel.t -> unit) ->
   exe:string ->

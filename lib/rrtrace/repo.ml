@@ -512,6 +512,29 @@ let load_trace ?opts t ~name =
 
 let list t = match listing (traces_dir t) with Ok l -> l | Error _ -> []
 
+type trace_info = { ti_frames : int; ti_chunks : int; ti_bytes : int }
+
+(* Per-trace logical byte totals (referenced object sizes, from the
+   manifest keys — no object reads), sorted by name like {!list}. *)
+let list_info t =
+  with_lock t @@ fun () ->
+  let* names = listing (traces_dir t) in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest ->
+      let* m = read_manifest t name in
+      let bytes =
+        List.fold_left (fun a k -> a + key_length k) 0 (manifest_keys m)
+      in
+      let info =
+        { ti_frames = m.m_stats.Trace.n_events;
+          ti_chunks = List.length m.m_chunks;
+          ti_bytes = bytes }
+      in
+      go ((name, info) :: acc) rest
+  in
+  go [] names
+
 let delete_trace t ~name =
   if not (valid_name name) then Error (invalid_name name)
   else

@@ -76,6 +76,16 @@ val load_trace :
 val list : t -> string list
 (** Manifest names, sorted. *)
 
+type trace_info = {
+  ti_frames : int;
+  ti_chunks : int;
+  ti_bytes : int; (** sum of referenced object sizes (logical bytes) *)
+}
+
+val list_info : t -> ((string * trace_info) list, error) result
+(** {!list} with per-trace totals read from the manifests — the
+    deterministic, diff-able listing [rr_cli repo ls] prints. *)
+
 val delete_trace : t -> name:string -> (unit, error) result
 (** Remove a manifest.  Objects it referenced stay until the next
     {!gc}. *)

@@ -97,6 +97,92 @@ let qcheck_pick_total =
       | Some t -> List.mem t tids
       | None -> tids = [])
 
+(* ---- fork storms (the serve workload's accept loop) ------------------
+   A fork-per-connection server is a storm of clones: every fork adds
+   the child and prefers it (rr's child-runs-first policy), parents park
+   in wait4, and the run queue fills with blocked tasks.  The scheduler
+   must keep choosing the fresh child first and never deadlock while
+   the queue drains. *)
+
+let qcheck_fork_storm_child_first =
+  QCheck.Test.make ~name:"fork storm: preferred child always picked first"
+    ~count:200
+    QCheck.(pair small_int (list_of_size Gen.(1 -- 30) (int_bound 1000)))
+    (fun (seed, forks) ->
+      let s = Rec_sched.create ~seed () in
+      Rec_sched.add_task s 0;
+      let next = ref 1 in
+      List.for_all
+        (fun _ ->
+          (* a fork from some existing task: add + prefer the child *)
+          let child = !next in
+          incr next;
+          Rec_sched.add_task s child;
+          Rec_sched.prefer s child;
+          (* everyone runnable, equal priority: the child runs first *)
+          match
+            Rec_sched.pick s ~runnable:always ~priority:(fun _ -> 0)
+          with
+          | Some t -> t = child
+          | None -> false)
+        forks)
+
+let qcheck_fork_burst_lifo =
+  QCheck.Test.make
+    ~name:"nested fork burst runs children newest-first" ~count:200
+    QCheck.(pair small_int (int_range 1 10))
+    (fun (seed, burst) ->
+      (* nested forks: each fresh child immediately forks its own child
+         before anyone is scheduled, so prefers stack up — the picks
+         must then come newest-first (each prefer moved its child to
+         the front). *)
+      let s = Rec_sched.create ~seed () in
+      Rec_sched.add_task s 0;
+      let children = List.init burst (fun i -> i + 1) in
+      List.iter
+        (fun c ->
+          Rec_sched.add_task s c;
+          Rec_sched.prefer s c)
+        children;
+      let picks =
+        List.init burst (fun _ ->
+            Option.get
+              (Rec_sched.pick s ~runnable:always ~priority:(fun _ -> 0)))
+      in
+      picks = List.rev children)
+
+let qcheck_fork_storm_parked_parents =
+  QCheck.Test.make
+    ~name:"parked parents never deadlock a full run queue" ~count:200
+    QCheck.(pair small_int (int_range 1 20))
+    (fun (seed, n) ->
+      (* a chain of nested forks: each parent parks in wait4 right
+         after preferring its child, so the queue fills with blocked
+         tasks and exactly one task is runnable at a time.  Scheduling
+         must reach it both while the storm builds and while it
+         drains (each exit unparks the waiting parent). *)
+      let s = Rec_sched.create ~chaos:(seed mod 2 = 0) ~seed () in
+      Rec_sched.add_task s 0;
+      let parked = Hashtbl.create 8 in
+      let runnable t = not (Hashtbl.mem parked t) in
+      let ok = ref true in
+      for child = 1 to n do
+        Rec_sched.add_task s child;
+        Rec_sched.prefer s child;
+        Hashtbl.replace parked (child - 1) ();
+        match Rec_sched.pick s ~runnable ~priority:(fun _ -> 0) with
+        | Some t -> if t <> child then ok := false
+        | None -> ok := false
+      done;
+      for child = n downto 1 do
+        Rec_sched.remove_task s child;
+        Hashtbl.remove parked (child - 1);
+        match Rec_sched.pick s ~runnable ~priority:(fun _ -> 0) with
+        | Some t -> if Hashtbl.mem parked t then ok := false
+        | None -> ok := false
+      done;
+      !ok)
+
 let suites =
   [ ( "rr.sched",
       [ Alcotest.test_case "round-robin rotation" `Quick
@@ -110,4 +196,7 @@ let suites =
           test_default_timeslice_constant;
         QCheck_alcotest.to_alcotest qcheck_chaos_timeslice_bounds;
         QCheck_alcotest.to_alcotest qcheck_chaos_deterministic;
-        QCheck_alcotest.to_alcotest qcheck_pick_total ] ) ]
+        QCheck_alcotest.to_alcotest qcheck_pick_total;
+        QCheck_alcotest.to_alcotest qcheck_fork_storm_child_first;
+        QCheck_alcotest.to_alcotest qcheck_fork_burst_lifo;
+        QCheck_alcotest.to_alcotest qcheck_fork_storm_parked_parents ] ) ]
